@@ -1,0 +1,144 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4), one testing.B benchmark per figure. Each reports the figure's rows
+// through b.ReportMetric, so `go test -bench=. -benchmem` prints the same
+// series the paper plots; cmd/hyperbench prints them as full text tables at
+// larger scale.
+//
+// The scales here are reduced so the whole suite finishes in minutes; pass
+// -benchscale to stretch them (e.g. go test -bench=Fig8 -benchscale=4).
+package hyperdb_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"hyperdb/internal/harness"
+	"hyperdb/internal/ycsb"
+)
+
+var benchScale = flag.Float64("benchscale", 1.0, "multiply benchmark dataset/op counts")
+
+// benchScaleCfg is the reduced default used by the benchmarks.
+func benchScaleCfg() harness.Scale {
+	s := harness.DefaultScale().Mult(0.25 * *benchScale)
+	return s
+}
+
+// reportTable attaches a figure's rows to the benchmark output and writes
+// the full table to stdout once (benchtime=1x keeps this single-shot).
+func reportTable(b *testing.B, t *harness.Table) {
+	b.Helper()
+	t.Fprint(os.Stdout)
+	for _, row := range t.Rows {
+		for _, c := range row.Cells {
+			b.ReportMetric(c.Value, fmt.Sprintf("%s/%s", row.Label, c.Name))
+		}
+	}
+}
+
+func runFigure(b *testing.B, name string) {
+	fn := harness.Figures[name]
+	if fn == nil {
+		b.Fatalf("unknown figure %s", name)
+	}
+	b.ResetTimer()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := fn(benchScaleCfg(), nil)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	if last != nil && b.N == 1 {
+		reportTable(b, last)
+	}
+}
+
+// BenchmarkFig2_BandwidthUtilization reproduces Figure 2: NVMe read/write
+// bandwidth and capacity utilisation for the two baseline architectures as
+// background threads scale (E1, E2).
+func BenchmarkFig2_BandwidthUtilization(b *testing.B) { runFigure(b, "fig2") }
+
+// BenchmarkFig3_CompactionOverhead reproduces Figure 3: capacity-tier
+// compaction bandwidth vs threads, and the per-level compaction I/O
+// breakdown showing deep levels dominating (E3, E4).
+func BenchmarkFig3_CompactionOverhead(b *testing.B) { runFigure(b, "fig3") }
+
+// BenchmarkFig6_IntervalCorrelation reproduces Figure 6a: the conditional
+// probability that an object's next access interval stays under t given its
+// past s intervals did (E5).
+func BenchmarkFig6_IntervalCorrelation(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig8_YCSB reproduces Figure 8: YCSB A–F throughput plus
+// normalised median and P99 latency for all four engines (E6, E7).
+func BenchmarkFig8_YCSB(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9a_Skew reproduces Figure 9a: YCSB-A throughput across key
+// distribution skews (E8).
+func BenchmarkFig9a_Skew(b *testing.B) { runFigure(b, "fig9a") }
+
+// BenchmarkFig9b_ValueSize reproduces Figure 9b and §4.2's migration
+// analysis: throughput vs value size, with migration page reads per object
+// (E9, E14).
+func BenchmarkFig9b_ValueSize(b *testing.B) { runFigure(b, "fig9b") }
+
+// BenchmarkFig9c_NVMeRatio reproduces Figure 9c: throughput as the NVMe
+// share of the dataset grows from 1% to 16% (E10).
+func BenchmarkFig9c_NVMeRatio(b *testing.B) { runFigure(b, "fig9c") }
+
+// BenchmarkFig10_LatencyBreakdown reproduces Figure 10: read/write median
+// and P99 latency across workload skews (E11).
+func BenchmarkFig10_LatencyBreakdown(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkFig11_WriteTraffic reproduces Figure 11: per-tier write volume
+// and space usage under a uniform 1 KiB-value workload (E12, E13).
+func BenchmarkFig11_WriteTraffic(b *testing.B) { runFigure(b, "fig11") }
+
+// BenchmarkPutThroughput measures raw single-engine put throughput on the
+// simulated NVMe tier (not a paper figure; a sanity baseline).
+func BenchmarkPutThroughput(b *testing.B) {
+	inst, err := harness.Build(harness.KindHyperDB, harness.Config{
+		NVMeCapacity: 256 << 20,
+		Unthrottled:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.Engine.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Engine.Put(ycsb.Key(int64(i)), []byte("benchmark-value-128b")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetHot measures cached-read latency through the full stack.
+func BenchmarkGetHot(b *testing.B) {
+	inst, err := harness.Build(harness.KindHyperDB, harness.Config{
+		NVMeCapacity: 256 << 20,
+		Unthrottled:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.Engine.Close()
+	for i := int64(0); i < 10000; i++ {
+		inst.Engine.Put(ycsb.Key(i), []byte("benchmark-value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Engine.Get(ycsb.Key(int64(i % 10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation quantifies HyperDB's design choices one knob at a time
+// (preemptive depth, T_clean, hot zone, index mirror) — the ablation study
+// DESIGN.md calls out; not a paper figure.
+func BenchmarkAblation(b *testing.B) { runFigure(b, "ablation") }

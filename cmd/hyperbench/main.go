@@ -1,0 +1,66 @@
+// Command hyperbench regenerates every table and figure from the paper's
+// evaluation (§4) on the simulated heterogeneous devices.
+//
+// Usage:
+//
+//	hyperbench [-scale F] [-quick] [figure ...]
+//
+// With no figure arguments, every figure runs in order. Figure names:
+// fig2 fig3 fig6 fig8 fig9a fig9b fig9c fig10 fig11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperdb/internal/harness"
+)
+
+func main() {
+	scaleF := flag.Float64("scale", 1.0, "multiply dataset and op counts by this factor")
+	quick := flag.Bool("quick", false, "tiny unthrottled run (CI smoke): traffic shapes only, no timing fidelity")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	jsonOut := flag.Bool("json", false, "emit figures as JSON instead of text tables")
+	flag.Parse()
+
+	scale := harness.DefaultScale().Mult(*scaleF)
+	if *quick {
+		scale = harness.DefaultScale().Mult(0.1)
+		scale.Throttled = false
+	}
+
+	figs := flag.Args()
+	if len(figs) == 0 {
+		figs = harness.FigureOrder
+	}
+
+	var progress *os.File
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	for _, name := range figs {
+		fn, ok := harness.Figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; available: %v\n", name, harness.FigureOrder)
+			os.Exit(2)
+		}
+		table, err := fn(scale, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			b, err := table.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(b)
+			fmt.Println()
+		} else {
+			table.Fprint(os.Stdout)
+		}
+	}
+}

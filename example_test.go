@@ -1,0 +1,38 @@
+package hyperdb_test
+
+import (
+	"fmt"
+
+	"hyperdb"
+)
+
+// Example demonstrates the basic lifecycle: open over simulated devices,
+// write, read, scan, and inspect which tier absorbed the traffic.
+func Example() {
+	db, err := hyperdb.Open(hyperdb.Options{
+		Unthrottled:  true, // deterministic output: no timing model
+		NVMeCapacity: 16 << 20,
+		SATACapacity: 1 << 30,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("user:1001"), []byte("alice"))
+	db.Put([]byte("user:1002"), []byte("bob"))
+	v, _ := db.Get([]byte("user:1001"))
+	fmt.Println("user:1001 =", string(v))
+
+	kvs, _ := db.Scan([]byte("user:"), 10)
+	fmt.Println("scan found", len(kvs), "users")
+
+	db.Delete([]byte("user:1002"))
+	if _, err := db.Get([]byte("user:1002")); err == hyperdb.ErrNotFound {
+		fmt.Println("user:1002 deleted")
+	}
+	// Output:
+	// user:1001 = alice
+	// scan found 2 users
+	// user:1002 deleted
+}

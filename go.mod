@@ -1,0 +1,3 @@
+module hyperdb
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package hyperdb is a key-value store for heterogeneous SSD storage,
+// reproducing "HyperDB: a Novel Key Value Store for Reducing Background
+// Traffic in Heterogeneous SSD Storage" (ICPP 2024).
+//
+// HyperDB spans two storage tiers. The performance tier (NVMe) holds a
+// zone-based layout: objects with adjacent keys share a zone, zones map
+// onto size-classed slot files at page granularity, and small objects
+// update in place. The capacity tier (SATA) holds an LSM tree of
+// semi-SSTables — sorted within blocks, appendable after persistence — and
+// compacts with block-granularity preemptive compaction. A per-partition
+// cascading-discriminator tracker classifies hot objects, which stay in (or
+// get promoted to) the performance tier's hot zones; cold zones are demoted
+// in batches chosen by a cost/benefit score.
+//
+// The storage devices are simulated (package internal/device): page-granular
+// I/O with latency/bandwidth models scaled from the paper's Samsung PM9A3 +
+// Intel D3-S4610 pair, and full traffic accounting. Every engine in this
+// module — HyperDB and the RocksDB-style and PrismDB-style baselines — runs
+// on the same simulator, so the paper's traffic and utilisation comparisons
+// reproduce apples-to-apples.
+//
+// Basic usage:
+//
+//	db, err := hyperdb.Open(hyperdb.DefaultOptions())
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+package hyperdb
+
+import (
+	"fmt"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/device"
+)
+
+// ErrNotFound is returned by Get when a key does not exist or was deleted.
+var ErrNotFound = core.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = core.ErrClosed
+
+// DB is a HyperDB instance over a pair of simulated devices.
+type DB struct {
+	inner *core.DB
+	nvme  *device.Device
+	sata  *device.Device
+}
+
+// Open creates a DB. The zero Options get paper defaults (8 partitions,
+// 64 MiB DRAM cache, T=10, k=2, T_clean=0.5, 1.5× space-amp limit).
+func Open(opts Options) (*DB, error) {
+	resolved, nvme, sata, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(resolved)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, nvme: nvme, sata: sata}, nil
+}
+
+// Recover reopens a DB from devices holding a previous instance's state
+// (after Close or a simulated crash). The performance tier's index rebuilds
+// by scanning slot files; the capacity tier reopens its self-describing
+// semi-SSTables. Options must carry the original devices in NVMeDevice and
+// SATADevice.
+func Recover(opts Options) (*DB, error) {
+	if opts.NVMeDevice == nil || opts.SATADevice == nil {
+		return nil, fmt.Errorf("hyperdb: Recover requires the original devices")
+	}
+	resolved, nvme, sata, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Recover(resolved)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, nvme: nvme, sata: sata}, nil
+}
+
+// Put writes key=value. The write is durable on the performance tier when
+// Put returns.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// KV is one scan result.
+type KV = core.KV
+
+// Scan returns up to limit live key-value pairs with key >= start, in key
+// order, merged across both tiers.
+func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
+	return db.inner.Scan(start, limit)
+}
+
+// Close stops background workers. The simulated devices and their contents
+// remain readable through Stats until the process exits.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Stats snapshots engine and device state.
+func (db *DB) Stats() core.Stats { return db.inner.Stats() }
+
+// NVMe returns the performance-tier device (for harness inspection).
+func (db *DB) NVMe() *device.Device { return db.nvme }
+
+// SATA returns the capacity-tier device (for harness inspection).
+func (db *DB) SATA() *device.Device { return db.sata }
+
+// DrainBackground blocks until pending migrations and compactions settle.
+// Benchmarks call it to separate load and measurement phases.
+func (db *DB) DrainBackground() error { return db.inner.DrainBackground() }
+
+// MigrationStep and CompactionStep drive one unit of background work on one
+// partition; useful with Options.DisableBackground for deterministic tests.
+func (db *DB) MigrationStep(partition int) error { return db.inner.MigrationStep(partition) }
+
+// CompactionStep runs at most one compaction for a partition.
+func (db *DB) CompactionStep(partition int) (bool, error) {
+	return db.inner.CompactionStep(partition)
+}
+
+// Engine exposes the underlying core engine for advanced instrumentation.
+func (db *DB) Engine() *core.DB { return db.inner }

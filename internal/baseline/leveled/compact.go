@@ -1,0 +1,279 @@
+package leveled
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+// CompactOnce performs one compaction: all of L0 (plus overlapping L1) into
+// L1, or one round-robin victim of an over-budget level (plus overlapping
+// children) into the level below. Multiple background threads may call it
+// concurrently — compactions into different target levels proceed in
+// parallel, which is how the capacity-tier bandwidth scales with thread
+// count in Figures 2a/3a. Returns whether work was started.
+func (l *LSM) CompactOnce(op device.Op) (bool, error) {
+	op.Background = true
+
+	l.mu.Lock()
+	plan, ok := l.planLocked()
+	if !ok {
+		l.mu.Unlock()
+		return false, nil
+	}
+	for _, t := range plan.srcs {
+		l.busy[t] = true
+	}
+	for _, t := range plan.overlaps {
+		l.busy[t] = true
+	}
+	l.activeOut[plan.target] = true
+	l.mu.Unlock()
+
+	err := l.mergeInto(plan, op)
+
+	l.mu.Lock()
+	for _, t := range plan.srcs {
+		delete(l.busy, t)
+	}
+	for _, t := range plan.overlaps {
+		delete(l.busy, t)
+	}
+	l.activeOut[plan.target] = false
+	l.mu.Unlock()
+	return true, err
+}
+
+// plan is one compaction's inputs.
+type plan struct {
+	level    int
+	target   int
+	srcs     []*table
+	overlaps []*table
+}
+
+// planLocked picks the shallowest actionable compaction. Caller holds mu.
+func (l *LSM) planLocked() (plan, bool) {
+	// L0 first: file-count trigger. When an L0 round is already in flight,
+	// fall through to the deeper levels instead of idling — otherwise a
+	// sustained ingest starves every level below L1.
+	if len(l.levels[0]) >= l.opts.L0Compact && !l.activeOut[1] {
+		srcs := append([]*table(nil), l.levels[0]...)
+		busy := false
+		for _, t := range srcs {
+			if l.busy[t] {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			var span keys.Range
+			for i, t := range srcs {
+				if i == 0 {
+					span = t.rang()
+				} else {
+					span = span.Union(t.rang())
+				}
+			}
+			if overlaps, ok := l.overlapsLocked(1, span); ok {
+				return plan{level: 0, target: 1, srcs: srcs, overlaps: overlaps}, true
+			}
+		}
+	}
+	for level := 1; level < l.opts.MaxLevels-1; level++ {
+		if l.activeOut[level+1] {
+			continue
+		}
+		var n int64
+		for _, t := range l.levels[level] {
+			n += t.meta.TotalSize
+		}
+		if n <= l.target(level) || len(l.levels[level]) == 0 {
+			continue
+		}
+		// Round-robin victim, skipping busy tables.
+		tables := l.levels[level]
+		var victim *table
+		for try := 0; try < len(tables); try++ {
+			cand := tables[l.rr[level]%len(tables)]
+			l.rr[level]++
+			if !l.busy[cand] {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		overlaps, ok := l.overlapsLocked(level+1, victim.rang())
+		if !ok {
+			continue
+		}
+		return plan{level: level, target: level + 1, srcs: []*table{victim}, overlaps: overlaps}, true
+	}
+	return plan{}, false
+}
+
+// overlapsLocked collects level's tables overlapping span; ok=false when any
+// needed input is busy in another compaction. Caller holds mu.
+func (l *LSM) overlapsLocked(level int, span keys.Range) ([]*table, bool) {
+	if level >= l.opts.MaxLevels {
+		return nil, true
+	}
+	var out []*table
+	for _, t := range l.levels[level] {
+		if t.rang().Overlaps(span) {
+			if l.busy[t] {
+				return nil, false
+			}
+			out = append(out, t)
+		}
+	}
+	return out, true
+}
+
+// mergeInto merges the plan's inputs, writes the result as new target-level
+// tables, and installs them.
+func (l *LSM) mergeInto(p plan, op device.Op) error {
+	bottom := p.target == l.opts.MaxLevels-1
+
+	all := append(append([]*table(nil), p.srcs...), p.overlaps...)
+	var readBytes int64
+	h := make(tableHeap, 0, len(all))
+	for _, t := range all {
+		readBytes += t.meta.TotalSize
+		it := t.reader.NewIter(device.Op{Background: true, Sequential: true})
+		it.First()
+		if it.Valid() {
+			h = append(h, &tableIter{it: it})
+		} else if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	heap.Init(&h)
+	l.traffic[p.target].ReadBytes.Add(uint64(readBytes))
+	l.traffic[p.target].Compactions.Inc()
+
+	// Drain the heap into merged entries, newest version per user key.
+	var merged []Entry
+	var lastUser []byte
+	haveLast := false
+	for len(h) > 0 {
+		top := h[0]
+		k := top.it.Key()
+		if !haveLast || !bytes.Equal(k.User, lastUser) {
+			if k.Kind != keys.KindDelete || !bottom {
+				merged = append(merged, Entry{
+					Key: keys.InternalKey{
+						User: append([]byte(nil), k.User...),
+						Seq:  k.Seq,
+						Kind: k.Kind,
+					},
+					Value: append([]byte(nil), top.it.Value()...),
+				})
+			}
+			lastUser = append(lastUser[:0], k.User...)
+			haveLast = true
+		}
+		top.it.Next()
+		if top.it.Valid() {
+			heap.Fix(&h, 0)
+		} else {
+			if err := top.it.Err(); err != nil {
+				return err
+			}
+			heap.Pop(&h)
+		}
+	}
+
+	// Write the new run.
+	var newTables []*table
+	rest := merged
+	for len(rest) > 0 {
+		n := len(rest)
+		tbl, r, err := l.buildTable(p.target, rest, op)
+		if err != nil {
+			return err
+		}
+		rest = r
+		if len(rest) == n {
+			return fmt.Errorf("leveled: compaction made no progress")
+		}
+		newTables = append(newTables, tbl)
+		l.traffic[p.target].WriteBytes.Add(uint64(tbl.meta.TotalSize))
+	}
+
+	// Install: remove inputs, insert the new run sorted by smallest key.
+	l.mu.Lock()
+	remove := func(level int, victims []*table) {
+		out := l.levels[level][:0]
+		for _, t := range l.levels[level] {
+			dead := false
+			for _, v := range victims {
+				if t == v {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				out = append(out, t)
+			}
+		}
+		l.levels[level] = out
+	}
+	remove(p.level, p.srcs)
+	remove(p.target, p.overlaps)
+	l.levels[p.target] = append(l.levels[p.target], newTables...)
+	sortTables(l.levels[p.target])
+	unstall := len(l.levels[0]) < l.opts.L0Stall
+	if unstall {
+		close(l.stallCh)
+		l.stallCh = make(chan struct{})
+	}
+	l.mu.Unlock()
+
+	// Drop the LSM's reference; files disappear once in-flight readers
+	// finish.
+	for _, t := range all {
+		t.release()
+	}
+	return nil
+}
+
+func sortTables(ts []*table) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && bytes.Compare(ts[j].meta.Smallest, ts[j-1].meta.Smallest) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// tableIter adapts an sstable iterator for the merge heap.
+type tableIter struct {
+	it interface {
+		Valid() bool
+		Next()
+		Key() keys.InternalKey
+		Value() []byte
+		Err() error
+	}
+}
+
+type tableHeap []*tableIter
+
+func (h tableHeap) Len() int { return len(h) }
+func (h tableHeap) Less(i, j int) bool {
+	return keys.Compare(h[i].it.Key(), h[j].it.Key()) < 0
+}
+func (h tableHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tableHeap) Push(x any)   { *h = append(*h, x.(*tableIter)) }
+func (h *tableHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

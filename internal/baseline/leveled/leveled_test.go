@@ -1,0 +1,298 @@
+package leveled
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+func newLSM(t testing.TB, fileSize int64) (*LSM, *device.Device) {
+	t.Helper()
+	dev := device.New(device.UnthrottledProfile("d", 0))
+	l, err := New(Options{
+		Name:      "t",
+		Place:     func(int, int64) *device.Device { return dev },
+		FileSize:  fileSize,
+		L1Target:  2 * fileSize,
+		Ratio:     4,
+		MaxLevels: 4,
+		L0Compact: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dev
+}
+
+func k8(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, i)
+	return b
+}
+
+func sortedRun(lo, n int, seqBase uint64, tag string) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Entry{
+			Key:   keys.InternalKey{User: k8(uint64(lo+i) << 32), Seq: seqBase + uint64(i), Kind: keys.KindSet},
+			Value: []byte(fmt.Sprintf("%s-%d", tag, lo+i)),
+		})
+	}
+	return out
+}
+
+func TestIngestAndGet(t *testing.T) {
+	l, _ := newLSM(t, 64<<10)
+	if err := l.Ingest(sortedRun(0, 1000, 1, "v"), device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v, kind, found, err := l.Get(k8(uint64(i)<<32), keys.MaxSeq, device.Fg)
+		if err != nil || !found || kind != keys.KindSet {
+			t.Fatalf("get %d: %v %v %v", i, kind, found, err)
+		}
+		if want := fmt.Sprintf("v-%d", i); string(v) != want {
+			t.Fatalf("get %d = %q", i, v)
+		}
+	}
+}
+
+func TestL0NewestWins(t *testing.T) {
+	l, _ := newLSM(t, 64<<10)
+	l.Ingest(sortedRun(0, 100, 1, "old"), device.Bg)
+	l.Ingest(sortedRun(0, 100, 1000, "new"), device.Bg)
+	v, _, found, _ := l.Get(k8(0), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "new-0" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestCompactionDrainsL0(t *testing.T) {
+	l, _ := newLSM(t, 16<<10)
+	for r := 0; r < 4; r++ {
+		l.Ingest(sortedRun(r*50, 200, uint64(r*1000+1), fmt.Sprintf("r%d", r)), device.Bg)
+	}
+	if l.TableCount(0) < 2 {
+		t.Fatalf("L0 = %d", l.TableCount(0))
+	}
+	for {
+		did, err := l.CompactOnce(device.Bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !did {
+			break
+		}
+	}
+	if l.TableCount(0) != 0 {
+		t.Fatalf("L0 not drained: %d", l.TableCount(0))
+	}
+	// Newest versions survive.
+	v, _, found, _ := l.Get(k8(uint64(150)<<32), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "r3-150" {
+		t.Fatalf("after compaction: %q %v", v, found)
+	}
+	// Traffic recorded.
+	if l.Traffic(1).Compactions.Load() == 0 || l.Traffic(1).WriteBytes.Load() == 0 {
+		t.Fatal("compaction traffic not recorded")
+	}
+}
+
+func TestTombstonesDropAtBottomOnly(t *testing.T) {
+	l, _ := newLSM(t, 8<<10)
+	l.Ingest(sortedRun(0, 100, 1, "v"), device.Bg)
+	del := []Entry{{Key: keys.InternalKey{User: k8(5 << 32), Seq: 999, Kind: keys.KindDelete}}}
+	l.Ingest(del, device.Bg)
+	for {
+		did, err := l.CompactOnce(device.Bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !did {
+			break
+		}
+	}
+	_, kind, found, _ := l.Get(k8(5<<32), keys.MaxSeq, device.Fg)
+	if found && kind != keys.KindDelete {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestScanIterMergesLevels(t *testing.T) {
+	l, _ := newLSM(t, 16<<10)
+	l.Ingest(sortedRun(0, 300, 1, "old"), device.Bg)
+	l.Ingest(sortedRun(0, 300, 5000, "new"), device.Bg)
+	l.CompactOnce(device.Bg)
+	l.Ingest(sortedRun(100, 50, 9000, "newest"), device.Bg)
+
+	it := l.NewScanIter(nil, device.Fg)
+	defer it.Close()
+	n := 0
+	var prev []byte
+	for ; it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		// Spot check precedence.
+		idx := binary.BigEndian.Uint64(it.Key()) >> 32
+		want := "new-"
+		if idx >= 100 && idx < 150 {
+			want = "newest-"
+		}
+		if !bytes.HasPrefix(it.Value(), []byte(want)) {
+			t.Fatalf("key %d: %q, want prefix %q", idx, it.Value(), want)
+		}
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestStallSignals(t *testing.T) {
+	dev := device.New(device.UnthrottledProfile("d", 0))
+	l, _ := New(Options{
+		Name:      "t",
+		Place:     func(int, int64) *device.Device { return dev },
+		FileSize:  8 << 10,
+		L0Compact: 2,
+		L0Stall:   3,
+	})
+	for r := 0; r < 3; r++ {
+		l.Ingest(sortedRun(r*10, 50, uint64(r*100+1), "v"), device.Bg)
+	}
+	if !l.Stalled() {
+		t.Fatal("should be stalled at 3 L0 files")
+	}
+	ch := l.StallChan()
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	for l.Stalled() {
+		if _, err := l.CompactOnce(device.Bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("un-stall not broadcast")
+	}
+}
+
+func TestPlacementRespected(t *testing.T) {
+	nvme := device.New(device.UnthrottledProfile("nvme", 0))
+	sata := device.New(device.UnthrottledProfile("sata", 0))
+	l, _ := New(Options{
+		Name: "t",
+		Place: func(level int, _ int64) *device.Device {
+			if level <= 1 {
+				return nvme
+			}
+			return sata
+		},
+		FileSize:  8 << 10,
+		L1Target:  16 << 10,
+		Ratio:     2,
+		MaxLevels: 4,
+		L0Compact: 2,
+	})
+	for r := 0; r < 12; r++ {
+		l.Ingest(sortedRun(r*100, 300, uint64(r*1000+1), "v"), device.Bg)
+		for {
+			did, _ := l.CompactOnce(device.Bg)
+			if !did {
+				break
+			}
+		}
+	}
+	if nvme.Counters().WriteBytes.Load() == 0 {
+		t.Fatal("nothing written to NVMe tier")
+	}
+	if sata.Counters().WriteBytes.Load() == 0 {
+		t.Fatal("nothing written to SATA tier (deep levels)")
+	}
+}
+
+func TestConcurrentCompactionThreads(t *testing.T) {
+	l, _ := newLSM(t, 8<<10)
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(13))
+	seq := uint64(0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := l.CompactOnce(device.Bg); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 40; round++ {
+		ids := rng.Perm(2000)[:100]
+		sort.Ints(ids)
+		var entries []Entry
+		for _, id := range ids {
+			seq++
+			v := fmt.Sprintf("r%d-%d", round, id)
+			entries = append(entries, Entry{
+				Key:   keys.InternalKey{User: k8(uint64(id) << 32), Seq: seq, Kind: keys.KindSet},
+				Value: []byte(v),
+			})
+			ref[string(k8(uint64(id)<<32))] = v
+		}
+		if err := l.Ingest(entries, device.Bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		did, err := l.CompactOnce(device.Bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !did {
+			break
+		}
+	}
+	for k, want := range ref {
+		v, _, found, err := l.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("get %x: %q %v %v want %q", k, v, found, err, want)
+		}
+	}
+}
+
+func TestLevelBytesAndNeedsCompaction(t *testing.T) {
+	l, _ := newLSM(t, 8<<10)
+	if _, need := l.NeedsCompaction(); need {
+		t.Fatal("empty LSM needs no compaction")
+	}
+	l.Ingest(sortedRun(0, 500, 1, "v"), device.Bg)
+	if l.LevelBytes(0) == 0 {
+		t.Fatal("level bytes not tracked")
+	}
+}

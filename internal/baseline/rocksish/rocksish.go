@@ -1,0 +1,546 @@
+// Package rocksish is the RocksDB-style baseline of §4.1: a classic
+// single-LSM key-value store with a skiplist memtable, group-committed WAL,
+// L0 flush, and leveled compaction. Two multi-tier deployments are
+// supported, matching the paper's baselines:
+//
+//   - Embedding ("RocksDB"): db_path-style placement puts the top levels of
+//     the LSM on the NVMe device and deeper levels on SATA. A level cannot
+//     span tiers, which is why Figure 2b shows 40–80% NVMe capacity
+//     utilisation.
+//   - Secondary cache ("RocksDB-SC"): the whole LSM lives on SATA and the
+//     NVMe device serves as a flash block cache under the DRAM cache.
+package rocksish
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperdb/internal/baseline/leveled"
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/skiplist"
+	"hyperdb/internal/wal"
+)
+
+// ErrNotFound is returned for missing or deleted keys.
+var ErrNotFound = fmt.Errorf("rocksish: not found")
+
+// Options configures the engine.
+type Options struct {
+	// NVMe and SATA are the two storage tiers (required).
+	NVMe *device.Device
+	SATA *device.Device
+	// SecondaryCache selects the RocksDB-SC deployment.
+	SecondaryCache bool
+	// MemtableBytes rotates the memtable at this size.
+	MemtableBytes int64
+	// CacheBytes is the DRAM block cache budget.
+	CacheBytes int64
+	// FileSize is the SSTable target (paper: 64 MiB, scaled by harness).
+	FileSize int64
+	// L1Target, Ratio, MaxLevels parameterise the leveled LSM.
+	L1Target  int64
+	Ratio     int
+	MaxLevels int
+	// BackgroundThreads is the compaction thread count (paper default 8).
+	BackgroundThreads int
+	// DisableBackground turns workers off (tests drive CompactOnce).
+	DisableBackground bool
+	// BackgroundInterval is the workers' poll period.
+	BackgroundInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.FileSize <= 0 {
+		o.FileSize = 2 << 20
+	}
+	if o.BackgroundThreads <= 0 {
+		o.BackgroundThreads = 8
+	}
+	if o.BackgroundInterval <= 0 {
+		o.BackgroundInterval = 2 * time.Millisecond
+	}
+}
+
+// DB is the RocksDB-style engine.
+type DB struct {
+	opts Options
+	lsm  *leveled.LSM
+	bc   cache.BlockCache
+
+	mu      sync.Mutex
+	flushMu sync.Mutex
+	walMu   sync.RWMutex // appenders hold R; rotation holds W
+	mem     *skiplist.SkipList
+	imm     *skiplist.SkipList
+	memWAL  *wal.WAL
+	immWAL  *wal.WAL
+	walGen  int
+	flushed chan struct{} // closed+replaced when a flush completes
+
+	seq      atomic.Uint64
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	flushC   chan struct{}
+	compactC chan struct{}
+	closed   atomic.Bool
+}
+
+// Open builds the engine.
+func Open(opts Options) (*DB, error) {
+	if opts.NVMe == nil || opts.SATA == nil {
+		return nil, fmt.Errorf("rocksish: both devices required")
+	}
+	opts.fill()
+	db := &DB{
+		opts:     opts,
+		mem:      skiplist.New(),
+		stop:     make(chan struct{}),
+		flushC:   make(chan struct{}, 1),
+		compactC: make(chan struct{}, 1),
+		flushed:  make(chan struct{}),
+	}
+
+	if opts.SecondaryCache {
+		// Flash cache over most of the NVMe device.
+		budget := opts.NVMe.Capacity() * 9 / 10
+		fl, err := cache.NewFlash(opts.NVMe, "rocksish-sc", budget)
+		if err != nil {
+			return nil, err
+		}
+		db.bc = cache.NewTiered(opts.CacheBytes, fl)
+	} else {
+		db.bc = cache.NewLRU(opts.CacheBytes, nil)
+	}
+
+	l, err := leveled.New(leveled.Options{
+		Name:      "rocksish",
+		Place:     db.place,
+		Fallback:  opts.SATA,
+		FileSize:  opts.FileSize,
+		L1Target:  opts.L1Target,
+		Ratio:     opts.Ratio,
+		MaxLevels: opts.MaxLevels,
+		PageCache: db.bc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.lsm = l
+
+	w, err := wal.Open(opts.walDevice(), "rocksish-wal-0")
+	if err != nil {
+		return nil, err
+	}
+	db.memWAL = w
+
+	if !opts.DisableBackground {
+		db.wg.Add(1)
+		go db.flushWorker()
+		for i := 0; i < opts.BackgroundThreads; i++ {
+			db.wg.Add(1)
+			go db.compactionWorker()
+		}
+	}
+	return db, nil
+}
+
+// walDevice returns where the WAL lives: the performance tier when
+// embedding (RocksDB puts WAL on the fastest path), SATA for SC mode (the
+// NVMe is a cache, not durable storage, in that deployment).
+func (o *Options) walDevice() *device.Device {
+	if o.SecondaryCache {
+		return o.SATA
+	}
+	return o.NVMe
+}
+
+// place implements db_path placement: a level goes to NVMe while the
+// cumulative LSM size through that level fits the NVMe budget; otherwise
+// SATA. SC mode keeps every level on SATA.
+func (db *DB) place(level int, size int64) *device.Device {
+	if db.opts.SecondaryCache {
+		return db.opts.SATA
+	}
+	// Reserve headroom for the WALs and in-flight builds: placement races
+	// between compaction threads overshoot whatever remains.
+	budget := db.opts.NVMe.Capacity()*85/100 - 2*db.opts.MemtableBytes
+	cum := db.opts.MemtableBytes * 2 // L0 allowance
+	target := db.opts.L1Target
+	if target <= 0 {
+		target = 4 * db.opts.FileSize
+	}
+	ratio := db.opts.Ratio
+	if ratio <= 1 {
+		ratio = 10
+	}
+	for l := 1; l <= level; l++ {
+		cum += target
+		target *= int64(ratio)
+	}
+	if cum <= budget && db.opts.NVMe.Used()+size <= budget {
+		return db.opts.NVMe
+	}
+	return db.opts.SATA
+}
+
+// Close stops the workers, flushing nothing further.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	close(db.stop)
+	db.wg.Wait()
+	return nil
+}
+
+// record encodes a WAL entry: kind(1) seq(8) klen(4) vlen(4) key value.
+func encodeRecord(kind keys.Kind, seq uint64, k, v []byte) []byte {
+	buf := make([]byte, 17+len(k)+len(v))
+	buf[0] = byte(kind)
+	binary.LittleEndian.PutUint64(buf[1:], seq)
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(k)))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(len(v)))
+	copy(buf[17:], k)
+	copy(buf[17+len(k):], v)
+	return buf
+}
+
+// Put writes key=value through the WAL (group commit) and memtable.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(keys.KindSet, key, value)
+}
+
+// Delete writes a tombstone.
+func (db *DB) Delete(key []byte) error {
+	return db.write(keys.KindDelete, key, nil)
+}
+
+func (db *DB) write(kind keys.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return fmt.Errorf("rocksish: closed")
+	}
+	// Write stall on L0 debt, RocksDB-style.
+	for db.lsm.Stalled() {
+		ch := db.lsm.StallChan()
+		select {
+		case <-ch:
+		case <-time.After(db.opts.BackgroundInterval):
+		}
+		if db.opts.DisableBackground {
+			// Nothing will unstall us; let the test driver compact.
+			break
+		}
+	}
+	seq := db.seq.Add(1)
+
+	// Hold the rotation lock across the append so a concurrent flush
+	// cannot retire (and delete) this WAL mid-write.
+	db.walMu.RLock()
+	err := db.memWAL.Append(encodeRecord(kind, seq, key, value))
+	db.walMu.RUnlock()
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	db.mem.Insert(keys.InternalKey{User: append([]byte(nil), key...), Seq: seq, Kind: kind},
+		append([]byte(nil), value...))
+	rotate := db.mem.ApproxBytes() >= db.opts.MemtableBytes
+	if rotate {
+		for db.imm != nil {
+			// Previous flush still running: wait (write stall).
+			done := db.flushed
+			db.mu.Unlock()
+			if db.opts.DisableBackground {
+				if err := db.FlushOnce(); err != nil {
+					return err
+				}
+			} else {
+				select {
+				case <-done:
+				case <-time.After(db.opts.BackgroundInterval):
+				}
+			}
+			db.mu.Lock()
+		}
+		db.imm = db.mem
+		db.mem = skiplist.New()
+		db.walGen++
+		nw, err := wal.Open(db.opts.walDevice(), fmt.Sprintf("rocksish-wal-%d", db.walGen))
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.walMu.Lock()
+		db.immWAL = db.memWAL
+		db.memWAL = nw
+		db.walMu.Unlock()
+		select {
+		case db.flushC <- struct{}{}:
+		default:
+		}
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// FlushOnce flushes the immutable memtable if present. Serialised by
+// flushMu so the background worker and Drain cannot double-flush.
+func (db *DB) FlushOnce() error {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	db.mu.Lock()
+	imm, immWAL := db.imm, db.immWAL
+	db.mu.Unlock()
+	if imm == nil {
+		return nil
+	}
+	var entries []leveled.Entry
+	it := imm.Iter()
+	for it.First(); it.Valid(); it.Next() {
+		entries = append(entries, leveled.Entry{Key: it.Key(), Value: it.Value()})
+	}
+	if err := db.lsm.Ingest(entries, device.Bg); err != nil {
+		return err
+	}
+	select {
+	case db.compactC <- struct{}{}:
+	default:
+	}
+	db.mu.Lock()
+	db.imm = nil
+	db.immWAL = nil
+	close(db.flushed)
+	db.flushed = make(chan struct{})
+	db.mu.Unlock()
+	if immWAL != nil {
+		db.opts.walDevice().Remove(immWAL.Name())
+	}
+	return nil
+}
+
+func (db *DB) flushWorker() {
+	defer db.wg.Done()
+	t := time.NewTicker(db.opts.BackgroundInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-db.flushC:
+		case <-t.C:
+		}
+		db.FlushOnce()
+	}
+}
+
+func (db *DB) compactionWorker() {
+	defer db.wg.Done()
+	t := time.NewTicker(db.opts.BackgroundInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-db.compactC:
+		case <-t.C:
+		}
+		for {
+			did, err := db.lsm.CompactOnce(device.Bg)
+			if err != nil || !did {
+				break
+			}
+			select {
+			case <-db.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, fmt.Errorf("rocksish: closed")
+	}
+	db.mu.Lock()
+	mem, imm := db.mem, db.imm
+	db.mu.Unlock()
+
+	if v, kind, ok := mem.Get(key, keys.MaxSeq); ok {
+		if kind == keys.KindDelete {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	if imm != nil {
+		if v, kind, ok := imm.Get(key, keys.MaxSeq); ok {
+			if kind == keys.KindDelete {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	v, kind, found, err := db.lsm.Get(key, keys.MaxSeq, device.Fg)
+	if err != nil {
+		return nil, err
+	}
+	if !found || kind == keys.KindDelete {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live keys >= start in order, merging memtables
+// with the LSM.
+func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
+	db.mu.Lock()
+	mem, imm := db.mem, db.imm
+	db.mu.Unlock()
+
+	lsmIt := db.lsm.NewScanIter(start, device.Fg)
+	defer lsmIt.Close()
+	memIt := mem.Iter()
+	memIt.SeekGE(keys.MakeSearchKey(start, keys.MaxSeq))
+	var immIt *skiplist.Iterator
+	if imm != nil {
+		immIt = imm.Iter()
+		immIt.SeekGE(keys.MakeSearchKey(start, keys.MaxSeq))
+	}
+
+	out := make([]KV, 0, limit)
+	for len(out) < limit {
+		// Find the smallest candidate user key across the three sources,
+		// preferring the newest version (mem > imm > lsm).
+		var bestKey []byte
+		pick := -1 // 0=mem 1=imm 2=lsm
+		if memIt.Valid() {
+			bestKey, pick = memIt.Key().User, 0
+		}
+		if immIt != nil && immIt.Valid() {
+			if pick < 0 || lessB(immIt.Key().User, bestKey) {
+				bestKey, pick = immIt.Key().User, 1
+			}
+		}
+		if lsmIt.Valid() {
+			if pick < 0 || lessB(lsmIt.Key(), bestKey) {
+				bestKey, pick = lsmIt.Key(), 2
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		key := append([]byte(nil), bestKey...)
+		var value []byte
+		tomb := false
+		switch pick {
+		case 0:
+			value = append([]byte(nil), memIt.Value()...)
+			tomb = memIt.Key().Kind == keys.KindDelete
+		case 1:
+			value = append([]byte(nil), immIt.Value()...)
+			tomb = immIt.Key().Kind == keys.KindDelete
+		case 2:
+			value = append([]byte(nil), lsmIt.Value()...)
+		}
+		// Advance every source past this user key.
+		for memIt.Valid() && equalB(memIt.Key().User, key) {
+			memIt.Next()
+		}
+		if immIt != nil {
+			for immIt.Valid() && equalB(immIt.Key().User, key) {
+				immIt.Next()
+			}
+		}
+		if lsmIt.Valid() && equalB(lsmIt.Key(), key) {
+			lsmIt.Next()
+		}
+		if !tomb {
+			out = append(out, KV{Key: key, Value: value})
+		}
+	}
+	return out, lsmIt.Err()
+}
+
+func lessB(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalB(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LSM exposes the underlying leveled tree for harness inspection.
+func (db *DB) LSM() *leveled.LSM { return db.lsm }
+
+// Drain flushes the memtable and compacts until quiescent (harness use).
+func (db *DB) Drain() error {
+	db.mu.Lock()
+	if db.imm == nil && db.mem.Len() > 0 {
+		db.imm = db.mem
+		db.mem = skiplist.New()
+		db.walGen++
+		nw, err := wal.Open(db.opts.walDevice(), fmt.Sprintf("rocksish-wal-%d", db.walGen))
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.walMu.Lock()
+		db.immWAL = db.memWAL
+		db.memWAL = nw
+		db.walMu.Unlock()
+	}
+	db.mu.Unlock()
+	if err := db.FlushOnce(); err != nil {
+		return err
+	}
+	for {
+		did, err := db.lsm.CompactOnce(device.Bg)
+		if err != nil {
+			return err
+		}
+		if did {
+			continue
+		}
+		if db.lsm.Quiesced() {
+			return nil
+		}
+		// A background thread holds the remaining work; yield and re-check.
+		time.Sleep(time.Millisecond)
+	}
+}

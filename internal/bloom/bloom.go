@@ -1,0 +1,171 @@
+// Package bloom implements the standard Bloom filters HyperDB uses in two
+// roles: per-block membership filters inside (semi-)SSTable metadata blocks,
+// and the access-window filters inside the cascading hotness discriminator
+// (§3.3). The discriminator needs to know when a filter window is "full",
+// so Filter tracks the number of inserts.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Filter is a standard Bloom filter with double hashing. Not safe for
+// concurrent use; callers shard or lock.
+type Filter struct {
+	bits     []uint64
+	nbits    uint64
+	hashes   uint32
+	inserted uint64
+	capacity uint64
+}
+
+// New creates a filter sized for n expected items at bitsPerKey bits each.
+// The paper uses 10 bits/key, keeping the false-positive rate under 1%.
+func New(n int, bitsPerKey int) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	nbits := uint64(n * bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	// k = ln2 * bits/key is the optimal hash count.
+	k := uint32(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{
+		bits:     make([]uint64, (nbits+63)/64),
+		nbits:    nbits,
+		hashes:   k,
+		capacity: uint64(n),
+	}
+}
+
+// hash64 is FNV-1a, giving the two halves used for double hashing.
+func hash64(key []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// Add inserts key. Returns true if any bit flipped 0→1, i.e. the key was
+// (probably) not present before — this is how the discriminator counts the
+// distinct insertions filling a window.
+func (f *Filter) Add(key []byte) bool {
+	h := hash64(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	changed := false
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := uint64(h1+i*h2) % f.nbits
+		word, bit := pos/64, uint64(1)<<(pos%64)
+		if f.bits[word]&bit == 0 {
+			f.bits[word] |= bit
+			changed = true
+		}
+	}
+	if changed {
+		f.inserted++
+	}
+	return changed
+}
+
+// Contains reports whether key is (probably) in the filter.
+func (f *Filter) Contains(key []byte) bool {
+	h := hash64(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := uint64(h1+i*h2) % f.nbits
+		if f.bits[pos/64]&(uint64(1)<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Inserted returns the number of Add calls that flipped at least one bit —
+// an (under-)estimate of distinct keys inserted.
+func (f *Filter) Inserted() uint64 { return f.inserted }
+
+// Capacity returns the design capacity n.
+func (f *Filter) Capacity() uint64 { return f.capacity }
+
+// Full reports whether the filter has absorbed its design capacity; the
+// hotness tracker seals a window filter when this trips.
+func (f *Filter) Full() bool { return f.inserted >= f.capacity }
+
+// FillRatio returns the fraction of set bits; useful to assert the FP rate
+// stayed in budget.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Reset clears all bits and the insert counter, reusing the allocation.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.inserted = 0
+}
+
+// Marshal serialises the filter: nbits, hashes, inserted, capacity, words.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 0, 32+len(f.bits)*8)
+	var tmp [8]byte
+	for _, v := range []uint64{f.nbits, uint64(f.hashes), f.inserted, f.capacity} {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	for _, w := range f.bits {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter serialised by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 32 || (len(data)-32)%8 != 0 {
+		return nil, fmt.Errorf("bloom: malformed filter of %d bytes", len(data))
+	}
+	f := &Filter{
+		nbits:    binary.LittleEndian.Uint64(data[0:]),
+		hashes:   uint32(binary.LittleEndian.Uint64(data[8:])),
+		inserted: binary.LittleEndian.Uint64(data[16:]),
+		capacity: binary.LittleEndian.Uint64(data[24:]),
+	}
+	words := (len(data) - 32) / 8
+	if uint64(words*64) < f.nbits {
+		return nil, fmt.Errorf("bloom: filter claims %d bits but carries %d", f.nbits, words*64)
+	}
+	f.bits = make([]uint64, words)
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[32+i*8:])
+	}
+	return f, nil
+}

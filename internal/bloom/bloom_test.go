@@ -1,0 +1,141 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	// The paper's configuration: 10 bits/key keeps FP under 1%.
+	f := New(10000, 10)
+	for i := 0; i < 10000; i++ {
+		f.Add([]byte(fmt.Sprintf("in-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.02 {
+		t.Fatalf("false positive rate %.4f exceeds 2%% (paper target <1%%)", rate)
+	}
+}
+
+func TestInsertedCountsDistinct(t *testing.T) {
+	f := New(100, 10)
+	f.Add([]byte("a"))
+	f.Add([]byte("a")) // duplicate: no bits flip
+	f.Add([]byte("b"))
+	if f.Inserted() != 2 {
+		t.Fatalf("inserted = %d, want 2", f.Inserted())
+	}
+}
+
+func TestFull(t *testing.T) {
+	f := New(10, 10)
+	for i := 0; !f.Full(); i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+		if i > 100 {
+			t.Fatal("filter never filled")
+		}
+	}
+	if f.Inserted() < 10 {
+		t.Fatalf("full at %d inserts, capacity 10", f.Inserted())
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	f := New(500, 10)
+	for i := 0; i < 300; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inserted() != f.Inserted() || g.Capacity() != f.Capacity() {
+		t.Fatal("metadata lost in roundtrip")
+	}
+	for i := 0; i < 300; i++ {
+		if !g.Contains([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("roundtrip lost key-%d", i)
+		}
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2}, make([]byte, 33)} {
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("expected error for %d bytes", len(data))
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(100, 10)
+	f.Add([]byte("x"))
+	f.Reset()
+	if f.Inserted() != 0 {
+		t.Fatal("reset did not clear inserted")
+	}
+	if f.FillRatio() != 0 {
+		t.Fatal("reset did not clear bits")
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(1000, 10)
+	prev := f.FillRatio()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 200; j++ {
+			b := make([]byte, 8)
+			rng.Read(b)
+			f.Add(b)
+		}
+		cur := f.FillRatio()
+		if cur <= prev {
+			t.Fatalf("fill ratio did not grow: %f -> %f", prev, cur)
+		}
+		prev = cur
+	}
+	if prev > 0.6 {
+		t.Fatalf("fill ratio %f too high for capacity inserts", prev)
+	}
+}
+
+func TestQuickAddedAlwaysContained(t *testing.T) {
+	f := New(4096, 10)
+	prop := func(key []byte) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyAndDegenerateSizes(t *testing.T) {
+	f := New(0, 0) // clamped to minimums
+	f.Add([]byte("k"))
+	if !f.Contains([]byte("k")) {
+		t.Fatal("degenerate filter lost its key")
+	}
+}

@@ -1,0 +1,220 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 1000; i++ {
+		m.Set([]byte(fmt.Sprintf("%04d", i)), i)
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := m.Get([]byte(fmt.Sprintf("%04d", i)))
+		if !ok || v != i {
+			t.Fatalf("get %d = %d %v", i, v, ok)
+		}
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !m.Delete([]byte(fmt.Sprintf("%04d", i))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if m.Len() != 500 {
+		t.Fatalf("len after deletes = %d", m.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := m.Get([]byte(fmt.Sprintf("%04d", i)))
+		if ok != (i%2 == 1) {
+			t.Fatalf("key %d presence = %v", i, ok)
+		}
+	}
+	if m.Delete([]byte("0000")) {
+		t.Fatal("double delete returned true")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New[string]()
+	m.Set([]byte("k"), "v1")
+	m.Set([]byte("k"), "v2")
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, _ := m.Get([]byte("k")); v != "v2" {
+		t.Fatalf("v = %s", v)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Set([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	var got []int
+	m.Ascend([]byte("010"), []byte("020"), func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("got %v", got)
+	}
+	// Early stop.
+	got = nil
+	m.Ascend(nil, nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return len(got) < 5
+	})
+	if len(got) != 5 {
+		t.Fatalf("early stop got %d", len(got))
+	}
+	// Unbounded walks all, in order.
+	got = nil
+	m.Ascend(nil, nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 || !sort.IntsAreSorted(got) {
+		t.Fatalf("full ascend = %d entries sorted=%v", len(got), sort.IntsAreSorted(got))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := New[int]()
+	if m.Min() != nil || m.Max() != nil {
+		t.Fatal("empty tree min/max should be nil")
+	}
+	for _, k := range []string{"m", "c", "z", "a", "q"} {
+		m.Set([]byte(k), 0)
+	}
+	if string(m.Min()) != "a" || string(m.Max()) != "z" {
+		t.Fatalf("min=%q max=%q", m.Min(), m.Max())
+	}
+}
+
+// TestAgainstReferenceModel drives random operations against map+sort.
+func TestAgainstReferenceModel(t *testing.T) {
+	m := New[uint64]()
+	ref := map[string]uint64{}
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 200000; op++ {
+		k := fmt.Sprintf("%05d", rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			m.Set([]byte(k), v)
+			ref[k] = v
+		case 2:
+			got := m.Delete([]byte(k))
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%s) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if op%10000 == 0 {
+			if m.Len() != len(ref) {
+				t.Fatalf("op %d: len %d != ref %d", op, m.Len(), len(ref))
+			}
+		}
+	}
+	// Final full comparison including iteration order.
+	var refKeys []string
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	m.Ascend(nil, nil, func(k []byte, v uint64) bool {
+		if string(k) != refKeys[i] {
+			t.Fatalf("iter %d: %q != %q", i, k, refKeys[i])
+		}
+		if v != ref[refKeys[i]] {
+			t.Fatalf("iter %d: value mismatch", i)
+		}
+		i++
+		return true
+	})
+	if i != len(refKeys) {
+		t.Fatalf("iterated %d, want %d", i, len(refKeys))
+	}
+}
+
+func TestQuickSetThenGet(t *testing.T) {
+	m := New[int]()
+	i := 0
+	prop := func(key []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		i++
+		m.Set(append([]byte(nil), key...), i)
+		v, ok := m.Get(key)
+		return ok && v == i
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialAndReverse(t *testing.T) {
+	// Sequential insert then reverse delete stresses rebalancing.
+	m := New[int]()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		m.Set(keyOf(i), i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !m.Delete(keyOf(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func keyOf(i int) []byte {
+	b := make([]byte, 8)
+	for j := 7; j >= 0; j-- {
+		b[j] = byte(i)
+		i >>= 8
+	}
+	return b
+}
+
+func BenchmarkBTreeSet(b *testing.B) {
+	m := New[int]()
+	for i := 0; i < b.N; i++ {
+		m.Set(keyOf(i), i)
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	m := New[int]()
+	for i := 0; i < 100000; i++ {
+		m.Set(keyOf(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keyOf(i % 100000))
+	}
+}
+
+func TestBytesKeysNotAliased(t *testing.T) {
+	m := New[int]()
+	k := []byte("mutable")
+	m.Set(bytes.Clone(k), 1)
+	k[0] = 'X'
+	if _, ok := m.Get([]byte("mutable")); !ok {
+		t.Fatal("stored key should be intact")
+	}
+}

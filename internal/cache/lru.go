@@ -1,0 +1,168 @@
+// Package cache provides the DRAM caches from the paper's setup: a sharded,
+// byte-budgeted LRU used at page granularity in front of both devices
+// (64 MiB shared in the paper's experiments), and an object cache that
+// staging-buffers promoted objects before they flush to the hot zone.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"hyperdb/internal/stats"
+)
+
+// entry is one cached item.
+type entry struct {
+	key    string
+	value  []byte
+	charge int64
+}
+
+// shard is an independently locked LRU.
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recent
+	items    map[string]*list.Element
+	onEvict  func(key string, value []byte)
+}
+
+// LRU is a sharded least-recently-used byte cache.
+type LRU struct {
+	shards []shard
+	hits   stats.Counter
+	misses stats.Counter
+}
+
+const nShards = 16
+
+// NewLRU creates a cache with the given total byte capacity. onEvict, if
+// non-nil, runs outside the shard lock for every evicted entry.
+func NewLRU(capacity int64, onEvict func(key string, value []byte)) *LRU {
+	c := &LRU{shards: make([]shard, nShards)}
+	per := capacity / nShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			capacity: per,
+			order:    list.New(),
+			items:    make(map[string]*list.Element),
+			onEvict:  onEvict,
+		}
+	}
+	return c
+}
+
+func (c *LRU) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%nShards]
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	v := el.Value.(*entry).value
+	s.mu.Unlock()
+	c.hits.Inc()
+	return v, true
+}
+
+// Put inserts or refreshes key with the given value. Values larger than a
+// shard are rejected silently (they would evict everything for one item).
+func (c *LRU) Put(key string, value []byte) {
+	s := c.shardFor(key)
+	charge := int64(len(key) + len(value) + 64)
+	if charge > s.capacity {
+		return
+	}
+	var evicted []entry
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.used += charge - e.charge
+		e.value, e.charge = value, charge
+		s.order.MoveToFront(el)
+	} else {
+		s.items[key] = s.order.PushFront(&entry{key: key, value: value, charge: charge})
+		s.used += charge
+	}
+	for s.used > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.order.Remove(back)
+		delete(s.items, e.key)
+		s.used -= e.charge
+		evicted = append(evicted, *e)
+	}
+	s.mu.Unlock()
+	if s.onEvict != nil {
+		for _, e := range evicted {
+			s.onEvict(e.key, e.value)
+		}
+	}
+}
+
+// Delete removes key if present.
+func (c *LRU) Delete(key string) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.order.Remove(el)
+		delete(s.items, key)
+		s.used -= e.charge
+	}
+}
+
+// Used returns the bytes currently cached.
+func (c *LRU) Used() int64 {
+	var total int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += c.shards[i].used
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	var total int
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += c.shards[i].order.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// HitRate returns hits/(hits+misses) since creation, or 0 when unused.
+func (c *LRU) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Stats returns raw hit/miss counts.
+func (c *LRU) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }

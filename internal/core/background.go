@@ -1,0 +1,183 @@
+package core
+
+import (
+	"time"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/semisst"
+	"hyperdb/internal/zone"
+)
+
+// migrationWorker is a partition's background demotion/promotion thread
+// (§3.5): it demotes the best-scoring zone while the performance tier sits
+// above its high watermark, drains pending promotions, and evicts the hot
+// zone when it outgrows its budget.
+func (db *DB) migrationWorker(p *partition) {
+	defer db.wg.Done()
+	t := time.NewTicker(db.opts.BackgroundInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-p.wakeMig:
+		case <-t.C:
+		}
+		if err := db.MigrationStep(p.id); err != nil {
+			// Background errors are recorded, not fatal: the next pass
+			// retries. ErrNoSpace on SATA would be terminal but the
+			// capacity tier is sized for the workload.
+			continue
+		}
+	}
+}
+
+// compactionWorker is a partition's background compaction thread: one
+// preemptive block compaction (or pending full compaction) per pass.
+func (db *DB) compactionWorker(p *partition) {
+	defer db.wg.Done()
+	t := time.NewTicker(db.opts.BackgroundInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-p.wakeComp:
+		case <-t.C:
+		}
+		for {
+			did, err := p.tree.MaybeCompact(device.Bg)
+			if err != nil || !did {
+				break
+			}
+			select {
+			case <-db.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// MigrationStep runs one bounded pass of the §3.5 migration logic for
+// partition pid: promotions first (they free the queue), then demotions
+// until the device falls below the low watermark, then hot-zone eviction.
+// Exposed so tests and benchmarks can drive migration deterministically
+// when background workers are disabled.
+func (db *DB) MigrationStep(pid int) error {
+	p := db.parts[pid]
+
+	// Drain the promotion queue (the in-memory object cache flush).
+	for {
+		select {
+		case pr := <-p.promoCh:
+			if err := p.zones.Promote(pr.key, pr.value, pr.seq); err != nil {
+				return err
+			}
+			continue
+		default:
+		}
+		break
+	}
+
+	// Rebuild one oversized zone per pass (§3.2's periodic zone rebuild),
+	// so bootstrap-era zones shrink to the current width estimate before
+	// they are ever demoted wholesale. A split transiently doubles the
+	// zone's footprint; when the device cannot absorb that, leave the zone
+	// alone — an oversized zone under a skewed workload is usually the
+	// *hottest* range, and demoting it here would evict exactly the data
+	// the tier exists to serve. The watermark demotion below still reclaims
+	// space by score when pressure is real.
+	if z, zBytes := p.zones.PickOversizedZone(); z != nil {
+		free := db.opts.NVMe.Capacity() - db.opts.NVMe.Used()
+		if free > 2*zBytes {
+			if _, err := p.zones.SplitZone(z); err != nil {
+				return err
+			}
+		}
+	}
+
+	// When the tier crosses its high watermark, demote zones (one migration
+	// batch of adjacent keys each) until usage falls below the low
+	// watermark (§3.5).
+	if db.opts.NVMe.UsedFraction() >= db.opts.HighWatermark {
+		for db.opts.NVMe.UsedFraction() >= db.opts.LowWatermark {
+			z := p.zones.PickDemotionVictim()
+			if z == nil {
+				break
+			}
+			if err := db.demoteZone(p, z); err != nil {
+				return err
+			}
+		}
+	}
+
+	if p.zones.HotZoneOver() {
+		if err := p.zones.EvictHotZone(p.tracker.IsHot); err != nil {
+			return err
+		}
+	}
+	db.wake(p.wakeComp)
+	return nil
+}
+
+// demoteZone migrates one zone into the capacity tier's L1. A nil batch
+// means a racing migration already took the zone.
+func (db *DB) demoteZone(p *partition, z *zone.Zone) error {
+	batch, err := p.zones.PrepareMigration(z)
+	if err != nil || batch == nil {
+		return err
+	}
+	entries := make([]semisst.Entry, 0, len(batch.Entries))
+	for _, e := range batch.Entries {
+		kind := kindOf(e.Tombstone)
+		entries = append(entries, semisst.Entry{
+			Key:   newInternalKey(e.Key, e.Seq, kind),
+			Value: e.Value,
+		})
+	}
+	if err := p.tree.MergeBatch(entries, device.Bg); err != nil {
+		p.zones.AbortMigration(batch)
+		return err
+	}
+	p.zones.CommitMigration(batch)
+	return nil
+}
+
+// CompactionStep runs at most one compaction for partition pid, reporting
+// whether any work was done. For deterministic test/benchmark driving.
+func (db *DB) CompactionStep(pid int) (bool, error) {
+	return db.parts[pid].tree.MaybeCompact(device.Bg)
+}
+
+// DrainBackground runs migration and compaction across all partitions until
+// the system is quiescent: NVMe below the low watermark (or nothing left to
+// demote) and no compaction debt. Benchmarks call this to flush background
+// work out of measurement windows.
+func (db *DB) DrainBackground() error {
+	for {
+		work := false
+		for _, p := range db.parts {
+			before := p.zones.Stats().Migrations
+			if err := db.MigrationStep(p.id); err != nil {
+				return err
+			}
+			if p.zones.Stats().Migrations != before {
+				work = true
+			}
+			for {
+				did, err := p.tree.MaybeCompact(device.Bg)
+				if err != nil {
+					return err
+				}
+				if !did {
+					break
+				}
+				work = true
+			}
+		}
+		if !work {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/hotness"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/lsm"
+	"hyperdb/internal/zone"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("hyperdb: closed")
+
+// ErrNotFound is returned by Get for missing or deleted keys.
+var ErrNotFound = errors.New("hyperdb: not found")
+
+// promotion is one pending hot-object copy into the performance tier.
+type promotion struct {
+	key   []byte
+	value []byte
+	seq   uint64
+}
+
+// partition is one shared-nothing slice of the key space (§3.1): its own
+// zone group, LSM tree, tracker and background workers.
+type partition struct {
+	id      int
+	keyLo   uint64
+	keyHi   uint64
+	zones   *zone.Manager
+	tree    *lsm.Tree
+	tracker *hotness.Tracker
+
+	promoCh   chan promotion
+	wakeMig   chan struct{}
+	wakeComp  chan struct{}
+	promoDrop atomic.Uint64
+}
+
+// DB is the HyperDB engine.
+type DB struct {
+	opts  Options
+	cache *cache.LRU
+	parts []*partition
+	seq   atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	stop   chan struct{}
+}
+
+// Open assembles a DB over the two devices.
+func Open(opts Options) (*DB, error) {
+	if opts.NVMe == nil || opts.SATA == nil {
+		return nil, fmt.Errorf("hyperdb: both NVMe and SATA devices are required")
+	}
+	opts.fill()
+	db := &DB{
+		opts:  opts,
+		cache: cache.NewLRU(opts.CacheBytes, nil),
+		stop:  make(chan struct{}),
+	}
+
+	p := uint64(opts.Partitions)
+	width := math.MaxUint64/p + 1
+	var metaDev *device.Device
+	if opts.MirrorIndexToNVMe {
+		metaDev = opts.NVMe
+	}
+	hotCap := int64(float64(opts.NVMe.Capacity()) / float64(p) * opts.HotZoneFraction)
+	for i := 0; i < opts.Partitions; i++ {
+		lo := uint64(i) * width
+		hi := lo + width
+		if i == opts.Partitions-1 {
+			hi = math.MaxUint64
+		}
+		zm, err := zone.NewManager(zone.Config{
+			Dev:         opts.NVMe,
+			Partition:   i,
+			BatchSize:   opts.MigrationBatch,
+			HotCapacity: hotCap,
+			PageCache:   db.cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tree := lsm.New(lsm.Options{
+			Dev:           opts.SATA,
+			Partition:     i,
+			KeyLo:         lo,
+			KeyHi:         hi,
+			Ratio:         opts.Ratio,
+			L1Segments:    opts.L1Segments,
+			FileSize:      opts.MigrationBatch, // §3.6: zone size == semi-SST size
+			MaxLevels:     opts.MaxLevels,
+			Depth:         opts.CompactionDepth,
+			TClean:        opts.TClean,
+			SpaceAmpLimit: opts.SpaceAmpLimit,
+			PowerK:        opts.PowerK,
+			PageCache:     db.cache,
+			MetaBackup:    metaDev,
+			Seed:          uint64(i + 1),
+		})
+		part := &partition{
+			id:       i,
+			keyLo:    lo,
+			keyHi:    hi,
+			zones:    zm,
+			tree:     tree,
+			tracker:  hotness.NewTracker(opts.Tracker),
+			promoCh:  make(chan promotion, opts.PromoteQueue),
+			wakeMig:  make(chan struct{}, 1),
+			wakeComp: make(chan struct{}, 1),
+		}
+		db.parts = append(db.parts, part)
+	}
+	if !opts.DisableBackground {
+		for _, part := range db.parts {
+			db.wg.Add(2)
+			go db.migrationWorker(part)
+			go db.compactionWorker(part)
+		}
+	}
+	return db, nil
+}
+
+// Close stops the background workers and waits for them.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	close(db.stop)
+	db.wg.Wait()
+	return nil
+}
+
+// partFor routes a key to its partition by key-range.
+func (db *DB) partFor(key []byte) *partition {
+	p := uint64(len(db.parts))
+	width := math.MaxUint64/p + 1
+	i := zone.Key64(key) / width
+	if i >= p {
+		i = p - 1
+	}
+	return db.parts[i]
+}
+
+// nextSeq issues a globally unique, monotonically increasing sequence.
+func (db *DB) nextSeq() uint64 { return db.seq.Add(1) }
+
+// Put writes key=value. The write is durable in the performance tier when
+// Put returns (in-place slot write, no WAL — §3.6).
+func (db *DB) Put(key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("hyperdb: empty key")
+	}
+	p := db.partFor(key)
+	hot := p.tracker.Record(key)
+	err := p.zones.Put(key, value, db.nextSeq(), hot, false)
+	if errors.Is(err, device.ErrNoSpace) {
+		// Background demotion lagged behind the write rate: migrate
+		// synchronously (the write-stall analogue) and retry.
+		err = db.putStalled(p, func() error {
+			return p.zones.Put(key, value, db.nextSeq(), hot, false)
+		})
+	}
+	if err != nil {
+		return err
+	}
+	db.maybeTriggerMigration(p)
+	return nil
+}
+
+// putStalled demotes zones synchronously until the write succeeds. The
+// device is shared, so when the writer's own partition has nothing left to
+// demote, the best-scoring zone of any partition is demoted instead; hot
+// zones are evicted as a last resort.
+func (db *DB) putStalled(p *partition, retry func() error) error {
+	for attempt := 0; attempt < 256; attempt++ {
+		vp, z := p, p.zones.PickDemotionVictim()
+		if z == nil {
+			var best float64
+			for _, cand := range db.parts {
+				if cz := cand.zones.PickDemotionVictim(); cz != nil && (z == nil || cz.Score() > best) {
+					vp, z, best = cand, cz, cz.Score()
+				}
+			}
+		}
+		if z == nil {
+			// No key-range zones anywhere: evict the largest hot zone.
+			var hp *partition
+			for _, cand := range db.parts {
+				if hp == nil || cand.zones.HotZoneBytes() > hp.zones.HotZoneBytes() {
+					hp = cand
+				}
+			}
+			if hp == nil || hp.zones.HotZoneBytes() == 0 {
+				break
+			}
+			if err := hp.zones.EvictHotZone(hp.tracker.IsHot); err != nil {
+				return err
+			}
+		} else if err := db.demoteZone(vp, z); err != nil {
+			if errors.Is(err, device.ErrNoSpace) {
+				continue // another stalled writer freed/consumed space; retry
+			}
+			return err
+		}
+		err := retry()
+		if err == nil || !errors.Is(err, device.ErrNoSpace) {
+			return err
+		}
+	}
+	return retry()
+}
+
+// Delete removes key by writing a tombstone that later migrates down.
+func (db *DB) Delete(key []byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	p := db.partFor(key)
+	p.tracker.Record(key)
+	err := p.zones.Delete(key, db.nextSeq())
+	if errors.Is(err, device.ErrNoSpace) {
+		err = db.putStalled(p, func() error {
+			return p.zones.Delete(key, db.nextSeq())
+		})
+	}
+	if err != nil {
+		return err
+	}
+	db.maybeTriggerMigration(p)
+	return nil
+}
+
+// Get returns the value for key, or ErrNotFound. Hot objects found in the
+// capacity tier are queued for promotion into the hot zone (§3.5).
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	p := db.partFor(key)
+	hot := p.tracker.Record(key)
+
+	v, _, tomb, found, err := p.zones.Get(key, device.Fg)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if tomb {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+
+	v, kind, found, err := p.tree.Get(key, keys.MaxSeq, device.Fg)
+	if err != nil {
+		return nil, err
+	}
+	if !found || kind == keys.KindDelete {
+		return nil, ErrNotFound
+	}
+	if hot {
+		db.enqueuePromotion(p, key, v)
+	}
+	return v, nil
+}
+
+// enqueuePromotion hands a hot capacity-tier object to the partition's
+// object cache for asynchronous promotion. Best-effort: overflow drops.
+func (db *DB) enqueuePromotion(p *partition, key, value []byte) {
+	pr := promotion{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		seq:   db.nextSeq(),
+	}
+	select {
+	case p.promoCh <- pr:
+		db.wake(p.wakeMig)
+	default:
+		p.promoDrop.Add(1)
+	}
+}
+
+func (db *DB) wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// maybeTriggerMigration wakes the partition's migration worker when the
+// performance tier crosses its high watermark.
+func (db *DB) maybeTriggerMigration(p *partition) {
+	if db.opts.NVMe.UsedFraction() >= db.opts.HighWatermark || p.zones.HotZoneOver() {
+		db.wake(p.wakeMig)
+	}
+}
+
+// Partitions returns the partition count (for harness introspection).
+func (db *DB) Partitions() int { return len(db.parts) }
+
+// Options returns the resolved configuration.
+func (db *DB) Options() Options { return db.opts }

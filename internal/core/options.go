@@ -1,0 +1,146 @@
+// Package core implements the HyperDB engine (§3): a shared-nothing array
+// of partitions, each owning a zone group on the performance tier, a
+// semi-SSTable LSM on the capacity tier, a cascading-discriminator hotness
+// tracker, and background migration/compaction workers. Writes land
+// directly in NVMe zone slots (durable in-place, KVell-style — no WAL);
+// reads fall from the DRAM page cache through the zone index to the
+// capacity tier, promoting hot objects back up.
+package core
+
+import (
+	"math"
+	"time"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/hotness"
+)
+
+// Options configures a DB.
+type Options struct {
+	// NVMe is the performance-tier device (required).
+	NVMe *device.Device
+	// SATA is the capacity-tier device (required).
+	SATA *device.Device
+	// Partitions is the shared-nothing partition count (paper: 8).
+	Partitions int
+	// CacheBytes is the shared DRAM page cache (paper: 64 MiB).
+	CacheBytes int64
+	// MigrationBatch is B: zone capacity == semi-SSTable file size (§3.6).
+	MigrationBatch int64
+	// HighWatermark starts demotion when NVMe usage crosses it.
+	HighWatermark float64
+	// LowWatermark stops demotion once NVMe usage falls below it.
+	LowWatermark float64
+	// HotZoneFraction is the share of a partition's NVMe budget the hot
+	// zone may hold before eviction.
+	HotZoneFraction float64
+	// Tracker configures the per-partition cascading discriminator;
+	// WindowCapacity 0 derives it from the NVMe object budget (§3.3).
+	Tracker hotness.Config
+	// Ratio is the LSM size ratio T (paper: 10).
+	Ratio int
+	// L1Segments is the file count at L1 per partition.
+	L1Segments int
+	// MaxLevels bounds LSM depth.
+	MaxLevels int
+	// CompactionDepth is k, the preemptive chase depth.
+	CompactionDepth int
+	// TClean is the full-compaction dirty threshold (paper: 0.5).
+	TClean float64
+	// SpaceAmpLimit flips victim selection to dirtiest-first (paper: 1.5).
+	SpaceAmpLimit float64
+	// PowerK is the victim sampling width (paper: 8).
+	PowerK int
+	// MirrorIndexToNVMe keeps semi-SSTable index backups on the
+	// performance tier (§3.1). On by default via Open.
+	MirrorIndexToNVMe bool
+	// DisableBackground turns off the per-partition workers; tests and
+	// benchmarks then drive migration/compaction explicitly.
+	DisableBackground bool
+	// BackgroundInterval is the idle poll period of the workers.
+	BackgroundInterval time.Duration
+	// PromoteQueue bounds pending promotions per partition (the in-memory
+	// object cache of §3.5); overflow drops promotions best-effort.
+	PromoteQueue int
+	// AvgObjectSize seeds the tracker window estimate before data arrives.
+	AvgObjectSize int
+	// ScanPrefetch enables the range-scan page prefetcher — the
+	// optimisation §4.2 leaves as future work. Off by default so YCSB-E
+	// reproduces the paper's "no improvement" result; the ablation measures
+	// what it buys.
+	ScanPrefetch bool
+}
+
+func (o *Options) fill() {
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.MigrationBatch <= 0 {
+		o.MigrationBatch = 2 << 20
+	}
+	if o.HighWatermark <= 0 || o.HighWatermark > 1 {
+		o.HighWatermark = 0.85
+	}
+	if o.LowWatermark <= 0 || o.LowWatermark >= o.HighWatermark {
+		o.LowWatermark = o.HighWatermark - 0.15
+		if o.LowWatermark <= 0 {
+			o.LowWatermark = o.HighWatermark / 2
+		}
+	}
+	if o.HotZoneFraction <= 0 || o.HotZoneFraction >= 1 {
+		o.HotZoneFraction = 0.25
+	}
+	if o.Ratio <= 1 {
+		o.Ratio = 10
+	}
+	if o.L1Segments <= 0 {
+		o.L1Segments = 2
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 4
+	}
+	if o.CompactionDepth <= 0 {
+		o.CompactionDepth = 2
+	}
+	if o.TClean <= 0 {
+		o.TClean = 0.5
+	}
+	if o.SpaceAmpLimit <= 0 {
+		o.SpaceAmpLimit = 1.5
+	}
+	if o.PowerK <= 0 {
+		o.PowerK = 8
+	}
+	if o.BackgroundInterval <= 0 {
+		o.BackgroundInterval = 2 * time.Millisecond
+	}
+	if o.PromoteQueue <= 0 {
+		o.PromoteQueue = 1024
+	}
+	if o.AvgObjectSize <= 0 {
+		o.AvgObjectSize = 160
+	}
+	if o.Tracker.WindowCapacity <= 0 {
+		// §3.6 sizes the filters from "the estimated number of objects that
+		// the partition can store"; with up to MaxFilters sealed windows in
+		// the cascade, each window takes an equal share, so the cascade
+		// collectively spans the partition's object budget and windows turn
+		// over fast enough for hot classification to engage.
+		o.Tracker.Fill()
+		perPart := int64(1 << 24)
+		if o.NVMe != nil && o.NVMe.Capacity() > 0 {
+			perPart = o.NVMe.Capacity() / int64(o.Partitions)
+		}
+		w := perPart / int64(o.AvgObjectSize) / int64(o.Tracker.MaxFilters)
+		if w < 512 {
+			w = 512
+		}
+		if w > math.MaxInt32 {
+			w = math.MaxInt32
+		}
+		o.Tracker.WindowCapacity = int(w)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/hotness"
+	"hyperdb/internal/lsm"
+	"hyperdb/internal/zone"
+)
+
+// Recover reassembles a DB from devices carrying a previous instance's
+// persistent state (after a crash or clean Close). The performance tier
+// recovers KVell-style by scanning slot files and keeping the newest
+// checksummed version per key; the capacity tier reopens its self-describing
+// semi-SSTables. The hotness trackers restart cold — access history is
+// ephemeral by design (§3.3), so objects re-earn hot status.
+func Recover(opts Options) (*DB, error) {
+	if opts.NVMe == nil || opts.SATA == nil {
+		return nil, fmt.Errorf("hyperdb: both NVMe and SATA devices are required")
+	}
+	opts.fill()
+	db := &DB{
+		opts:  opts,
+		cache: cache.NewLRU(opts.CacheBytes, nil),
+		stop:  make(chan struct{}),
+	}
+
+	p := uint64(opts.Partitions)
+	width := math.MaxUint64/p + 1
+	var metaDev *device.Device
+	if opts.MirrorIndexToNVMe {
+		metaDev = opts.NVMe
+	}
+	hotCap := int64(float64(opts.NVMe.Capacity()) / float64(p) * opts.HotZoneFraction)
+	var maxSeq uint64
+	for i := 0; i < opts.Partitions; i++ {
+		lo := uint64(i) * width
+		hi := lo + width
+		if i == opts.Partitions-1 {
+			hi = math.MaxUint64
+		}
+		zm, zseq, err := zone.Recover(zone.Config{
+			Dev:         opts.NVMe,
+			Partition:   i,
+			BatchSize:   opts.MigrationBatch,
+			HotCapacity: hotCap,
+			PageCache:   db.cache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hyperdb: recover partition %d zones: %w", i, err)
+		}
+		tree, tseq, err := lsm.Recover(lsm.Options{
+			Dev:           opts.SATA,
+			Partition:     i,
+			KeyLo:         lo,
+			KeyHi:         hi,
+			Ratio:         opts.Ratio,
+			L1Segments:    opts.L1Segments,
+			FileSize:      opts.MigrationBatch,
+			MaxLevels:     opts.MaxLevels,
+			Depth:         opts.CompactionDepth,
+			TClean:        opts.TClean,
+			SpaceAmpLimit: opts.SpaceAmpLimit,
+			PowerK:        opts.PowerK,
+			PageCache:     db.cache,
+			MetaBackup:    metaDev,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hyperdb: recover partition %d tree: %w", i, err)
+		}
+		if zseq > maxSeq {
+			maxSeq = zseq
+		}
+		if tseq > maxSeq {
+			maxSeq = tseq
+		}
+		part := &partition{
+			id: i, keyLo: lo, keyHi: hi,
+			zones:    zm,
+			tree:     tree,
+			tracker:  hotness.NewTracker(opts.Tracker),
+			promoCh:  make(chan promotion, opts.PromoteQueue),
+			wakeMig:  make(chan struct{}, 1),
+			wakeComp: make(chan struct{}, 1),
+		}
+		db.parts = append(db.parts, part)
+	}
+	db.seq.Store(maxSeq)
+	if !opts.DisableBackground {
+		for _, part := range db.parts {
+			db.wg.Add(2)
+			go db.migrationWorker(part)
+			go db.compactionWorker(part)
+		}
+	}
+	return db, nil
+}

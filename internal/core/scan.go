@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/zone"
+)
+
+// kindOf maps a tombstone flag to the internal-key kind.
+func kindOf(tombstone bool) keys.Kind {
+	if tombstone {
+		return keys.KindDelete
+	}
+	return keys.KindSet
+}
+
+// newInternalKey builds an internal key that owns its user-key bytes.
+func newInternalKey(user []byte, seq uint64, kind keys.Kind) keys.InternalKey {
+	return keys.InternalKey{User: append([]byte(nil), user...), Seq: seq, Kind: kind}
+}
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live key-value pairs with key >= start, in key
+// order, merging the performance and capacity tiers. Per §4.2 the zone tier
+// is consulted by sequential point lookups over its ordered index while the
+// LSM side streams blocks.
+func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if limit <= 0 {
+		return nil, nil
+	}
+	out := make([]KV, 0, limit)
+	// Partitions are key-ranged, so visiting them in order preserves the
+	// global order.
+	startPart := db.partFor(start)
+	for pi := startPart.id; pi < len(db.parts) && len(out) < limit; pi++ {
+		p := db.parts[pi]
+		lo := start
+		if pi != startPart.id {
+			lo = nil
+		}
+		kvs, err := db.scanPartition(p, lo, limit-len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kvs...)
+	}
+	return out, nil
+}
+
+// scanPartition merges one partition's two tiers from lo upward.
+func (db *DB) scanPartition(p *partition, lo []byte, limit int) ([]KV, error) {
+	// Snapshot the zone tier's index entries in range. Values are read
+	// afterwards (sequential point queries).
+	type zref struct {
+		key []byte
+		loc zone.Location
+	}
+	var zrefs []zref
+	zi := 0
+	chunk := limit * 4 // headroom for tombstones shadowing LSM keys
+	if chunk < 64 {
+		chunk = 64
+	}
+	exhausted := false
+	fill := func(from []byte) {
+		zrefs = zrefs[:0]
+		zi = 0
+		n := 0
+		p.zones.Scan(from, nil, func(k []byte, loc zone.Location) bool {
+			n++
+			zrefs = append(zrefs, zref{key: append([]byte(nil), k...), loc: loc})
+			return n < chunk
+		})
+		exhausted = n < chunk
+	}
+	fill(lo)
+
+	ti := p.tree.NewScanIter(lo, device.Fg)
+	defer ti.Close()
+	var prefetch *zone.ScanReader
+	if db.opts.ScanPrefetch {
+		prefetch = p.zones.NewScanReader()
+	}
+	readZone := func(key []byte, loc zone.Location) ([]byte, error) {
+		if prefetch != nil {
+			return prefetch.Read(key, loc, device.Fg)
+		}
+		return p.zones.ReadAt(key, loc, device.Fg)
+	}
+	out := make([]KV, 0, limit)
+	for len(out) < limit {
+		if zi >= len(zrefs) && !exhausted {
+			// Refill the zone cursor past the last consumed key.
+			fill(keys.Successor(zrefs[len(zrefs)-1].key))
+		}
+		var zk []byte
+		if zi < len(zrefs) {
+			zk = zrefs[zi].key
+		}
+		tValid := ti.Valid()
+		if zk == nil && !tValid {
+			break
+		}
+		switch {
+		case zk != nil && (!tValid || bytes.Compare(zk, ti.Key()) < 0):
+			// Zone-tier key only.
+			if !zrefs[zi].loc.Tombstone {
+				v, err := readZone(zk, zrefs[zi].loc)
+				if err == nil {
+					out = append(out, KV{Key: zk, Value: v})
+				}
+				// A racing migration moved the object; the LSM iterator
+				// was opened before, so skip rather than double-count.
+			}
+			zi++
+		case zk != nil && bytes.Equal(zk, ti.Key()):
+			// Both tiers: the zone tier is authoritative (newest or an
+			// authoritative tombstone).
+			if !zrefs[zi].loc.Tombstone {
+				v, err := readZone(zk, zrefs[zi].loc)
+				if err == nil {
+					out = append(out, KV{Key: zk, Value: v})
+				}
+			}
+			zi++
+			ti.Next()
+		default:
+			out = append(out, KV{
+				Key:   append([]byte(nil), ti.Key()...),
+				Value: append([]byte(nil), ti.Value()...),
+			})
+			ti.Next()
+		}
+	}
+	if err := ti.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperdb/internal/stats"
+	"hyperdb/internal/zone"
+)
+
+// LevelStats describes one LSM level aggregated across partitions.
+type LevelStats struct {
+	Level        int
+	Tables       int
+	LiveBytes    int64
+	FileBytes    int64
+	CompactReads uint64
+	CompactWrite uint64
+	Compactions  uint64
+	FullRewrites uint64
+}
+
+// Stats is a point-in-time view of the engine for the experiment harness.
+type Stats struct {
+	// Device accounting.
+	NVMe stats.Snapshot
+	SATA stats.Snapshot
+	// Capacity usage.
+	NVMeUsed     int64
+	NVMeCapacity int64
+	SATAUsed     int64
+	// Zone tier aggregates.
+	Zone zone.Stats
+	// Per-level LSM aggregates (index 0 = L1).
+	Levels []LevelStats
+	// DRAM cache.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Promotions dropped on queue overflow.
+	PromotionsDropped uint64
+	// SpaceAmp is file bytes over live bytes in the capacity tier.
+	SpaceAmp float64
+}
+
+// Stats snapshots the engine.
+func (db *DB) Stats() Stats {
+	s := Stats{
+		NVMe:         db.opts.NVMe.Counters().Snapshot(),
+		SATA:         db.opts.SATA.Counters().Snapshot(),
+		NVMeUsed:     db.opts.NVMe.Used(),
+		NVMeCapacity: db.opts.NVMe.Capacity(),
+		SATAUsed:     db.opts.SATA.Used(),
+	}
+	s.CacheHits, s.CacheMisses = db.cache.Stats()
+
+	maxLevels := db.opts.MaxLevels
+	s.Levels = make([]LevelStats, maxLevels)
+	var live, file int64
+	for _, p := range db.parts {
+		zs := p.zones.Stats()
+		s.Zone.Objects += zs.Objects
+		s.Zone.PayloadBytes += zs.PayloadBytes
+		s.Zone.Zones += zs.Zones
+		s.Zone.Migrations += zs.Migrations
+		s.Zone.MigratedObjects += zs.MigratedObjects
+		s.Zone.MigrationPageReads += zs.MigrationPageReads
+		s.Zone.InPlaceUpdates += zs.InPlaceUpdates
+		s.Zone.Relocations += zs.Relocations
+		s.Zone.HotEvictDropped += zs.HotEvictDropped
+		s.Zone.HotEvictRelocated += zs.HotEvictRelocated
+		s.PromotionsDropped += p.promoDrop.Load()
+		for l := 1; l <= maxLevels; l++ {
+			ls := &s.Levels[l-1]
+			ls.Level = l
+			ls.Tables += p.tree.TableCount(l)
+			lv, fl := p.tree.LevelBytes(l)
+			ls.LiveBytes += lv
+			ls.FileBytes += fl
+			live += lv
+			file += fl
+			tr := p.tree.Traffic(l)
+			ls.CompactReads += tr.ReadBytes.Load()
+			ls.CompactWrite += tr.WriteBytes.Load()
+			ls.Compactions += tr.Compactions.Load()
+			ls.FullRewrites += tr.FullRewrites.Load()
+		}
+	}
+	if live > 0 {
+		s.SpaceAmp = float64(file) / float64(live)
+	} else {
+		s.SpaceAmp = 1
+	}
+	return s
+}
+
+// String renders a multi-line summary for the hyperctl CLI.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NVMe: used=%s/%s  traffic{%s}\n",
+		stats.FormatBytes(uint64(s.NVMeUsed)), stats.FormatBytes(uint64(s.NVMeCapacity)), s.NVMe)
+	fmt.Fprintf(&b, "SATA: used=%s  traffic{%s}\n",
+		stats.FormatBytes(uint64(s.SATAUsed)), s.SATA)
+	fmt.Fprintf(&b, "Zone tier: objects=%d zones=%d payload=%s migrations=%d (objects=%d, pageReads=%d) inPlace=%d\n",
+		s.Zone.Objects, s.Zone.Zones, stats.FormatBytes(uint64(s.Zone.PayloadBytes)),
+		s.Zone.Migrations, s.Zone.MigratedObjects, s.Zone.MigrationPageReads, s.Zone.InPlaceUpdates)
+	for _, l := range s.Levels {
+		if l.Tables == 0 && l.CompactWrite == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "L%d: tables=%d live=%s file=%s compactIO{r=%s w=%s} compactions=%d rewrites=%d\n",
+			l.Level, l.Tables, stats.FormatBytes(uint64(l.LiveBytes)), stats.FormatBytes(uint64(l.FileBytes)),
+			stats.FormatBytes(l.CompactReads), stats.FormatBytes(l.CompactWrite), l.Compactions, l.FullRewrites)
+	}
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d  spaceAmp=%.2f promoDropped=%d\n",
+		s.CacheHits, s.CacheMisses, s.SpaceAmp, s.PromotionsDropped)
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+)
+
+// File is a named byte extent on a Device. All I/O is charged at page
+// granularity against the owning device — reading one byte costs a page,
+// exactly the amplification effect the paper's migration analysis hinges on.
+//
+// Two write paths exist:
+//
+//   - Append + Sync: log-structured writers (WAL, SSTable builders) buffer
+//     appends and pay for the dirty pages once at Sync, sequentially. This
+//     models group commit and streaming table writes.
+//   - WriteAt: in-place writers (zone slots) pay immediately, randomly.
+type File struct {
+	dev  *Device
+	name string
+
+	mu       sync.RWMutex
+	buf      []byte
+	pages    int64          // extent pages covering buf (incl. punched holes)
+	holes    map[int64]bool // punched (deallocated) page indices
+	dirtyLo  int64          // first dirty byte not yet synced; -1 when clean
+	dirtyHi  int64          // one past last dirty byte
+	released bool
+}
+
+// AllocatedPageIDs returns the indices of all non-punched pages, in order.
+// Recovery scans use it to enumerate the pages that hold live slots.
+func (f *File) AllocatedPageIDs() []int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]int64, 0, f.pages-int64(len(f.holes)))
+	for i := int64(0); i < f.pages; i++ {
+		if !f.holes[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PunchHole releases the page at index pageIdx back to the device ledger
+// (TRIM). Like a deterministic-TRIM SSD, the page reads back as zeros
+// afterwards — recovery scans must never see a recycled page's previous
+// occupancy. Idempotent.
+func (f *File) PunchHole(pageIdx int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released || pageIdx < 0 || pageIdx >= f.pages {
+		return
+	}
+	if f.holes == nil {
+		f.holes = make(map[int64]bool)
+	}
+	if !f.holes[pageIdx] {
+		f.holes[pageIdx] = true
+		f.dev.freePages(1)
+		ps := int64(f.dev.PageSize())
+		lo := pageIdx * ps
+		hi := lo + ps
+		if lo < int64(len(f.buf)) {
+			if hi > int64(len(f.buf)) {
+				hi = int64(len(f.buf))
+			}
+			clear(f.buf[lo:hi])
+		}
+	}
+}
+
+// Reallocate claims back a previously punched page, failing with ErrNoSpace
+// when the device is full. No-op for pages that were never punched.
+func (f *File) Reallocate(pageIdx int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return ErrClosed
+	}
+	if !f.holes[pageIdx] {
+		return nil
+	}
+	if err := f.dev.allocPages(1); err != nil {
+		return err
+	}
+	delete(f.holes, pageIdx)
+	return nil
+}
+
+// Name returns the file's name on its device.
+func (f *File) Name() string { return f.name }
+
+// Size returns the logical length in bytes.
+func (f *File) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.buf))
+}
+
+// AllocatedBytes returns the page-rounded on-device footprint, excluding
+// punched holes.
+func (f *File) AllocatedBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return (f.pages - int64(len(f.holes))) * int64(f.dev.PageSize())
+}
+
+func (f *File) pageSpan(off, n int64) (firstPage, pages int64) {
+	ps := int64(f.dev.PageSize())
+	firstPage = off / ps
+	lastPage := (off + n - 1) / ps
+	return firstPage, lastPage - firstPage + 1
+}
+
+// ensureCapacity grows the allocation to cover size bytes.
+func (f *File) ensureCapacity(size int64) error {
+	ps := int64(f.dev.PageSize())
+	need := (size + ps - 1) / ps
+	if need > f.pages {
+		if err := f.dev.allocPages(need - f.pages); err != nil {
+			return err
+		}
+		f.pages = need
+	}
+	return nil
+}
+
+// unholeRange reallocates any punched pages the byte span [off, off+n)
+// touches, so a write into a TRIMmed region is ledger-accounted again.
+// Caller holds mu.
+func (f *File) unholeRange(off, n int64) error {
+	if len(f.holes) == 0 || n <= 0 {
+		return nil
+	}
+	first, pages := f.pageSpan(off, n)
+	for p := first; p < first+pages; p++ {
+		if f.holes[p] {
+			if err := f.dev.allocPages(1); err != nil {
+				return err
+			}
+			delete(f.holes, p)
+		}
+	}
+	return nil
+}
+
+// Append adds data to the end of the file without charging I/O; call Sync to
+// persist (and pay for) the dirty tail. Returns the offset the data begins at.
+func (f *File) Append(data []byte) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return 0, ErrClosed
+	}
+	off := int64(len(f.buf))
+	if err := f.ensureCapacity(off + int64(len(data))); err != nil {
+		return 0, err
+	}
+	if err := f.unholeRange(off, int64(len(data))); err != nil {
+		return 0, err
+	}
+	f.buf = append(f.buf, data...)
+	if len(data) > 0 {
+		if f.dirtyLo < 0 {
+			f.dirtyLo = off
+		}
+		if end := off + int64(len(data)); end > f.dirtyHi {
+			f.dirtyHi = end
+		}
+	}
+	return off, nil
+}
+
+// Sync charges a sequential write for every dirty page and marks the file
+// clean. Multiple Appends coalesce into one Sync — group commit.
+func (f *File) Sync(op Op) error {
+	f.mu.Lock()
+	if f.released {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.dirtyLo < 0 || f.dirtyHi <= f.dirtyLo {
+		f.dirtyLo, f.dirtyHi = -1, 0
+		f.mu.Unlock()
+		return nil
+	}
+	lo, hi := f.dirtyLo, f.dirtyHi
+	f.dirtyLo, f.dirtyHi = -1, 0
+	f.mu.Unlock()
+
+	_, pages := f.pageSpan(lo, hi-lo)
+	op.Sequential = true
+	f.dev.chargeWrite(sectorRound(f.dev, hi-lo), pages, op)
+	return nil
+}
+
+// sectorRound rounds n up to the device's write (sector) granularity.
+func sectorRound(d *Device, n int64) int64 {
+	s := int64(d.profile.SectorSize)
+	if s <= 0 {
+		s = 512
+	}
+	return (n + s - 1) / s * s
+}
+
+// WriteAt overwrites len(p) bytes at off, extending the file if needed, and
+// charges the touched pages immediately (random write path).
+func (f *File) WriteAt(p []byte, off int64, op Op) error {
+	if off < 0 {
+		return fmt.Errorf("device: negative offset %d", off)
+	}
+	f.mu.Lock()
+	if f.released {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	end := off + int64(len(p))
+	if err := f.ensureCapacity(end); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if err := f.unholeRange(off, int64(len(p))); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if end > int64(len(f.buf)) {
+		f.buf = append(f.buf, make([]byte, end-int64(len(f.buf)))...)
+	}
+	copy(f.buf[off:end], p)
+	f.mu.Unlock()
+
+	if len(p) > 0 {
+		// One command; write volume counts sectors, not whole pages.
+		f.dev.chargeWrite(sectorRound(f.dev, int64(len(p))), 1, op)
+	}
+	return nil
+}
+
+// EnsureAllocated grows the file's allocation (and zero extent) to cover
+// size bytes without charging any I/O — allocating fresh slot pages is a
+// metadata operation, not device traffic.
+func (f *File) EnsureAllocated(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return ErrClosed
+	}
+	if err := f.ensureCapacity(size); err != nil {
+		return err
+	}
+	if size > int64(len(f.buf)) {
+		f.buf = append(f.buf, make([]byte, size-int64(len(f.buf)))...)
+	}
+	return nil
+}
+
+// ReadAt fills p from offset off and charges every page the span touches.
+// Short reads at EOF return the bytes available and io.EOF semantics are
+// replaced by an explicit count: n < len(p) means EOF was hit.
+func (f *File) ReadAt(p []byte, off int64, op Op) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("device: negative offset %d", off)
+	}
+	f.mu.RLock()
+	if f.released {
+		f.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	if off >= int64(len(f.buf)) {
+		f.mu.RUnlock()
+		return 0, nil
+	}
+	n := copy(p, f.buf[off:])
+	f.mu.RUnlock()
+
+	if n > 0 {
+		_, pages := f.pageSpan(off, int64(n))
+		f.dev.chargeRead(pages*int64(f.dev.PageSize()), pages, op)
+	}
+	return n, nil
+}
+
+// ReadPage reads the page containing offset off (page-aligned retrieval),
+// charging exactly one page. Returns the page's bytes (may be short at EOF)
+// and the page-aligned offset it begins at.
+func (f *File) ReadPage(off int64, op Op) ([]byte, int64, error) {
+	ps := int64(f.dev.PageSize())
+	base := off / ps * ps
+	buf := make([]byte, ps)
+	n, err := f.ReadAt(buf, base, op)
+	if err != nil {
+		return nil, 0, err
+	}
+	return buf[:n], base, nil
+}
+
+// Truncate shrinks the file to size bytes, returning now-unused pages.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return ErrClosed
+	}
+	if size < 0 || size > int64(len(f.buf)) {
+		return fmt.Errorf("device: truncate size %d out of range [0,%d]", size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	ps := int64(f.dev.PageSize())
+	need := (size + ps - 1) / ps
+	if need < f.pages {
+		freed := f.pages - need
+		for idx := range f.holes {
+			if idx >= need {
+				delete(f.holes, idx) // already returned to the ledger
+				freed--
+			}
+		}
+		if freed > 0 {
+			f.dev.freePages(freed)
+		}
+		f.pages = need
+	}
+	if f.dirtyHi > size {
+		f.dirtyHi = size
+	}
+	if f.dirtyLo >= size {
+		f.dirtyLo, f.dirtyHi = -1, 0
+	}
+	return nil
+}
+
+// release frees all pages; called by Device.Remove.
+func (f *File) release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return
+	}
+	f.released = true
+	f.dev.freePages(f.pages - int64(len(f.holes)))
+	f.pages = 0
+	f.holes = nil
+	f.buf = nil
+}

@@ -1,0 +1,102 @@
+// Package device simulates the heterogeneous SSDs the paper evaluates on.
+//
+// A Device is a page-granular block store with a latency/bandwidth cost
+// model and full traffic accounting. Engines never touch the OS filesystem;
+// they allocate extents from a Device and read/write whole pages, exactly as
+// the paper's engines do against raw NVMe and SATA SSDs. Because every
+// engine in this repository (HyperDB and both baselines) runs against the
+// same Device implementation, bandwidth-utilisation, traffic-volume and
+// space-usage comparisons are apples-to-apples.
+//
+// The cost model is a real-time multi-channel queue: each I/O occupies one
+// of the device's channels for latency + bytes/bandwidth, and the caller
+// blocks until its completion time. Saturation, queueing delay (write
+// stalls, P99 tails) and throughput caps all emerge from this, which is
+// what the paper's figures measure. Profiles are scaled down from the real
+// parts (Samsung PM9A3, Intel D3-S4610) so that benchmarks finish in
+// seconds; the NVMe:SATA performance *ratios* match the real pair.
+package device
+
+import "time"
+
+// Profile describes the performance characteristics of a simulated SSD.
+type Profile struct {
+	// Name labels the device in reports ("nvme", "sata").
+	Name string
+	// PageSize is the read unit in bytes: block-oriented engines fetch
+	// whole pages, so partial-page reads charge a full page — the
+	// amplification §2.3 analyses. The paper uses 4 KiB.
+	PageSize int
+	// SectorSize is the write unit (LBA granularity, default 512 B):
+	// host-visible write volume counts sectors actually written, so a
+	// small in-place slot update does not cost a whole page.
+	SectorSize int
+	// Capacity is the device size in bytes. Zero means unbounded.
+	Capacity int64
+	// ReadLatency is the fixed per-command setup cost of a random read.
+	ReadLatency time.Duration
+	// WriteLatency is the fixed per-command setup cost of a random write.
+	WriteLatency time.Duration
+	// ReadBandwidth caps sustained read throughput, bytes/second.
+	ReadBandwidth int64
+	// WriteBandwidth caps sustained write throughput, bytes/second.
+	WriteBandwidth int64
+	// Channels is the number of commands the device services concurrently
+	// (an abstraction of NVMe's deep queues vs SATA's single queue).
+	Channels int
+	// SeqDiscount divides the per-command latency for sequential multi-page
+	// commands, modelling readahead/streaming efficiency. 1 = no discount.
+	SeqDiscount int
+}
+
+// The simulated profiles run time-compressed relative to the real parts so
+// experiments complete quickly; what matters for the paper's figures is the
+// NVMe:SATA *ratio* (≈8:1 bandwidth, ≈3.5:1 latency), which tracks the
+// PM9A3 vs D3-S4610 pair.
+
+// NVMeProfile models the performance tier (Samsung PM9A3-like, scaled).
+func NVMeProfile(capacity int64) Profile {
+	return Profile{
+		Name:           "nvme",
+		PageSize:       4096,
+		Capacity:       capacity,
+		ReadLatency:    5 * time.Microsecond,
+		WriteLatency:   2500 * time.Nanosecond,
+		ReadBandwidth:  2048 << 20,
+		WriteBandwidth: 1536 << 20,
+		Channels:       16,
+		SeqDiscount:    4,
+	}
+}
+
+// SATAProfile models the capacity tier (Intel D3-S4610-like, scaled).
+func SATAProfile(capacity int64) Profile {
+	return Profile{
+		Name:           "sata",
+		PageSize:       4096,
+		Capacity:       capacity,
+		ReadLatency:    17500 * time.Nanosecond,
+		WriteLatency:   10 * time.Microsecond,
+		ReadBandwidth:  256 << 20,
+		WriteBandwidth: 240 << 20,
+		Channels:       4,
+		SeqDiscount:    8,
+	}
+}
+
+// UnthrottledProfile is a zero-cost device for unit tests: full accounting,
+// no delays, no capacity bound unless capacity > 0.
+func UnthrottledProfile(name string, capacity int64) Profile {
+	return Profile{
+		Name:     name,
+		PageSize: 4096,
+		Capacity: capacity,
+		Channels: 1,
+	}
+}
+
+// throttled reports whether the profile carries any timing costs.
+func (p Profile) throttled() bool {
+	return p.ReadLatency > 0 || p.WriteLatency > 0 ||
+		p.ReadBandwidth > 0 || p.WriteBandwidth > 0
+}

@@ -1,0 +1,89 @@
+package device
+
+import (
+	"sync"
+	"time"
+)
+
+// throttle models the device's command channels as a real-time queue.
+// Each I/O reserves the earliest-available channel for its service time and
+// the caller blocks until the reserved completion instant. Under load,
+// reservations stack up and callers observe queueing delay — the mechanism
+// behind the write stalls and P99 tails the paper measures.
+type throttle struct {
+	mu       sync.Mutex
+	channels []time.Time // per-channel next-free instant
+	busy     time.Duration
+	started  time.Time
+}
+
+func newThrottle(channels int) *throttle {
+	if channels < 1 {
+		channels = 1
+	}
+	t := &throttle{channels: make([]time.Time, channels), started: time.Now()}
+	now := t.started
+	for i := range t.channels {
+		t.channels[i] = now
+	}
+	return t
+}
+
+// reserve books service time on the least-loaded channel and returns the
+// completion instant the caller must wait for.
+func (t *throttle) reserve(service time.Duration) time.Time {
+	now := time.Now()
+	t.mu.Lock()
+	best := 0
+	for i, free := range t.channels {
+		if free.Before(t.channels[best]) {
+			best = i
+		}
+	}
+	start := t.channels[best]
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(service)
+	t.channels[best] = end
+	t.busy += service
+	t.mu.Unlock()
+	return end
+}
+
+// busyTime returns the total service time booked and the wall time elapsed
+// since the throttle was created; their ratio (per channel) is the device
+// utilisation reported in Figures 2a and 3a.
+func (t *throttle) busyTime() (busy time.Duration, elapsed time.Duration, channels int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.busy, time.Since(t.started), len(t.channels)
+}
+
+func (t *throttle) resetBusy() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.busy = 0
+	t.started = time.Now()
+}
+
+// waitUntil blocks until instant ts. It sleeps for the bulk of the wait and
+// yields-spins across the final stretch, because time.Sleep on Linux rounds
+// small durations up far enough to distort a microsecond-scale device model.
+func waitUntil(ts time.Time) {
+	const spinWindow = 60 * time.Microsecond
+	for {
+		d := time.Until(ts)
+		if d <= 0 {
+			return
+		}
+		if d > spinWindow {
+			time.Sleep(d - spinWindow)
+			continue
+		}
+		// Short remainder: spin with scheduler yields.
+		for time.Now().Before(ts) {
+		}
+		return
+	}
+}

@@ -1,0 +1,276 @@
+// Package harness runs the paper's experiments: it builds any of the four
+// engines (HyperDB, RocksDB-style, RocksDB-SC, PrismDB-style) over a fresh
+// pair of simulated devices, loads a dataset, replays YCSB operation
+// streams with concurrent clients, and reports throughput, latency
+// percentiles, traffic volumes and utilisation — the raw series behind
+// every figure.
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperdb"
+	"hyperdb/internal/baseline/prismish"
+	"hyperdb/internal/baseline/rocksish"
+	"hyperdb/internal/core"
+	"hyperdb/internal/device"
+)
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Engine is the uniform interface the runner drives.
+type Engine interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Scan(start []byte, limit int) ([]KV, error)
+	Drain() error
+	Close() error
+	Label() string
+}
+
+// ErrNotFound is the harness-normalised miss error.
+var ErrNotFound = errors.New("harness: not found")
+
+// EngineKind names the four §4.1 systems.
+type EngineKind string
+
+// The four engines under test.
+const (
+	KindHyperDB   EngineKind = "hyperdb"
+	KindRocksDB   EngineKind = "rocksdb"
+	KindRocksDBSC EngineKind = "rocksdb-sc"
+	KindPrismDB   EngineKind = "prismdb"
+)
+
+// AllKinds lists the engines in the paper's presentation order.
+var AllKinds = []EngineKind{KindRocksDB, KindRocksDBSC, KindPrismDB, KindHyperDB}
+
+// Config sizes one experiment's devices and engine parameters. The defaults
+// are the paper's setup scaled down ~400×: the paper loads 100 GiB and runs
+// 100 M ops on 960 GB devices; we default to a 256 MiB dataset so every
+// figure regenerates in seconds.
+type Config struct {
+	// NVMeCapacity and SATACapacity size the devices.
+	NVMeCapacity int64
+	SATACapacity int64
+	// Unthrottled removes device timing (unit tests; traffic still counts).
+	Unthrottled bool
+	// BackgroundThreads for the baselines' compaction pools (paper: 8).
+	BackgroundThreads int
+	// Partitions for HyperDB (paper: 8).
+	Partitions int
+	// CacheBytes is the shared DRAM budget (paper: 64 MiB; scale it with
+	// the dataset or DRAM serves everything and tiers stop mattering).
+	CacheBytes int64
+	// FileSize is the SSTable / migration batch size.
+	FileSize int64
+	// Ratio overrides the baselines' level size ratio (default 6).
+	Ratio int
+	// DisableBackground turns engines' workers off (deterministic tests).
+	DisableBackground bool
+}
+
+// Fill applies scaled defaults.
+func (c *Config) Fill() {
+	if c.NVMeCapacity <= 0 {
+		c.NVMeCapacity = 48 << 20
+	}
+	if c.SATACapacity <= 0 {
+		c.SATACapacity = 4 << 30
+	}
+	if c.BackgroundThreads <= 0 {
+		c.BackgroundThreads = 8
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 8 << 20
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 1 << 20
+	}
+	if c.Ratio <= 1 {
+		c.Ratio = 6
+	}
+}
+
+// Instance is a built engine plus its devices.
+type Instance struct {
+	Engine Engine
+	NVMe   *device.Device
+	SATA   *device.Device
+	Kind   EngineKind
+}
+
+// Build constructs a fresh engine of the given kind over new devices.
+func Build(kind EngineKind, cfg Config) (*Instance, error) {
+	cfg.Fill()
+	var nvme, sata *device.Device
+	if cfg.Unthrottled {
+		nvme = device.New(device.UnthrottledProfile("nvme", cfg.NVMeCapacity))
+		sata = device.New(device.UnthrottledProfile("sata", cfg.SATACapacity))
+	} else {
+		nvme = device.New(device.NVMeProfile(cfg.NVMeCapacity))
+		sata = device.New(device.SATAProfile(cfg.SATACapacity))
+	}
+	inst := &Instance{NVMe: nvme, SATA: sata, Kind: kind}
+	switch kind {
+	case KindHyperDB:
+		db, err := hyperdb.Open(hyperdb.Options{
+			NVMeDevice:        nvme,
+			SATADevice:        sata,
+			Partitions:        cfg.Partitions,
+			CacheBytes:        cfg.CacheBytes,
+			MigrationBatch:    cfg.FileSize,
+			DisableBackground: cfg.DisableBackground,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst.Engine = &hyperAdapter{db: db}
+	case KindRocksDB, KindRocksDBSC:
+		// Scale the memtable with the NVMe budget so the embedding
+		// deployment can actually host its top levels there, like the
+		// paper's RocksDB-with-db_paths setup.
+		mem := cfg.NVMeCapacity / 24
+		if mem < 128<<10 {
+			mem = 128 << 10
+		}
+		if mem > 64<<20 {
+			mem = 64 << 20
+		}
+		db, err := rocksish.Open(rocksish.Options{
+			NVMe:              nvme,
+			SATA:              sata,
+			SecondaryCache:    kind == KindRocksDBSC,
+			MemtableBytes:     mem,
+			CacheBytes:        cfg.CacheBytes,
+			FileSize:          cfg.FileSize,
+			L1Target:          4 * cfg.FileSize,
+			Ratio:             cfg.Ratio,
+			MaxLevels:         5,
+			BackgroundThreads: cfg.BackgroundThreads,
+			DisableBackground: cfg.DisableBackground,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst.Engine = &rocksAdapter{db: db, label: string(kind)}
+	case KindPrismDB:
+		db, err := prismish.Open(prismish.Options{
+			NVMe:              nvme,
+			SATA:              sata,
+			CacheBytes:        cfg.CacheBytes,
+			FileSize:          cfg.FileSize,
+			L1Target:          4 * cfg.FileSize,
+			Ratio:             cfg.Ratio,
+			MaxLevels:         4,
+			BackgroundThreads: cfg.BackgroundThreads,
+			DisableBackground: cfg.DisableBackground,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst.Engine = &prismAdapter{db: db}
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %q", kind)
+	}
+	return inst, nil
+}
+
+type hyperAdapter struct{ db *hyperdb.DB }
+
+func (a *hyperAdapter) Put(k, v []byte) error { return a.db.Put(k, v) }
+func (a *hyperAdapter) Delete(k []byte) error { return a.db.Delete(k) }
+func (a *hyperAdapter) Drain() error          { return a.db.DrainBackground() }
+func (a *hyperAdapter) Close() error          { return a.db.Close() }
+func (a *hyperAdapter) Label() string         { return "HyperDB" }
+func (a *hyperAdapter) DB() *hyperdb.DB       { return a.db }
+func (a *hyperAdapter) Stats() core.Stats     { return a.db.Stats() }
+func (a *hyperAdapter) Get(k []byte) ([]byte, error) {
+	v, err := a.db.Get(k)
+	if errors.Is(err, hyperdb.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (a *hyperAdapter) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := a.db.Scan(start, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+type rocksAdapter struct {
+	db    *rocksish.DB
+	label string
+}
+
+func (a *rocksAdapter) Put(k, v []byte) error { return a.db.Put(k, v) }
+func (a *rocksAdapter) Delete(k []byte) error { return a.db.Delete(k) }
+func (a *rocksAdapter) Drain() error          { return a.db.Drain() }
+func (a *rocksAdapter) Close() error          { return a.db.Close() }
+func (a *rocksAdapter) Label() string {
+	if a.label == string(KindRocksDBSC) {
+		return "RocksDB-SC"
+	}
+	return "RocksDB"
+}
+func (a *rocksAdapter) DB() *rocksish.DB { return a.db }
+func (a *rocksAdapter) Get(k []byte) ([]byte, error) {
+	v, err := a.db.Get(k)
+	if errors.Is(err, rocksish.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (a *rocksAdapter) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := a.db.Scan(start, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+type prismAdapter struct{ db *prismish.DB }
+
+func (a *prismAdapter) Put(k, v []byte) error { return a.db.Put(k, v) }
+func (a *prismAdapter) Delete(k []byte) error { return a.db.Delete(k) }
+func (a *prismAdapter) Drain() error          { return a.db.Drain() }
+func (a *prismAdapter) Close() error          { return a.db.Close() }
+func (a *prismAdapter) Label() string         { return "PrismDB" }
+func (a *prismAdapter) DB() *prismish.DB      { return a.db }
+func (a *prismAdapter) Get(k []byte) ([]byte, error) {
+	v, err := a.db.Get(k)
+	if errors.Is(err, prismish.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (a *prismAdapter) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := a.db.Scan(start, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}

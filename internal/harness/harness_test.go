@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hyperdb/internal/ycsb"
+)
+
+// tinyConfig keeps engine tests fast and deterministic.
+func tinyConfig() Config {
+	return Config{
+		NVMeCapacity:      8 << 20,
+		SATACapacity:      512 << 20,
+		Unthrottled:       true,
+		BackgroundThreads: 2,
+		Partitions:        4,
+		CacheBytes:        2 << 20,
+		FileSize:          256 << 10,
+	}
+}
+
+// TestEnginesAgree loads every engine with the same data, applies the same
+// update stream, and verifies all four return identical values afterwards.
+func TestEnginesAgree(t *testing.T) {
+	const records = 3000
+	const valueSize = 100
+
+	want := make(map[string][]byte)
+	for i := int64(0); i < records; i++ {
+		want[string(ycsb.Key(i))] = nil // filled below per engine deterministically
+	}
+
+	for _, kind := range AllKinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			inst, err := Build(kind, tinyConfig())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			defer inst.Engine.Close()
+			e := inst.Engine
+
+			// Deterministic load: value = key repeated.
+			for i := int64(0); i < records; i++ {
+				k := ycsb.Key(i)
+				v := bytes.Repeat(k, valueSize/len(k))
+				if err := e.Put(k, v); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			// Overwrite a slice of keys.
+			for i := int64(0); i < records; i += 3 {
+				k := ycsb.Key(i)
+				if err := e.Put(k, append([]byte("v2-"), k...)); err != nil {
+					t.Fatalf("update %d: %v", i, err)
+				}
+			}
+			// Delete a few.
+			for i := int64(1); i < records; i += 17 {
+				if err := e.Delete(ycsb.Key(i)); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+			}
+			if err := e.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			for i := int64(0); i < records; i++ {
+				k := ycsb.Key(i)
+				v, err := e.Get(k)
+				deleted := i%17 == 1
+				updated := i%3 == 0
+				switch {
+				case deleted && !updated || (deleted && updated && i%17 == 1):
+					// Deletions happened after updates, so deleted wins.
+					if !errors.Is(err, ErrNotFound) {
+						t.Fatalf("key %d: expected ErrNotFound, got v=%d err=%v", i, len(v), err)
+					}
+				case updated:
+					if err != nil {
+						t.Fatalf("key %d: %v", i, err)
+					}
+					if want := append([]byte("v2-"), k...); !bytes.Equal(v, want) {
+						t.Fatalf("key %d: got %q want %q", i, v, want)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("key %d: %v", i, err)
+					}
+					if want := bytes.Repeat(k, valueSize/len(k)); !bytes.Equal(v, want) {
+						t.Fatalf("key %d: wrong value", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunSmoke exercises the Load+Run pipeline on each engine.
+func TestRunSmoke(t *testing.T) {
+	for _, kind := range AllKinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			inst, err := Build(kind, tinyConfig())
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			defer inst.Engine.Close()
+			if err := Load(inst.Engine, 2000, 128, 4, 7); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res, err := Run(inst.Engine, RunConfig{
+				Clients:   4,
+				Ops:       4000,
+				Workload:  ycsb.WorkloadA,
+				Records:   2000,
+				ValueSize: 128,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("no throughput: %+v", res)
+			}
+			if res.ReadLat.Count() == 0 || res.WriteLat.Count() == 0 {
+				t.Fatalf("missing latency samples: %s", res)
+			}
+		})
+	}
+}
+
+// TestScanAgree verifies scans return identical ordered results everywhere.
+func TestScanAgree(t *testing.T) {
+	var ref []KV
+	for _, kind := range AllKinds {
+		inst, err := Build(kind, tinyConfig())
+		if err != nil {
+			t.Fatalf("%s build: %v", kind, err)
+		}
+		e := inst.Engine
+		for i := int64(0); i < 2000; i++ {
+			k := ycsb.Key(i)
+			if err := e.Put(k, append([]byte("s-"), k...)); err != nil {
+				t.Fatalf("%s put: %v", kind, err)
+			}
+		}
+		if err := e.Drain(); err != nil {
+			t.Fatalf("%s drain: %v", kind, err)
+		}
+		got, err := e.Scan(ycsb.Key(77), 64)
+		if err != nil {
+			t.Fatalf("%s scan: %v", kind, err)
+		}
+		if len(got) != 64 {
+			t.Fatalf("%s scan returned %d", kind, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if bytes.Compare(got[i-1].Key, got[i].Key) >= 0 {
+				t.Fatalf("%s scan out of order at %d", kind, i)
+			}
+		}
+		if ref == nil {
+			ref = got
+		} else {
+			for i := range got {
+				if !bytes.Equal(got[i].Key, ref[i].Key) || !bytes.Equal(got[i].Value, ref[i].Value) {
+					t.Fatalf("%s scan[%d] differs from reference", kind, i)
+				}
+			}
+		}
+		e.Close()
+	}
+}

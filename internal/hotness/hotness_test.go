@@ -1,0 +1,193 @@
+package hotness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// fillWindow inserts distinct filler keys until the tracker seals the
+// currently open window.
+func fillWindow(t *Tracker, tag string) {
+	start := t.SealedWindows()
+	for i := 0; t.SealedWindows() == start; i++ {
+		t.Record([]byte(fmt.Sprintf("filler-%s-%d", tag, i)))
+		if i > 1<<20 {
+			panic("window never sealed")
+		}
+	}
+}
+
+func TestHotAfterConsecutiveWindows(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 64, HotThreshold: 3, MaxFilters: 4})
+	key := []byte("popular")
+	// Appear in three consecutive windows.
+	for w := 0; w < 3; w++ {
+		tr.Record(key)
+		fillWindow(tr, fmt.Sprintf("w%d", w))
+	}
+	if !tr.IsHot(key) {
+		t.Fatal("key present in 3 consecutive sealed windows must be hot")
+	}
+}
+
+func TestNotHotWithFewerWindows(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 64, HotThreshold: 3, MaxFilters: 4})
+	key := []byte("lukewarm")
+	for w := 0; w < 2; w++ {
+		tr.Record(key)
+		fillWindow(tr, fmt.Sprintf("w%d", w))
+	}
+	if tr.IsHot(key) {
+		t.Fatal("2 windows < threshold 3: must not be hot")
+	}
+}
+
+func TestGapBreaksRun(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 64, HotThreshold: 3, MaxFilters: 4})
+	key := []byte("bursty")
+	tr.Record(key)
+	fillWindow(tr, "w0")
+	tr.Record(key)
+	fillWindow(tr, "w1")
+	// Skip a window.
+	fillWindow(tr, "w2-gap")
+	tr.Record(key)
+	fillWindow(tr, "w3")
+	if tr.IsHot(key) {
+		t.Fatal("non-consecutive appearances must not classify hot")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 64, HotThreshold: 3, MaxFilters: 3})
+	key := []byte("ancient")
+	for w := 0; w < 3; w++ {
+		tr.Record(key)
+		fillWindow(tr, fmt.Sprintf("w%d", w))
+	}
+	if !tr.IsHot(key) {
+		t.Fatal("should be hot initially")
+	}
+	// Push enough new windows to evict all of the key's filters.
+	for w := 0; w < 3; w++ {
+		fillWindow(tr, fmt.Sprintf("new%d", w))
+	}
+	if tr.IsHot(key) {
+		t.Fatal("key's windows were evicted; must no longer be hot")
+	}
+	if tr.CascadeDepth() != 3 {
+		t.Fatalf("cascade depth = %d, want 3 (MaxFilters)", tr.CascadeDepth())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := NewTracker(Config{})
+	if tr.cfg.BitsPerKey != 10 || tr.cfg.MaxFilters != 4 || tr.cfg.HotThreshold != 3 {
+		t.Fatalf("defaults = %+v", tr.cfg)
+	}
+	// Threshold clamped to MaxFilters.
+	tr2 := NewTracker(Config{MaxFilters: 2, HotThreshold: 5, WindowCapacity: 16})
+	if tr2.cfg.HotThreshold != 2 {
+		t.Fatalf("threshold not clamped: %d", tr2.cfg.HotThreshold)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 32, HotThreshold: 1, MaxFilters: 2})
+	tr.Record([]byte("k"))
+	fillWindow(tr, "w")
+	if !tr.IsHot([]byte("k")) {
+		t.Fatal("precondition: hot")
+	}
+	tr.Reset()
+	if tr.IsHot([]byte("k")) || tr.CascadeDepth() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMemoryBytesBounded(t *testing.T) {
+	tr := NewTracker(Config{WindowCapacity: 1000, BitsPerKey: 10, MaxFilters: 4})
+	for w := 0; w < 10; w++ {
+		fillWindow(tr, fmt.Sprintf("w%d", w))
+	}
+	// 5 filters (4 sealed + 1 open) × 1000 keys × 10 bits = ~6.25 KiB.
+	if mb := tr.MemoryBytes(); mb > 10<<10 {
+		t.Fatalf("tracker memory %d bytes exceeds budget", mb)
+	}
+}
+
+func TestIntervalAnalyzerBasics(t *testing.T) {
+	a := NewIntervalAnalyzer()
+	// Key "hot" accessed every 2 ticks; "cold" every 10.
+	for i := 0; i < 100; i++ {
+		a.Observe([]byte("hot"))
+		if i%5 == 0 {
+			a.Observe([]byte("cold"))
+		}
+		a.Observe([]byte(fmt.Sprintf("noise-%d", i)))
+	}
+	if a.TrackedObjects() < 2 {
+		t.Fatalf("tracked = %d", a.TrackedObjects())
+	}
+	// With t large enough to cover hot's interval but not cold's:
+	probs := a.ConditionalProbability(5, 1)
+	if len(probs) == 0 {
+		t.Fatal("no conditional probabilities")
+	}
+	if Quantile(probs, 0.99) < 0.9 {
+		t.Fatalf("hot key should have high conditional probability: %v", probs)
+	}
+}
+
+func TestIntervalCorrelationRisesWithS(t *testing.T) {
+	// The Figure 6a shape: conditional probability grows with the number
+	// of consistent past intervals s.
+	a := NewIntervalAnalyzer()
+	gen := newTestZipf(2000, 0.99, 7)
+	for i := 0; i < 400000; i++ {
+		a.Observe([]byte(fmt.Sprintf("obj-%d", gen.next())))
+	}
+	tWin := int64(400000 / 5) // 20% of workload
+	med1 := Quantile(a.ConditionalProbability(tWin, 1), 0.5)
+	med5 := Quantile(a.ConditionalProbability(tWin, 5), 0.5)
+	if med5 < med1 {
+		t.Fatalf("P(s=5)=%.3f < P(s=1)=%.3f — correlation should rise with s", med5, med1)
+	}
+	if med1 < 0.3 {
+		t.Fatalf("median conditional probability %.3f implausibly low", med1)
+	}
+}
+
+// newTestZipf is a tiny zipf sampler with a precomputed CDF (test-only;
+// avoids a dependency on the ycsb package).
+type testZipf struct {
+	cdf   []float64
+	state uint64
+}
+
+func newTestZipf(n int, theta float64, seed uint64) *testZipf {
+	z := &testZipf{cdf: make([]float64, n), state: seed}
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+		z.cdf[i-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func (z *testZipf) rand() float64 {
+	z.state ^= z.state << 13
+	z.state ^= z.state >> 7
+	z.state ^= z.state << 17
+	return float64(z.state%(1<<30)) / float64(1<<30)
+}
+
+func (z *testZipf) next() int {
+	u := z.rand()
+	return sort.SearchFloat64s(z.cdf, u)
+}

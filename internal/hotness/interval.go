@@ -1,0 +1,87 @@
+package hotness
+
+import "sort"
+
+// IntervalAnalyzer reproduces the measurement behind Figure 6a: for a replayed
+// access trace it computes, per object, the conditional probability
+// P(next interval < t | previous s intervals all < t), demonstrating that
+// short historical access intervals predict a short next interval.
+type IntervalAnalyzer struct {
+	lastAccess map[string]int64
+	intervals  map[string][]int64
+	clock      int64
+}
+
+// NewIntervalAnalyzer returns an empty analyzer.
+func NewIntervalAnalyzer() *IntervalAnalyzer {
+	return &IntervalAnalyzer{
+		lastAccess: make(map[string]int64),
+		intervals:  make(map[string][]int64),
+	}
+}
+
+// Observe replays one access to key; the logical clock advances by one per
+// access (intervals are measured in accesses, i.e. fractions of the workload
+// size, as the paper does).
+func (a *IntervalAnalyzer) Observe(key []byte) {
+	k := string(key)
+	if last, ok := a.lastAccess[k]; ok {
+		a.intervals[k] = append(a.intervals[k], a.clock-last)
+	}
+	a.lastAccess[k] = a.clock
+	a.clock++
+}
+
+// ConditionalProbability computes, across all objects with at least s+1
+// recorded intervals, the per-object probability that an interval is < t
+// given the preceding s intervals were all < t, and returns the distribution
+// (sorted ascending) so callers can report medians and percentiles like the
+// paper's boxplots. t is in accesses.
+func (a *IntervalAnalyzer) ConditionalProbability(t int64, s int) []float64 {
+	var probs []float64
+	for _, iv := range a.intervals {
+		if len(iv) < s+1 {
+			continue
+		}
+		var hits, trials int
+		for i := s; i < len(iv); i++ {
+			ok := true
+			for j := i - s; j < i; j++ {
+				if iv[j] >= t {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			trials++
+			if iv[i] < t {
+				hits++
+			}
+		}
+		if trials > 0 {
+			probs = append(probs, float64(hits)/float64(trials))
+		}
+	}
+	sort.Float64s(probs)
+	return probs
+}
+
+// Quantile picks the q-th quantile from a sorted distribution.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TotalAccesses returns the number of observed accesses.
+func (a *IntervalAnalyzer) TotalAccesses() int64 { return a.clock }
+
+// TrackedObjects returns how many distinct keys have at least one interval.
+func (a *IntervalAnalyzer) TrackedObjects() int { return len(a.intervals) }

@@ -1,0 +1,141 @@
+// Package hotness implements §3.3: object-popularity tracking with a
+// cascading discriminator. Each partition owns a Tracker. Every client read
+// or update inserts the key into the currently open bloom filter; when the
+// filter has absorbed its design capacity it is sealed and pushed onto a
+// FIFO cascade of at most MaxFilters sealed filters. A key is hot iff it
+// appears in at least HotThreshold *consecutive* sealed filters — i.e. its
+// access interval stayed below the window size for several windows in a row,
+// which (Fig. 6a) strongly predicts the next access will come soon as well.
+package hotness
+
+import (
+	"sync"
+
+	"hyperdb/internal/bloom"
+)
+
+// Config sizes a Tracker.
+type Config struct {
+	// WindowCapacity is the number of distinct keys a filter window absorbs
+	// before sealing. The paper sets it to the number of objects the
+	// partition's NVMe share can store.
+	WindowCapacity int
+	// BitsPerKey sizes each filter (paper: 10, <1% false positives).
+	BitsPerKey int
+	// MaxFilters bounds the sealed cascade (paper: 4).
+	MaxFilters int
+	// HotThreshold is the consecutive-window count that classifies a key as
+	// hot (paper: 3).
+	HotThreshold int
+}
+
+// Fill applies the paper's defaults to unset fields.
+func (c *Config) Fill() {
+	if c.WindowCapacity <= 0 {
+		c.WindowCapacity = 1 << 16
+	}
+	if c.BitsPerKey <= 0 {
+		c.BitsPerKey = 10
+	}
+	if c.MaxFilters <= 0 {
+		c.MaxFilters = 4
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 3
+	}
+	if c.HotThreshold > c.MaxFilters {
+		c.HotThreshold = c.MaxFilters
+	}
+}
+
+// Tracker is one partition's cascading discriminator. Safe for concurrent
+// use.
+type Tracker struct {
+	mu     sync.Mutex
+	cfg    Config
+	open   *bloom.Filter
+	sealed []*bloom.Filter // sealed[0] = oldest
+	seals  uint64
+}
+
+// NewTracker returns a tracker with cfg (zero fields take paper defaults).
+func NewTracker(cfg Config) *Tracker {
+	cfg.Fill()
+	return &Tracker{
+		cfg:  cfg,
+		open: bloom.New(cfg.WindowCapacity, cfg.BitsPerKey),
+	}
+}
+
+// Record notes one access to key and returns whether the key is now
+// classified hot. This is the single call sites make on every read/update.
+func (t *Tracker) Record(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.open.Add(key)
+	if t.open.Full() {
+		t.sealed = append(t.sealed, t.open)
+		t.seals++
+		if len(t.sealed) > t.cfg.MaxFilters {
+			t.sealed = t.sealed[1:]
+		}
+		t.open = bloom.New(t.cfg.WindowCapacity, t.cfg.BitsPerKey)
+	}
+	return t.isHotLocked(key)
+}
+
+// IsHot classifies key without recording an access.
+func (t *Tracker) IsHot(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.isHotLocked(key)
+}
+
+// isHotLocked scans the sealed cascade newest→oldest for a run of
+// consecutive hits of at least HotThreshold.
+func (t *Tracker) isHotLocked(key []byte) bool {
+	run := 0
+	for i := len(t.sealed) - 1; i >= 0; i-- {
+		if t.sealed[i].Contains(key) {
+			run++
+			if run >= t.cfg.HotThreshold {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
+// SealedWindows returns how many filters have ever been sealed; experiments
+// use it to confirm window turnover.
+func (t *Tracker) SealedWindows() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seals
+}
+
+// CascadeDepth returns the current number of sealed filters (≤ MaxFilters).
+func (t *Tracker) CascadeDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sealed)
+}
+
+// MemoryBytes estimates the tracker's footprint, demonstrating the "low
+// memory overhead" claim: MaxFilters+1 filters × capacity × bits/key / 8.
+func (t *Tracker) MemoryBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	per := int64(t.cfg.WindowCapacity) * int64(t.cfg.BitsPerKey) / 8
+	return per * int64(len(t.sealed)+1)
+}
+
+// Reset drops all state, reopening an empty window.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.open = bloom.New(t.cfg.WindowCapacity, t.cfg.BitsPerKey)
+	t.sealed = nil
+}

@@ -1,0 +1,195 @@
+// Package keys defines the key model shared by every storage engine in this
+// repository: user keys, internal keys carrying a sequence number and kind,
+// and half-open key ranges.
+//
+// All engines order user keys bytewise (bytes.Compare). Internal keys order
+// first by user key ascending, then by sequence number descending so that
+// the newest version of a key sorts first, then by kind descending so that a
+// delete at the same sequence shadows a set.
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates the mutation type carried by an internal key.
+type Kind uint8
+
+const (
+	// KindSet is a plain value write.
+	KindSet Kind = 1
+	// KindDelete is a tombstone.
+	KindDelete Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSet:
+		return "set"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MaxSeq is the largest representable sequence number. Lookups use it as the
+// snapshot "read everything" bound.
+const MaxSeq = uint64(1)<<56 - 1
+
+// InternalKey is a user key plus the metadata needed to order multiple
+// versions of it inside an LSM structure.
+type InternalKey struct {
+	User []byte
+	Seq  uint64
+	Kind Kind
+}
+
+// MakeSearchKey returns the internal key that sorts before every version of
+// user key u visible at snapshot seq. Using Seq = seq and Kind = KindSet is
+// the conventional "newest visible first" probe.
+func MakeSearchKey(u []byte, seq uint64) InternalKey {
+	return InternalKey{User: u, Seq: seq, Kind: KindSet}
+}
+
+// Compare orders internal keys: user key ascending, then sequence
+// descending, then kind descending. Returns -1, 0, or +1.
+func Compare(a, b InternalKey) int {
+	if c := bytes.Compare(a.User, b.User); c != 0 {
+		return c
+	}
+	if a.Seq != b.Seq {
+		if a.Seq > b.Seq {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind != b.Kind {
+		if a.Kind > b.Kind {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Encode appends the canonical binary form of k to dst and returns the
+// extended slice. Layout: user key bytes, then 8 bytes of (seq<<8 | kind)
+// little-endian. The trailer keeps user-key prefix ordering intact for
+// bytewise comparators that only look at the user portion.
+func (k InternalKey) Encode(dst []byte) []byte {
+	dst = append(dst, k.User...)
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], k.Seq<<8|uint64(k.Kind))
+	return append(dst, trailer[:]...)
+}
+
+// DecodeInternalKey parses the canonical binary form produced by Encode.
+// The returned key aliases buf.
+func DecodeInternalKey(buf []byte) (InternalKey, error) {
+	if len(buf) < 8 {
+		return InternalKey{}, fmt.Errorf("keys: internal key too short: %d bytes", len(buf))
+	}
+	trailer := binary.LittleEndian.Uint64(buf[len(buf)-8:])
+	return InternalKey{
+		User: buf[:len(buf)-8],
+		Seq:  trailer >> 8,
+		Kind: Kind(trailer & 0xff),
+	}, nil
+}
+
+func (k InternalKey) String() string {
+	return fmt.Sprintf("%q#%d,%s", k.User, k.Seq, k.Kind)
+}
+
+// Range is a closed-open interval [Lo, Hi) of user keys. A nil Hi means
+// "unbounded above"; a nil Lo means "unbounded below". An empty (zero)
+// Range covers everything.
+type Range struct {
+	Lo []byte // inclusive; nil = -inf
+	Hi []byte // exclusive; nil = +inf
+}
+
+// Contains reports whether user key u falls inside r.
+func (r Range) Contains(u []byte) bool {
+	if r.Lo != nil && bytes.Compare(u, r.Lo) < 0 {
+		return false
+	}
+	if r.Hi != nil && bytes.Compare(u, r.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool {
+	if r.Hi != nil && o.Lo != nil && bytes.Compare(r.Hi, o.Lo) <= 0 {
+		return false
+	}
+	if o.Hi != nil && r.Lo != nil && bytes.Compare(o.Hi, r.Lo) <= 0 {
+		return false
+	}
+	return true
+}
+
+// Union returns the smallest range covering both r and o.
+func (r Range) Union(o Range) Range {
+	out := Range{Lo: r.Lo, Hi: r.Hi}
+	if r.Lo != nil && (o.Lo == nil || bytes.Compare(o.Lo, r.Lo) < 0) {
+		out.Lo = o.Lo
+	}
+	if r.Hi != nil && (o.Hi == nil || bytes.Compare(o.Hi, r.Hi) > 0) {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Empty reports whether the range can contain no key (Lo >= Hi with both
+// bounds set). The zero Range is NOT empty — it is unbounded.
+func (r Range) Empty() bool {
+	return r.Lo != nil && r.Hi != nil && bytes.Compare(r.Lo, r.Hi) >= 0
+}
+
+func (r Range) String() string {
+	lo, hi := "-inf", "+inf"
+	if r.Lo != nil {
+		lo = fmt.Sprintf("%q", r.Lo)
+	}
+	if r.Hi != nil {
+		hi = fmt.Sprintf("%q", r.Hi)
+	}
+	return fmt.Sprintf("[%s,%s)", lo, hi)
+}
+
+// Clone deep-copies the range bounds.
+func (r Range) Clone() Range {
+	return Range{Lo: bytes.Clone(r.Lo), Hi: bytes.Clone(r.Hi)}
+}
+
+// RangeFromKeys builds the tight closed-open range covering the given keys:
+// [min, successor(max)). Returns the zero Range when keys is empty.
+func RangeFromKeys(ks [][]byte) Range {
+	if len(ks) == 0 {
+		return Range{}
+	}
+	lo, hi := ks[0], ks[0]
+	for _, k := range ks[1:] {
+		if bytes.Compare(k, lo) < 0 {
+			lo = k
+		}
+		if bytes.Compare(k, hi) > 0 {
+			hi = k
+		}
+	}
+	return Range{Lo: bytes.Clone(lo), Hi: Successor(hi)}
+}
+
+// Successor returns the smallest key strictly greater than u, i.e. u with a
+// zero byte appended. The result never aliases u.
+func Successor(u []byte) []byte {
+	out := make([]byte, len(u)+1)
+	copy(out, u)
+	return out
+}

@@ -1,0 +1,208 @@
+package keys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b InternalKey
+		want int
+	}{
+		{InternalKey{User: []byte("a"), Seq: 1, Kind: KindSet}, InternalKey{User: []byte("b"), Seq: 1, Kind: KindSet}, -1},
+		{InternalKey{User: []byte("b"), Seq: 1, Kind: KindSet}, InternalKey{User: []byte("a"), Seq: 9, Kind: KindSet}, 1},
+		// Same user key: higher seq sorts first.
+		{InternalKey{User: []byte("k"), Seq: 9, Kind: KindSet}, InternalKey{User: []byte("k"), Seq: 1, Kind: KindSet}, -1},
+		// Same user key and seq: delete sorts before set.
+		{InternalKey{User: []byte("k"), Seq: 5, Kind: KindDelete}, InternalKey{User: []byte("k"), Seq: 5, Kind: KindSet}, -1},
+		{InternalKey{User: []byte("k"), Seq: 5, Kind: KindSet}, InternalKey{User: []byte("k"), Seq: 5, Kind: KindSet}, 0},
+	}
+	for i, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("case %d reversed: got %d want %d", i, got, -c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(user []byte, seq uint64, kindSet bool) bool {
+		seq &= MaxSeq
+		kind := KindSet
+		if !kindSet {
+			kind = KindDelete
+		}
+		k := InternalKey{User: user, Seq: seq, Kind: kind}
+		enc := k.Encode(nil)
+		dec, err := DecodeInternalKey(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec.User, user) && dec.Seq == seq && dec.Kind == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTooShort(t *testing.T) {
+	if _, err := DecodeInternalKey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short buffer")
+	}
+}
+
+func TestEncodePreservesOrdering(t *testing.T) {
+	// Encoded keys compared bytewise on the user-key prefix must respect
+	// user-key ordering.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := make([]byte, 1+rng.Intn(10))
+		b := make([]byte, 1+rng.Intn(10))
+		rng.Read(a)
+		rng.Read(b)
+		ka := InternalKey{User: a, Seq: uint64(rng.Intn(100)), Kind: KindSet}
+		kb := InternalKey{User: b, Seq: uint64(rng.Intn(100)), Kind: KindSet}
+		if c := bytes.Compare(a, b); c != 0 {
+			if got := Compare(ka, kb); got != c {
+				t.Fatalf("user ordering broken: %q vs %q", a, b)
+			}
+		}
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Lo: []byte("b"), Hi: []byte("d")}
+	for _, tc := range []struct {
+		k    string
+		want bool
+	}{
+		{"a", false}, {"b", true}, {"c", true}, {"cz", true}, {"d", false}, {"e", false},
+	} {
+		if got := r.Contains([]byte(tc.k)); got != tc.want {
+			t.Errorf("Contains(%q) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+	unbounded := Range{}
+	if !unbounded.Contains([]byte("anything")) {
+		t.Error("zero Range must contain everything")
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	mk := func(lo, hi string) Range {
+		r := Range{}
+		if lo != "" {
+			r.Lo = []byte(lo)
+		}
+		if hi != "" {
+			r.Hi = []byte(hi)
+		}
+		return r
+	}
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{mk("a", "c"), mk("b", "d"), true},
+		{mk("a", "b"), mk("b", "c"), false}, // touching, half-open
+		{mk("a", "b"), mk("c", "d"), false},
+		{mk("", ""), mk("x", "y"), true},  // unbounded overlaps all
+		{mk("a", ""), mk("", "b"), true},  // half-bounded
+		{mk("c", ""), mk("", "b"), false}, // disjoint half-bounded
+	}
+	for i, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: %v.Overlaps(%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("case %d sym: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRangeUnion(t *testing.T) {
+	a := Range{Lo: []byte("b"), Hi: []byte("d")}
+	b := Range{Lo: []byte("c"), Hi: []byte("f")}
+	u := a.Union(b)
+	if string(u.Lo) != "b" || string(u.Hi) != "f" {
+		t.Fatalf("union = %v", u)
+	}
+	// Union with unbounded side.
+	c := Range{Lo: nil, Hi: []byte("c")}
+	u = a.Union(c)
+	if u.Lo != nil || string(u.Hi) != "d" {
+		t.Fatalf("union with half-bounded = %v", u)
+	}
+}
+
+func TestRangeEmpty(t *testing.T) {
+	if (Range{}).Empty() {
+		t.Error("zero range is unbounded, not empty")
+	}
+	if !(Range{Lo: []byte("b"), Hi: []byte("b")}).Empty() {
+		t.Error("lo==hi should be empty")
+	}
+	if !(Range{Lo: []byte("c"), Hi: []byte("b")}).Empty() {
+		t.Error("lo>hi should be empty")
+	}
+}
+
+func TestRangeFromKeys(t *testing.T) {
+	ks := [][]byte{[]byte("m"), []byte("a"), []byte("z"), []byte("q")}
+	r := RangeFromKeys(ks)
+	if string(r.Lo) != "a" {
+		t.Fatalf("lo = %q", r.Lo)
+	}
+	if !r.Contains([]byte("z")) {
+		t.Fatal("range must contain its max key")
+	}
+	if r.Contains([]byte("z\x00\x00")) {
+		t.Fatal("range should stop just past max")
+	}
+	if got := RangeFromKeys(nil); got.Lo != nil || got.Hi != nil {
+		t.Fatalf("empty keys should give zero range, got %v", got)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	s := Successor([]byte("ab"))
+	if !bytes.Equal(s, []byte("ab\x00")) {
+		t.Fatalf("successor = %q", s)
+	}
+	if bytes.Compare(s, []byte("ab")) <= 0 {
+		t.Fatal("successor must be strictly greater")
+	}
+	// Nothing sorts between k and Successor(k).
+	if bytes.Compare([]byte("ab"), s) >= 0 {
+		t.Fatal("ordering broken")
+	}
+}
+
+func TestRangeClone(t *testing.T) {
+	r := Range{Lo: []byte("a"), Hi: []byte("b")}
+	c := r.Clone()
+	c.Lo[0] = 'z'
+	if r.Lo[0] != 'a' {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestMakeSearchKeySortsFirst(t *testing.T) {
+	// The search key for (u, seq) must sort <= any version of u with
+	// seq' <= seq, and > any version with seq' > seq.
+	u := []byte("k")
+	probe := MakeSearchKey(u, 50)
+	older := InternalKey{User: u, Seq: 49, Kind: KindSet}
+	newer := InternalKey{User: u, Seq: 51, Kind: KindSet}
+	if Compare(probe, older) > 0 {
+		t.Fatal("probe must sort before older versions")
+	}
+	if Compare(probe, newer) < 0 {
+		t.Fatal("probe must sort after newer versions")
+	}
+}

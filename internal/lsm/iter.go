@@ -1,0 +1,144 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/semisst"
+)
+
+// TreeIter merges all tables overlapping a scan range into one user-key
+// ordered stream, resolving multi-level versions by sequence number and
+// eliding tombstones.
+type TreeIter struct {
+	h       iterHeap
+	entries []*fileEntry
+	key     []byte
+	value   []byte
+	valid   bool
+	err     error
+}
+
+// Close releases the iterator's table references. Idempotent.
+func (s *TreeIter) Close() {
+	for _, fe := range s.entries {
+		fe.release()
+	}
+	s.entries = nil
+	s.valid = false
+}
+
+type heapItem struct {
+	it *semisst.Iter
+}
+
+type iterHeap []*heapItem
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	return keys.Compare(h[i].it.Key(), h[j].it.Key()) < 0
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(*heapItem)) }
+func (h *iterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewScanIter returns an iterator over user keys in [lo, hi) across all
+// levels. hi == nil means unbounded. Charges reads as foreground scans.
+func (t *Tree) NewScanIter(lo []byte, op device.Op) *TreeIter {
+	scan := &TreeIter{}
+	t.mu.RLock()
+	var tables []*semisst.Table
+	for level := 1; level <= t.opts.MaxLevels; level++ {
+		for _, fe := range t.levels[level] {
+			r := fe.table.Range()
+			if r.Hi != nil && lo != nil && bytes.Compare(r.Hi, lo) <= 0 {
+				continue
+			}
+			fe.acquire()
+			scan.entries = append(scan.entries, fe)
+			tables = append(tables, fe.table)
+		}
+	}
+	t.mu.RUnlock()
+	for _, tbl := range tables {
+		it := tbl.NewIter(op)
+		if lo == nil {
+			it.First()
+		} else {
+			it.SeekGE(lo)
+		}
+		if it.Valid() {
+			scan.h = append(scan.h, &heapItem{it: it})
+		} else if err := it.Err(); err != nil {
+			scan.err = err
+		}
+	}
+	heap.Init(&scan.h)
+	scan.advance()
+	return scan
+}
+
+// advance pops the next distinct user key, resolving versions.
+func (s *TreeIter) advance() {
+	s.valid = false
+	for len(s.h) > 0 {
+		// The heap orders by internal key: the newest version of the
+		// smallest user key surfaces first.
+		top := s.h[0]
+		k := top.it.Key()
+		user := append([]byte(nil), k.User...)
+		kind := k.Kind
+		value := append([]byte(nil), top.it.Value()...)
+		seq := k.Seq
+		// Drain every older version of this user key from all iterators.
+		for len(s.h) > 0 {
+			cur := s.h[0]
+			ck := cur.it.Key()
+			if !bytes.Equal(ck.User, user) {
+				break
+			}
+			if ck.Seq > seq {
+				seq, kind = ck.Seq, ck.Kind
+				value = append(value[:0], cur.it.Value()...)
+			}
+			cur.it.Next()
+			if cur.it.Valid() {
+				heap.Fix(&s.h, 0)
+			} else {
+				if err := cur.it.Err(); err != nil {
+					s.err = err
+					return
+				}
+				heap.Pop(&s.h)
+			}
+		}
+		if kind == keys.KindDelete {
+			continue // tombstone: skip this user key entirely
+		}
+		s.key, s.value, s.valid = user, value, true
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (s *TreeIter) Valid() bool { return s.valid }
+
+// Next advances to the next distinct live user key.
+func (s *TreeIter) Next() { s.advance() }
+
+// Key returns the current user key.
+func (s *TreeIter) Key() []byte { return s.key }
+
+// Value returns the current value.
+func (s *TreeIter) Value() []byte { return s.value }
+
+// Err returns the first error encountered.
+func (s *TreeIter) Err() error { return s.err }

@@ -1,0 +1,88 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/semisst"
+)
+
+// Recover rebuilds a capacity-tier tree from the semi-SSTables persisted on
+// the device. Semi-SSTables are self-describing (footer → index block with
+// block metadata, filters and key lists), and file names carry the
+// (partition, level, segment, generation) coordinates, so no separate
+// manifest is required. When a crash left two generations for the same
+// (level, segment) — create raced remove — the newer generation wins and the
+// older file is deleted. Returns the tree and the largest sequence seen.
+func Recover(opts Options) (*Tree, uint64, error) {
+	opts.fill()
+	t := New(opts)
+	prefix := fmt.Sprintf("p%d-L", opts.Partition)
+
+	type coord struct {
+		level, seg int
+	}
+	best := make(map[coord]uint64) // highest generation per slot
+	for _, name := range opts.Dev.List() {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		var part, level, seg int
+		var gen uint64
+		if _, err := fmt.Sscanf(name, "p%d-L%d-S%d-G%d.sst", &part, &level, &seg, &gen); err != nil {
+			continue
+		}
+		if level < 1 || level > opts.MaxLevels {
+			return nil, 0, fmt.Errorf("lsm: recovered file %q at impossible level %d", name, level)
+		}
+		c := coord{level, seg}
+		if gen > best[c] {
+			best[c] = gen
+		}
+	}
+
+	var maxSeq uint64
+	for _, name := range opts.Dev.List() {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		var part, level, seg int
+		var gen uint64
+		if _, err := fmt.Sscanf(name, "p%d-L%d-S%d-G%d.sst", &part, &level, &seg, &gen); err != nil {
+			continue
+		}
+		if best[coord{level, seg}] != gen {
+			// Superseded generation left behind by a crash mid-swap.
+			opts.Dev.Remove(name)
+			continue
+		}
+		f, err := opts.Dev.Open(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		var metaDev *device.Device
+		if level <= mirrorDepth {
+			metaDev = opts.MetaBackup
+		}
+		tbl, err := semisst.Open(f, semisst.Options{
+			PageCache:  opts.PageCache,
+			MetaBackup: metaDev,
+		}, device.BgSeq)
+		if err != nil {
+			return nil, 0, fmt.Errorf("lsm: recover %q: %w", name, err)
+		}
+		if s := tbl.MaxSeq(); s > maxSeq {
+			maxSeq = s
+		}
+		fe := &fileEntry{table: tbl, seg: seg, dev: opts.Dev}
+		fe.refs.Store(1)
+		t.mu.Lock()
+		t.levels[level][seg] = fe
+		if gen > t.nextGen {
+			t.nextGen = gen
+		}
+		t.mu.Unlock()
+	}
+	return t, maxSeq, nil
+}

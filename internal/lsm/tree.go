@@ -1,0 +1,415 @@
+// Package lsm implements HyperDB's capacity-tier LSM tree over
+// semi-SSTables (§3.2, §3.4). The performance tier acts as L0, so the tree
+// starts at L1. Every level is partitioned into key-space segments: the
+// largest level divides the key space uniformly, and each shallower level's
+// files cover exactly T (the size ratio) contiguous child files — the
+// alignment that bounds key-range overlap during deep compaction. Levels
+// fill in place: migration batches merge into the L1 file owning their
+// segment, and preemptive block compaction pushes overflow downward at block
+// granularity.
+package lsm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/semisst"
+	"hyperdb/internal/stats"
+	"hyperdb/internal/zone"
+)
+
+// Options configures a capacity-tier tree (one per partition).
+type Options struct {
+	// Dev is the capacity-tier device.
+	Dev *device.Device
+	// Partition names this tree's files and bounds its key space.
+	Partition int
+	// KeyLo and KeyHi bound the partition's 64-bit key-prefix space
+	// (KeyHi = 0 means the top of the space).
+	KeyLo, KeyHi uint64
+	// Ratio is T, the level size ratio (paper default 10).
+	Ratio int
+	// L1Segments is the number of files at L1 (each deeper level has ×T).
+	L1Segments int
+	// FileSize is the target live size of one semi-SSTable; a level's
+	// capacity is its segment count × FileSize.
+	FileSize int64
+	// MaxLevels bounds the tree depth.
+	MaxLevels int
+	// Depth is k, how many levels preemptive compaction chases blocks.
+	Depth int
+	// TClean is the dirty-block ratio past which a table is fully
+	// compacted (paper: 0.5).
+	TClean float64
+	// SpaceAmpLimit switches victim selection to dirtiest-first when
+	// FileBytes/LiveBytes exceeds it (paper: 1.5).
+	SpaceAmpLimit float64
+	// PowerK is the power-of-k sampling width for victim candidates
+	// (paper: 8).
+	PowerK int
+	// PageCache serves data-block reads.
+	PageCache cache.BlockCache
+	// MetaBackup mirrors semi-SSTable indexes to the performance tier.
+	MetaBackup *device.Device
+	// Seed makes victim sampling deterministic.
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.Ratio <= 1 {
+		o.Ratio = 10
+	}
+	if o.L1Segments <= 0 {
+		o.L1Segments = 2
+	}
+	if o.FileSize <= 0 {
+		o.FileSize = 2 << 20
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 4
+	}
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.TClean <= 0 {
+		o.TClean = 0.5
+	}
+	if o.SpaceAmpLimit <= 0 {
+		o.SpaceAmpLimit = 1.5
+	}
+	if o.PowerK <= 0 {
+		o.PowerK = 8
+	}
+	if o.KeyHi == 0 {
+		o.KeyHi = math.MaxUint64
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x9E3779B97F4A7C15
+	}
+}
+
+// mirrorDepth is the deepest level whose semi-SSTable index is mirrored to
+// the performance tier (§3.1). Preemptive compaction planning concentrates
+// its index reads on the levels it drains and their immediate children.
+const mirrorDepth = 2
+
+// fileEntry is one segment-aligned semi-SSTable within a level. Entries are
+// reference-counted so a compaction can drain and delete a table without
+// yanking its file out from under a concurrent read.
+type fileEntry struct {
+	table *semisst.Table
+	seg   int // segment index within the level
+	refs  atomic.Int32
+	dev   *device.Device
+}
+
+// acquire takes a reader reference; callers hold t.mu (any mode).
+func (fe *fileEntry) acquire() { fe.refs.Add(1) }
+
+// release drops a reference, deleting the file at zero.
+func (fe *fileEntry) release() {
+	if fe.refs.Add(-1) == 0 {
+		fe.table.Close()
+		fe.dev.Remove(fe.table.File().Name())
+	}
+}
+
+// LevelTraffic tallies compaction I/O per level — the Figure 3b breakdown.
+type LevelTraffic struct {
+	ReadBytes    stats.Counter
+	WriteBytes   stats.Counter
+	Compactions  stats.Counter
+	FullRewrites stats.Counter
+}
+
+// Tree is the capacity-tier LSM for one partition.
+type Tree struct {
+	opts Options
+
+	// mutMu serialises structural mutations (merges, compactions): the
+	// migration worker, the compaction worker and foreground write stalls
+	// all mutate the tree, and a compaction must not drop a table out from
+	// under an in-flight merge. Reads only take mu.
+	mutMu sync.Mutex
+
+	mu          sync.RWMutex
+	levels      []map[int]*fileEntry // levels[0] unused; levels[k][seg]
+	nextGen     uint64
+	rnd         uint64
+	traffic     []*LevelTraffic // parallel to levels
+	pendingFull []*fileEntry    // tables past TClean awaiting full compaction
+}
+
+// New creates an empty tree.
+func New(opts Options) *Tree {
+	opts.fill()
+	t := &Tree{opts: opts, rnd: opts.Seed}
+	t.levels = make([]map[int]*fileEntry, opts.MaxLevels+1)
+	t.traffic = make([]*LevelTraffic, opts.MaxLevels+1)
+	for i := 1; i <= opts.MaxLevels; i++ {
+		t.levels[i] = make(map[int]*fileEntry)
+		t.traffic[i] = &LevelTraffic{}
+	}
+	return t
+}
+
+// segments returns the number of key-space segments at level k.
+func (t *Tree) segments(level int) int {
+	n := t.opts.L1Segments
+	for i := 1; i < level; i++ {
+		n *= t.opts.Ratio
+	}
+	return n
+}
+
+// segWidth returns the key-prefix width of one segment at level k.
+func (t *Tree) segWidth(level int) uint64 {
+	span := t.opts.KeyHi - t.opts.KeyLo
+	n := uint64(t.segments(level))
+	w := span / n
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// segFor maps a user key to its segment index at level k.
+func (t *Tree) segFor(level int, user []byte) int {
+	k64 := zone.Key64(user)
+	if k64 < t.opts.KeyLo {
+		return 0
+	}
+	seg := int((k64 - t.opts.KeyLo) / t.segWidth(level))
+	if max := t.segments(level) - 1; seg > max {
+		seg = max
+	}
+	return seg
+}
+
+// capacity returns the live-byte budget of level k. The bottom level is
+// unbounded: data settles there.
+func (t *Tree) capacity(level int) int64 {
+	if level >= t.opts.MaxLevels {
+		return math.MaxInt64
+	}
+	return int64(t.segments(level)) * t.opts.FileSize
+}
+
+// LevelBytes returns (live, file) byte totals for level k.
+func (t *Tree) LevelBytes(level int) (live, file int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.levelBytesLocked(level)
+}
+
+func (t *Tree) levelBytesLocked(level int) (live, file int64) {
+	for _, fe := range t.levels[level] {
+		live += fe.table.LiveBytes()
+		file += fe.table.FileBytes()
+	}
+	return live, file
+}
+
+// SpaceAmp returns the §3.4 space-amplification metric: data-block bytes
+// including dirty blocks over live data-block bytes (≥ 1). Index blocks are
+// metadata, not amplification.
+func (t *Tree) SpaceAmp() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var live, stale int64
+	for l := 1; l <= t.opts.MaxLevels; l++ {
+		for _, fe := range t.levels[l] {
+			live += fe.table.LiveBytes()
+			stale += fe.table.StaleBytes()
+		}
+	}
+	if live == 0 {
+		return 1
+	}
+	return float64(live+stale) / float64(live)
+}
+
+// TotalFileBytes returns the tree's on-device footprint.
+func (t *Tree) TotalFileBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var file int64
+	for l := 1; l <= t.opts.MaxLevels; l++ {
+		_, fl := t.levelBytesLocked(l)
+		file += fl
+	}
+	return file
+}
+
+// Levels returns the configured maximum depth.
+func (t *Tree) Levels() int { return t.opts.MaxLevels }
+
+// Traffic returns level k's compaction counters.
+func (t *Tree) Traffic(level int) *LevelTraffic { return t.traffic[level] }
+
+// TableCount returns the number of live tables at level k.
+func (t *Tree) TableCount(level int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.levels[level])
+}
+
+// newTable creates a semi-SSTable for (level, seg) from sorted entries.
+// Caller holds mu.
+func (t *Tree) newTable(level, seg int, entries []semisst.Entry, op device.Op) (*fileEntry, error) {
+	t.nextGen++
+	name := fmt.Sprintf("p%d-L%d-S%d-G%d.sst", t.opts.Partition, level, seg, t.nextGen)
+	f, err := t.opts.Dev.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror upper-level indexes only: compaction planning reads them
+	// constantly, while the deep levels hold ~90% of the data and their
+	// indexes would crowd the performance tier out of payload space at
+	// small key:value ratios.
+	var metaDev *device.Device
+	if level <= mirrorDepth {
+		metaDev = t.opts.MetaBackup
+	}
+	tbl, err := semisst.Build(f, semisst.Options{
+		PageCache:  t.opts.PageCache,
+		MetaBackup: metaDev,
+	}, entries, op)
+	if err != nil {
+		return nil, err
+	}
+	fe := &fileEntry{table: tbl, seg: seg, dev: t.opts.Dev}
+	fe.refs.Store(1)
+	t.levels[level][seg] = fe
+	return fe, nil
+}
+
+// dropTable removes a drained table from the level and drops the tree's
+// reference; the file disappears once in-flight readers finish. Caller
+// holds mu.
+func (t *Tree) dropTable(level int, fe *fileEntry) {
+	delete(t.levels[level], fe.seg)
+	fe.release()
+}
+
+// Get searches levels shallow to deep for user at snapshot seq.
+func (t *Tree) Get(user []byte, seq uint64, op device.Op) (value []byte, kind keys.Kind, found bool, err error) {
+	for level := 1; level <= t.opts.MaxLevels; level++ {
+		t.mu.RLock()
+		fe := t.levels[level][t.segFor(level, user)]
+		if fe != nil {
+			fe.acquire()
+		}
+		t.mu.RUnlock()
+		if fe == nil {
+			continue
+		}
+		v, k, ok, err := fe.table.Get(user, seq, op)
+		fe.release()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if ok {
+			return v, k, true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// MergeBatch integrates a sorted migration batch into L1, splitting it
+// across the segment files that own the keys. Entries must be sorted by
+// user key with one version per key.
+func (t *Tree) MergeBatch(entries []semisst.Entry, op device.Op) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	t.mutMu.Lock()
+	defer t.mutMu.Unlock()
+	return t.mergeIntoLevel(1, entries, op)
+}
+
+// mergeIntoLevel splits entries by segment at the level and merges each
+// slice into its file (creating files as needed).
+func (t *Tree) mergeIntoLevel(level int, entries []semisst.Entry, op device.Op) error {
+	drop := level == t.opts.MaxLevels // tombstones die at the bottom
+	i := 0
+	for i < len(entries) {
+		seg := t.segFor(level, entries[i].Key.User)
+		j := i + 1
+		for j < len(entries) && t.segFor(level, entries[j].Key.User) == seg {
+			j++
+		}
+		slice := entries[i:j]
+		i = j
+
+		t.mu.Lock()
+		fe := t.levels[level][seg]
+		if fe == nil {
+			if drop {
+				slice = filterTombstones(slice)
+			}
+			if len(slice) > 0 {
+				nfe, err := t.newTable(level, seg, slice, op)
+				if err != nil {
+					t.mu.Unlock()
+					return err
+				}
+				t.traffic[level].WriteBytes.Add(uint64(nfe.table.FileBytes()))
+			}
+			t.mu.Unlock()
+			continue
+		}
+		t.mu.Unlock()
+
+		before := fe.table.FileBytes()
+		st, err := fe.table.Merge(slice, drop, op)
+		if err != nil {
+			return err
+		}
+		t.traffic[level].ReadBytes.Add(uint64(st.BytesRead))
+		if after := fe.table.FileBytes(); after > before {
+			t.traffic[level].WriteBytes.Add(uint64(after - before))
+		}
+		t.noteDirty(level, fe)
+	}
+	return nil
+}
+
+func filterTombstones(entries []semisst.Entry) []semisst.Entry {
+	out := entries[:0:0]
+	for _, e := range entries {
+		if e.Key.Kind != keys.KindDelete {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// noteDirty queues a table for full compaction when its dirty ratio passes
+// T_clean (§3.4).
+func (t *Tree) noteDirty(level int, fe *fileEntry) {
+	if fe.table.DirtyRatio() <= t.opts.TClean {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.pendingFull {
+		if p == fe {
+			return
+		}
+	}
+	t.pendingFull = append(t.pendingFull, fe)
+}
+
+// rand64 steps the tree's xorshift generator. Caller holds mu.
+func (t *Tree) rand64() uint64 {
+	t.rnd ^= t.rnd << 13
+	t.rnd ^= t.rnd >> 7
+	t.rnd ^= t.rnd << 17
+	return t.rnd
+}

@@ -1,0 +1,51 @@
+package semisst
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants validates the table's structural invariants: live blocks
+// strictly ordered and pairwise disjoint by key range, per-block key lists
+// matching the recorded bounds, and stale accounting consistent. Tests and
+// the harness call this after mutation storms.
+func (t *Table) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var prevLast []byte
+	for i, li := range t.live {
+		b := &t.blocks[li]
+		if !b.Valid {
+			return fmt.Errorf("semisst: live[%d] points at invalid block", i)
+		}
+		if len(b.Keys) != b.Entries {
+			return fmt.Errorf("semisst: block %d keys=%d entries=%d", li, len(b.Keys), b.Entries)
+		}
+		if b.Entries > 0 {
+			if !bytes.Equal(b.Keys[0], b.First) || !bytes.Equal(b.Keys[len(b.Keys)-1], b.Last) {
+				return fmt.Errorf("semisst: block %d bounds %q..%q disagree with keys %q..%q",
+					li, b.First, b.Last, b.Keys[0], b.Keys[len(b.Keys)-1])
+			}
+		}
+		for j := 1; j < len(b.Keys); j++ {
+			if bytes.Compare(b.Keys[j-1], b.Keys[j]) >= 0 {
+				return fmt.Errorf("semisst: block %d keys out of order at %d", li, j)
+			}
+		}
+		if prevLast != nil && bytes.Compare(prevLast, b.First) >= 0 {
+			return fmt.Errorf("semisst: live blocks overlap: prev last %q >= first %q (block %d)",
+				prevLast, b.First, li)
+		}
+		prevLast = b.Last
+	}
+	var stale int64
+	for i := range t.blocks {
+		if !t.blocks[i].Valid {
+			stale += int64(t.blocks[i].Handle.Size)
+		}
+	}
+	if stale != t.stale {
+		return fmt.Errorf("semisst: stale accounting %d != computed %d", t.stale, stale)
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+// Package semisst implements the semi-sorted string table of §3.2: entries
+// are sorted inside each data block, blocks may be appended after the file
+// is persisted, and the index block records every block's offset, key range,
+// validity, bloom filter and a prefix-compressed list of the block's live
+// keys. A merge never rewrites the whole file: superseded blocks are marked
+// dirty (dead space, reclaimed by a later full compaction); survivors stay
+// clean and in place; merged entries form fresh blocks appended at the tail
+// together with a new index block.
+//
+// The live blocks of a table always cover pairwise-disjoint key ranges, so a
+// point lookup touches at most one data block.
+//
+// Following §3.1, the index can be mirrored to the performance tier
+// (Options.MetaBackup): compaction workers then read keys from the NVMe
+// mirror instead of the capacity tier — the "low-cost index lookup" the
+// paper credits for cheap overlap scoring.
+package semisst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hyperdb/internal/block"
+	"hyperdb/internal/bloom"
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/sstable"
+)
+
+// Magic identifies a semi-SSTable footer.
+const Magic = 0x5e3915ab1e5e3900
+
+const footerSize = 32
+
+// BlockMeta describes one data block of a semi-SSTable.
+type BlockMeta struct {
+	Handle  sstable.Handle
+	First   []byte // first user key in the block
+	Last    []byte // last user key in the block
+	Entries int
+	Valid   bool
+	Filter  *bloom.Filter
+	// Keys holds the block's live user keys in sorted order. It mirrors the
+	// persisted index content so compaction never reads data blocks to
+	// discover overlap (§3.4).
+	Keys [][]byte
+	// enc caches the block's serialised index segment; blocks are immutable
+	// once written, so each merge's index rewrite reuses it instead of
+	// re-encoding every block in the table.
+	enc []byte
+}
+
+// Range returns the closed-open user-key range of the block.
+func (b *BlockMeta) Range() keys.Range {
+	return keys.Range{Lo: b.First, Hi: keys.Successor(b.Last)}
+}
+
+// Options configures semi-SSTable construction and merging.
+type Options struct {
+	// BlockSize targets one device page per data block (default 4096).
+	BlockSize int
+	// BloomBitsPerKey sizes per-block filters (default 10).
+	BloomBitsPerKey int
+	// PageCache, if set, caches data blocks across reads.
+	PageCache cache.BlockCache
+	// MetaBackup, if set, mirrors the index block to this (performance-tier)
+	// device so index reads are charged there instead of the capacity tier.
+	MetaBackup *device.Device
+}
+
+func (o *Options) fill() {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+}
+
+// Entry is one key-value pair fed into a build or merge.
+type Entry struct {
+	Key   keys.InternalKey
+	Value []byte
+}
+
+// Table is an open semi-SSTable.
+type Table struct {
+	mu       sync.RWMutex
+	f        *device.File
+	metaF    *device.File // index mirror on the performance tier, may be nil
+	opts     Options
+	blocks   []BlockMeta // every block ever written, in file order
+	live     []int       // indices of valid blocks, sorted by First key
+	stale    int64       // bytes in dirty data blocks
+	maxSeq   uint64
+	idxBytes int64 // size of the current persisted index block
+	// gen increments whenever existing file offsets are invalidated (a full
+	// compaction rewrites the file in place). It namespaces page-cache keys
+	// and lets lock-free readers detect that a snapshot of block metadata
+	// went stale mid-read.
+	gen uint64
+}
+
+// Build creates a new semi-SSTable in f from sorted entries (one version per
+// user key). I/O is charged with op; flush/compaction jobs pass device.Bg.
+func Build(f *device.File, opts Options, entries []Entry, op device.Op) (*Table, error) {
+	opts.fill()
+	t := &Table{f: f, opts: opts}
+	if err := t.openMetaBackup(); err != nil {
+		return nil, err
+	}
+	if err := t.appendMerge(entries, nil, op); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Table) openMetaBackup() error {
+	if t.opts.MetaBackup == nil {
+		return nil
+	}
+	name := t.f.Name() + ".idx"
+	f, err := t.opts.MetaBackup.Open(name)
+	if err != nil {
+		f, err = t.opts.MetaBackup.Create(name)
+		if err != nil {
+			return err
+		}
+	}
+	t.metaF = f
+	return nil
+}
+
+// Open reloads a semi-SSTable persisted in f.
+func Open(f *device.File, opts Options, op device.Op) (*Table, error) {
+	opts.fill()
+	size := f.Size()
+	if size < footerSize {
+		return nil, fmt.Errorf("semisst: %q too small", f.Name())
+	}
+	footer := make([]byte, footerSize)
+	if _, err := f.ReadAt(footer, size-footerSize, op); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got != Magic {
+		return nil, fmt.Errorf("semisst: bad magic in %q", f.Name())
+	}
+	idxH, err := sstable.DecodeHandle(footer)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]byte, idxH.Size)
+	if _, err := f.ReadAt(idx, int64(idxH.Offset), op); err != nil {
+		return nil, err
+	}
+	t := &Table{f: f, opts: opts, idxBytes: int64(len(idx))}
+	if err := t.decodeIndex(idx); err != nil {
+		return nil, err
+	}
+	if err := t.openMetaBackup(); err != nil {
+		return nil, err
+	}
+	t.recomputeLive()
+	return t, nil
+}
+
+// File returns the underlying device file.
+func (t *Table) File() *device.File { return t.f }
+
+// MaxSeq returns the largest sequence number stored in the table.
+func (t *Table) MaxSeq() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.maxSeq
+}
+
+// Close releases the index mirror (call when the table is deleted).
+func (t *Table) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.metaF != nil {
+		t.opts.MetaBackup.Remove(t.metaF.Name())
+		t.metaF = nil
+	}
+}
+
+// recomputeLive rebuilds the sorted live-block index. Caller holds mu.
+func (t *Table) recomputeLive() {
+	t.live = t.live[:0]
+	for i := range t.blocks {
+		if t.blocks[i].Valid {
+			t.live = append(t.live, i)
+		}
+	}
+	sort.Slice(t.live, func(a, b int) bool {
+		return bytes.Compare(t.blocks[t.live[a]].First, t.blocks[t.live[b]].First) < 0
+	})
+}
+
+// appendMerge marks dirtyIdx blocks invalid, appends entries as fresh blocks
+// at the tail, and rewrites the index and footer. entries must be sorted by
+// internal key with one version per user key, and must not overlap any
+// block that remains clean.
+func (t *Table) appendMerge(entries []Entry, dirtyIdx []int, op device.Op) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	for _, i := range dirtyIdx {
+		if i < 0 || i >= len(t.blocks) {
+			return fmt.Errorf("semisst: dirty index %d out of range", i)
+		}
+		if t.blocks[i].Valid {
+			t.blocks[i].Valid = false
+			t.blocks[i].Filter = nil
+			t.blocks[i].Keys = nil
+			t.stale += int64(t.blocks[i].Handle.Size)
+		}
+	}
+
+	// Drop the previous index/footer tail; data blocks stay put.
+	if err := t.f.Truncate(t.dataEnd()); err != nil {
+		return err
+	}
+
+	bb := block.NewBuilder(0)
+	var blockKeys [][]byte
+	flush := func() error {
+		if len(blockKeys) == 0 {
+			return nil
+		}
+		content := bb.Finish()
+		off, err := t.f.Append(content)
+		if err != nil {
+			return err
+		}
+		// The filter is sized to the block's actual key count so small
+		// blocks (large values) don't carry oversized filters in the index.
+		filter := bloom.New(len(blockKeys), t.opts.BloomBitsPerKey)
+		for _, u := range blockKeys {
+			filter.Add(u)
+		}
+		t.blocks = append(t.blocks, BlockMeta{
+			Handle:  sstable.Handle{Offset: uint64(off), Size: uint64(len(content))},
+			First:   blockKeys[0],
+			Last:    blockKeys[len(blockKeys)-1],
+			Entries: len(blockKeys),
+			Valid:   true,
+			Filter:  filter,
+			Keys:    blockKeys,
+		})
+		bb.Reset()
+		blockKeys = nil
+		return nil
+	}
+	for _, e := range entries {
+		bb.Add(e.Key, e.Value)
+		blockKeys = append(blockKeys, append([]byte(nil), e.Key.User...))
+		if e.Key.Seq > t.maxSeq {
+			t.maxSeq = e.Key.Seq
+		}
+		if bb.SizeEstimate() >= t.opts.BlockSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	t.recomputeLive()
+	if err := t.writeIndexLocked(op); err != nil {
+		return err
+	}
+	op.Sequential = true
+	return t.f.Sync(op)
+}
+
+// dataEnd returns the offset just past the last data block. Caller holds mu.
+func (t *Table) dataEnd() int64 {
+	var end int64
+	for i := range t.blocks {
+		if e := int64(t.blocks[i].Handle.Offset + t.blocks[i].Handle.Size); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// writeIndexLocked appends the index block and footer to the table file and
+// mirrors the index to the performance tier. Caller holds mu.
+func (t *Table) writeIndexLocked(op device.Op) error {
+	idx := t.encodeIndexLocked()
+	t.idxBytes = int64(len(idx))
+	off, err := t.f.Append(idx)
+	if err != nil {
+		return err
+	}
+	footer := sstable.EncodeHandle(nil, sstable.Handle{Offset: uint64(off), Size: uint64(len(idx))})
+	for len(footer) < footerSize-8 {
+		footer = append(footer, 0)
+	}
+	var magic [8]byte
+	binary.LittleEndian.PutUint64(magic[:], Magic)
+	footer = append(footer, magic[:]...)
+	if _, err := t.f.Append(footer); err != nil {
+		return err
+	}
+	if t.metaF != nil {
+		// The mirror is a best-effort acceleration (§3.1): when the
+		// performance tier has no room for it, drop the mirror and fall
+		// back to charging index reads against the capacity tier. Only the
+		// planning view is mirrored — block handles, key ranges and
+		// validity — because that is all compaction consults; the full
+		// index (key lists, filters) stays in the table's own footer.
+		mirror := t.encodeMirrorLocked()
+		err := t.metaF.Truncate(0)
+		if err == nil {
+			_, err = t.metaF.Append(mirror)
+		}
+		if err == nil {
+			mop := op
+			mop.Sequential = true
+			err = t.metaF.Sync(mop)
+		}
+		if errors.Is(err, device.ErrNoSpace) {
+			t.opts.MetaBackup.Remove(t.metaF.Name())
+			t.metaF = nil
+		} else if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeIndexLocked serialises maxSeq and per-block metadata, filters and
+// prefix-compressed key lists. Caller holds mu.
+func (t *Table) encodeIndexLocked() []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	putBytes := func(b []byte) {
+		putUv(uint64(len(b)))
+		out = append(out, b...)
+	}
+	putUv(t.maxSeq)
+	putUv(uint64(len(t.blocks)))
+	for i := range t.blocks {
+		b := &t.blocks[i]
+		if b.Valid && b.enc == nil {
+			b.enc = encodeBlockSegment(b)
+		}
+		if b.Valid {
+			out = append(out, b.enc...)
+			continue
+		}
+		putUv(b.Handle.Offset)
+		putUv(b.Handle.Size)
+		putUv(uint64(b.Entries))
+		out = append(out, 0)
+		putBytes(b.First)
+		putBytes(b.Last)
+	}
+	return out
+}
+
+// encodeMirrorLocked serialises the compact planning view mirrored to the
+// performance tier: per live block, its handle and key bounds. Caller holds
+// mu.
+func (t *Table) encodeMirrorLocked() []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	putBytes := func(b []byte) {
+		putUv(uint64(len(b)))
+		out = append(out, b...)
+	}
+	putUv(uint64(len(t.live)))
+	for _, li := range t.live {
+		b := &t.blocks[li]
+		putUv(b.Handle.Offset)
+		putUv(b.Handle.Size)
+		putBytes(b.First)
+		putBytes(b.Last)
+	}
+	return out
+}
+
+// encodeBlockSegment serialises one valid block's index entry (handle,
+// entry count, validity, bounds, filter, key list).
+func encodeBlockSegment(b *BlockMeta) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	putBytes := func(p []byte) {
+		putUv(uint64(len(p)))
+		out = append(out, p...)
+	}
+	putUv(b.Handle.Offset)
+	putUv(b.Handle.Size)
+	putUv(uint64(b.Entries))
+	out = append(out, 1)
+	putBytes(b.First)
+	putBytes(b.Last)
+	putBytes(b.Filter.Marshal())
+	kb := block.NewBuilder(0)
+	for _, u := range b.Keys {
+		kb.Add(keys.InternalKey{User: u, Seq: 0, Kind: keys.KindSet}, nil)
+	}
+	putBytes(kb.Finish())
+	return out
+}
+
+func (t *Table) decodeIndex(idx []byte) error {
+	off := 0
+	getUv := func() (uint64, error) {
+		v, n := binary.Uvarint(idx[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("semisst: truncated index")
+		}
+		off += n
+		return v, nil
+	}
+	getBytes := func() ([]byte, error) {
+		n, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(n) > len(idx) {
+			return nil, fmt.Errorf("semisst: truncated index bytes")
+		}
+		b := idx[off : off+int(n)]
+		off += int(n)
+		return append([]byte(nil), b...), nil
+	}
+	maxSeq, err := getUv()
+	if err != nil {
+		return err
+	}
+	t.maxSeq = maxSeq
+	nBlocks, err := getUv()
+	if err != nil {
+		return err
+	}
+	t.blocks = make([]BlockMeta, 0, nBlocks)
+	for i := uint64(0); i < nBlocks; i++ {
+		var b BlockMeta
+		if b.Handle.Offset, err = getUv(); err != nil {
+			return err
+		}
+		if b.Handle.Size, err = getUv(); err != nil {
+			return err
+		}
+		e, err := getUv()
+		if err != nil {
+			return err
+		}
+		b.Entries = int(e)
+		if off >= len(idx) {
+			return fmt.Errorf("semisst: truncated index validity")
+		}
+		b.Valid = idx[off] == 1
+		off++
+		if b.First, err = getBytes(); err != nil {
+			return err
+		}
+		if b.Last, err = getBytes(); err != nil {
+			return err
+		}
+		if !b.Valid {
+			t.stale += int64(b.Handle.Size)
+			t.blocks = append(t.blocks, b)
+			continue
+		}
+		fdata, err := getBytes()
+		if err != nil {
+			return err
+		}
+		if b.Filter, err = bloom.Unmarshal(fdata); err != nil {
+			return err
+		}
+		kdata, err := getBytes()
+		if err != nil {
+			return err
+		}
+		kit, err := block.NewIter(kdata)
+		if err != nil {
+			return err
+		}
+		for kit.First(); kit.Valid(); kit.Next() {
+			b.Keys = append(b.Keys, append([]byte(nil), kit.Key().User...))
+		}
+		if err := kit.Err(); err != nil {
+			return err
+		}
+		t.blocks = append(t.blocks, b)
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package semisst
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+func newDev() *device.Device {
+	return device.New(device.UnthrottledProfile("t", 0))
+}
+
+func entry(k string, seq uint64, v string) Entry {
+	return Entry{
+		Key:   keys.InternalKey{User: []byte(k), Seq: seq, Kind: keys.KindSet},
+		Value: []byte(v),
+	}
+}
+
+func sortedEntries(n int, seqBase uint64) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		out = append(out, entry(k, seqBase+uint64(i), "val-"+k))
+	}
+	return out
+}
+
+func TestBuildAndGet(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, err := Build(f, Options{}, sortedEntries(1000, 1), device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumEntries() != 1000 {
+		t.Fatalf("entries = %d", tbl.NumEntries())
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v, kind, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil || !found || kind != keys.KindSet || string(v) != "val-"+k {
+			t.Fatalf("get %s: %q %v %v %v", k, v, kind, found, err)
+		}
+	}
+	if _, _, found, _ := tbl.Get([]byte("absent"), keys.MaxSeq, device.Fg); found {
+		t.Fatal("phantom")
+	}
+}
+
+func TestBlocksDisjointAndSorted(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(2000, 1), device.Bg)
+	metas := tbl.LiveBlockMetas()
+	if len(metas) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(metas))
+	}
+	for i := 1; i < len(metas); i++ {
+		if bytes.Compare(metas[i-1].Last, metas[i].First) >= 0 {
+			t.Fatalf("blocks %d/%d overlap: %q vs %q", i-1, i, metas[i-1].Last, metas[i].First)
+		}
+	}
+}
+
+func TestMergeDirtiesOnlyOverlappingBlocks(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(2000, 1), device.Bg)
+	blocksBefore := tbl.NumLiveBlocks()
+
+	// Update a narrow range of keys: only the covering blocks go dirty.
+	incoming := []Entry{
+		entry("key-00500", 9001, "NEW-500"),
+		entry("key-00501", 9002, "NEW-501"),
+	}
+	st, err := tbl.Merge(incoming, false, device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksDirtied == 0 || st.BlocksDirtied > 2 {
+		t.Fatalf("dirtied %d blocks for a 2-key update", st.BlocksDirtied)
+	}
+	if tbl.StaleBytes() == 0 {
+		t.Fatal("no stale bytes after merge")
+	}
+	if got := tbl.NumLiveBlocks(); got < blocksBefore-2 || got > blocksBefore+1 {
+		t.Fatalf("live blocks %d -> %d", blocksBefore, got)
+	}
+	// All data still correct, updated keys serve new values.
+	v, _, found, _ := tbl.Get([]byte("key-00500"), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "NEW-500" {
+		t.Fatalf("updated key: %q %v", v, found)
+	}
+	v, _, found, _ = tbl.Get([]byte("key-00499"), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "val-key-00499" {
+		t.Fatalf("survivor from dirty block: %q %v", v, found)
+	}
+	v, _, found, _ = tbl.Get([]byte("key-01500"), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "val-key-01500" {
+		t.Fatalf("clean-block key: %q %v", v, found)
+	}
+	if tbl.NumEntries() != 2000 {
+		t.Fatalf("entries after merge = %d", tbl.NumEntries())
+	}
+}
+
+func TestMergeNonOverlappingAppends(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(100, 1), device.Bg)
+	// Keys entirely after the existing range: nothing dirties.
+	var incoming []Entry
+	for i := 0; i < 50; i++ {
+		incoming = append(incoming, entry(fmt.Sprintf("zzz-%03d", i), uint64(1000+i), "z"))
+	}
+	st, err := tbl.Merge(incoming, false, device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksDirtied != 0 {
+		t.Fatalf("non-overlapping merge dirtied %d blocks", st.BlocksDirtied)
+	}
+	if tbl.NumEntries() != 150 {
+		t.Fatalf("entries = %d", tbl.NumEntries())
+	}
+	if tbl.StaleBytes() != 0 {
+		t.Fatal("stale bytes on clean append")
+	}
+}
+
+func TestTombstonesDropAtBottom(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(100, 1), device.Bg)
+	del := Entry{Key: keys.InternalKey{User: []byte("key-00050"), Seq: 999, Kind: keys.KindDelete}}
+	if _, err := tbl.Merge([]Entry{del}, true, device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := tbl.Get([]byte("key-00050"), keys.MaxSeq, device.Fg); found {
+		t.Fatal("bottom-level merge should drop key entirely")
+	}
+	if tbl.NumEntries() != 99 {
+		t.Fatalf("entries = %d", tbl.NumEntries())
+	}
+}
+
+func TestTombstonesKeptAtMiddle(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(100, 1), device.Bg)
+	del := Entry{Key: keys.InternalKey{User: []byte("key-00050"), Seq: 999, Kind: keys.KindDelete}}
+	if _, err := tbl.Merge([]Entry{del}, false, device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	_, kind, found, _ := tbl.Get([]byte("key-00050"), keys.MaxSeq, device.Fg)
+	if !found || kind != keys.KindDelete {
+		t.Fatalf("mid-level merge must keep tombstone: %v %v", kind, found)
+	}
+}
+
+func TestDirtyRatioAndRewrite(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(1000, 1), device.Bg)
+	// Update everything: all blocks dirty.
+	updates := make([]Entry, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		updates = append(updates, entry(k, uint64(5000+i), "u-"+k))
+	}
+	if _, err := tbl.Merge(updates, false, device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	if r := tbl.DirtyRatio(); r < 0.4 {
+		t.Fatalf("dirty ratio = %f after full overwrite", r)
+	}
+	fileBefore := tbl.FileBytes()
+	if err := tbl.Rewrite(device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.DirtyRatio() != 0 || tbl.StaleBytes() != 0 {
+		t.Fatal("rewrite left stale data")
+	}
+	if tbl.FileBytes() >= fileBefore {
+		t.Fatalf("rewrite did not shrink file: %d -> %d", fileBefore, tbl.FileBytes())
+	}
+	for i := 0; i < 1000; i += 111 {
+		k := fmt.Sprintf("key-%05d", i)
+		v, _, found, _ := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if !found || string(v) != "u-"+k {
+			t.Fatalf("after rewrite %s: %q %v", k, v, found)
+		}
+	}
+}
+
+func TestExtractOverlapping(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(1000, 1), device.Bg)
+	span := keys.Range{Lo: []byte("key-00300"), Hi: []byte("key-00400")}
+	extracted, st, err := tbl.ExtractOverlapping([]keys.Range{span}, device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extracted) == 0 || st.BlocksDirtied == 0 {
+		t.Fatalf("extracted %d entries, %d blocks", len(extracted), st.BlocksDirtied)
+	}
+	if !sort.SliceIsSorted(extracted, func(a, b int) bool {
+		return bytes.Compare(extracted[a].Key.User, extracted[b].Key.User) < 0
+	}) {
+		t.Fatal("extracted entries out of order")
+	}
+	// Every key in the span must now be gone from the table.
+	for _, e := range extracted {
+		if span.Contains(e.Key.User) {
+			if _, _, found, _ := tbl.Get(e.Key.User, keys.MaxSeq, device.Fg); found {
+				t.Fatalf("extracted key %q still readable", e.Key.User)
+			}
+		}
+	}
+	// Idempotent when nothing overlaps.
+	extracted2, st2, err := tbl.ExtractOverlapping([]keys.Range{span}, device.Bg)
+	if err != nil || len(extracted2) != 0 || st2.BlocksDirtied != 0 {
+		t.Fatalf("second extract: %d entries, %d blocks, err=%v", len(extracted2), st2.BlocksDirtied, err)
+	}
+}
+
+func TestOpenReload(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(500, 1), device.Bg)
+	tbl.Merge([]Entry{entry("key-00100", 9000, "updated")}, false, device.Bg)
+
+	re, err := Open(f, Options{}, device.Fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumEntries() != tbl.NumEntries() {
+		t.Fatalf("reloaded entries %d != %d", re.NumEntries(), tbl.NumEntries())
+	}
+	if re.StaleBytes() != tbl.StaleBytes() {
+		t.Fatalf("reloaded stale %d != %d", re.StaleBytes(), tbl.StaleBytes())
+	}
+	v, _, found, _ := re.Get([]byte("key-00100"), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "updated" {
+		t.Fatalf("reloaded get: %q %v", v, found)
+	}
+	if re.MaxSeq() != 9000 {
+		t.Fatalf("maxSeq = %d", re.MaxSeq())
+	}
+}
+
+func TestIterSortedAndSeek(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(800, 1), device.Bg)
+	// Appended blocks keep global iteration order because live blocks stay
+	// disjoint.
+	tbl.Merge([]Entry{entry("key-00400", 9000, "mid-update")}, false, device.Bg)
+
+	it := tbl.NewIter(device.Fg)
+	n := 0
+	prev := ""
+	for it.First(); it.Valid(); it.Next() {
+		k := string(it.Key().User)
+		if k <= prev {
+			t.Fatalf("iteration out of order: %q after %q", k, prev)
+		}
+		prev = k
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if n != 800 {
+		t.Fatalf("iterated %d", n)
+	}
+	it.SeekGE([]byte("key-00400"))
+	if !it.Valid() || string(it.Key().User) != "key-00400" || string(it.Value()) != "mid-update" {
+		t.Fatalf("seek after merge: %q=%q", it.Key().User, it.Value())
+	}
+}
+
+func TestMetaBackupMirror(t *testing.T) {
+	sata := newDev()
+	nvme := device.New(device.UnthrottledProfile("nvme", 0))
+	f, _ := sata.Create("s1")
+	tbl, err := Build(f, Options{MetaBackup: nvme}, sortedEntries(300, 1), device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvme.Counters().WriteBytes.Load() == 0 {
+		t.Fatal("mirror got no writes")
+	}
+	sataReadsBefore := sata.Counters().ReadBytes.Load()
+	nvmeReadsBefore := nvme.Counters().ReadBytes.Load()
+	tbl.ChargeIndexRead(device.Bg)
+	if sata.Counters().ReadBytes.Load() != sataReadsBefore {
+		t.Fatal("index read charged to SATA despite mirror")
+	}
+	if nvme.Counters().ReadBytes.Load() == nvmeReadsBefore {
+		t.Fatal("index read not charged to NVMe mirror")
+	}
+	tbl.Close()
+	if len(nvme.List()) != 0 {
+		t.Fatalf("mirror file leaked: %v", nvme.List())
+	}
+}
+
+func TestMergeSortedHelper(t *testing.T) {
+	old := []Entry{entry("a", 1, "a1"), entry("c", 1, "c1")}
+	new_ := []Entry{entry("b", 2, "b2"), entry("c", 2, "c2")}
+	got := MergeSorted(old, new_, false)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if string(got[2].Value) != "c2" {
+		t.Fatalf("collision kept old value %q", got[2].Value)
+	}
+	// Tombstone dropping.
+	del := []Entry{{Key: keys.InternalKey{User: []byte("a"), Seq: 5, Kind: keys.KindDelete}}}
+	got = MergeSorted(old, del, true)
+	for _, e := range got {
+		if string(e.Key.User) == "a" {
+			t.Fatal("tombstone survived dropTombstones")
+		}
+	}
+}
+
+func TestRandomizedMergeModel(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	ref := map[string]string{}
+	base := sortedEntries(500, 1)
+	for _, e := range base {
+		ref[string(e.Key.User)] = string(e.Value)
+	}
+	tbl, _ := Build(f, Options{}, base, device.Bg)
+	rng := rand.New(rand.NewSource(21))
+	seq := uint64(1000)
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(50)
+		batch := map[string]string{}
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%05d", rng.Intn(700)) // some new, some old
+			seq++
+			batch[k] = fmt.Sprintf("r%d-%d", round, i)
+		}
+		var ks []string
+		for k := range batch {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		var entries []Entry
+		for _, k := range ks {
+			entries = append(entries, entry(k, seq, batch[k]))
+			ref[k] = batch[k]
+		}
+		if _, err := tbl.Merge(entries, false, device.Bg); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	for k, want := range ref {
+		v, _, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("%s: got %q want %q (found=%v err=%v)", k, v, want, found, err)
+		}
+	}
+	if tbl.NumEntries() != len(ref) {
+		t.Fatalf("entries = %d, ref = %d", tbl.NumEntries(), len(ref))
+	}
+}
+
+func TestIterSurvivesRewrite(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(1000, 1), device.Bg)
+	// Dirty the table so Rewrite has something to reclaim.
+	tbl.Merge([]Entry{entry("key-00100", 5000, "x")}, false, device.Bg)
+
+	it := tbl.NewIter(device.Fg)
+	it.First()
+	seen := 0
+	var prev []byte
+	for ; it.Valid(); it.Next() {
+		seen++
+		if prev != nil && bytes.Compare(prev, it.Key().User) >= 0 {
+			t.Fatalf("order violated after %d entries", seen)
+		}
+		prev = append(prev[:0], it.Key().User...)
+		if seen == 300 {
+			// Full compaction recycles every offset mid-scan.
+			if err := tbl.Rewrite(device.Bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	// The iterator refreshed its snapshot and resumed past the last key; it
+	// must see every remaining key exactly once.
+	if seen != 1000 {
+		t.Fatalf("saw %d entries across a rewrite, want 1000", seen)
+	}
+}
+
+func TestGetRetriesAcrossRewrite(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("s1")
+	tbl, _ := Build(f, Options{}, sortedEntries(2000, 1), device.Bg)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			k := fmt.Sprintf("key-%05d", i%2000)
+			v, _, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+			if err != nil {
+				done <- fmt.Errorf("get %s: %w", k, err)
+				return
+			}
+			if found && !bytes.HasPrefix(v, []byte("val-")) && !bytes.HasPrefix(v, []byte("re-")) {
+				done <- fmt.Errorf("get %s returned garbage %q", k, v)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 30; round++ {
+		tbl.Merge([]Entry{entry(fmt.Sprintf("key-%05d", round*37), uint64(10000+round), fmt.Sprintf("re-%d", round))}, false, device.Bg)
+		if round%5 == 4 {
+			if err := tbl.Rewrite(device.Bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

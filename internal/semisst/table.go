@@ -1,0 +1,570 @@
+package semisst
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"hyperdb/internal/block"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+// LiveBytes returns the bytes held by valid data blocks.
+func (t *Table) LiveBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, li := range t.live {
+		n += int64(t.blocks[li].Handle.Size)
+	}
+	return n
+}
+
+// FileBytes returns the on-device footprint including dirty blocks and the
+// index tail — the number space-amplification is computed from.
+func (t *Table) FileBytes() int64 { return t.f.Size() }
+
+// StaleBytes returns bytes occupied by dirty (superseded) blocks.
+func (t *Table) StaleBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stale
+}
+
+// DirtyRatio returns stale bytes over total data bytes; §3.4 triggers a full
+// compaction when this exceeds T_clean.
+func (t *Table) DirtyRatio() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var live int64
+	for _, li := range t.live {
+		live += int64(t.blocks[li].Handle.Size)
+	}
+	if live+t.stale == 0 {
+		return 0
+	}
+	return float64(t.stale) / float64(live+t.stale)
+}
+
+// NumEntries returns the count of live entries.
+func (t *Table) NumEntries() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, li := range t.live {
+		n += t.blocks[li].Entries
+	}
+	return n
+}
+
+// NumLiveBlocks returns the count of valid data blocks.
+func (t *Table) NumLiveBlocks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.live)
+}
+
+// Range returns the closed-open user-key span of the live blocks, or the
+// empty range when the table has none.
+func (t *Table) Range() keys.Range {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.live) == 0 {
+		return keys.Range{Lo: []byte{}, Hi: []byte{}}
+	}
+	first := t.blocks[t.live[0]].First
+	last := t.blocks[t.live[len(t.live)-1]].Last
+	return keys.Range{Lo: append([]byte(nil), first...), Hi: keys.Successor(last)}
+}
+
+// LiveBlockMetas returns snapshots of the valid blocks in key order. The
+// Keys slices are shared, not copied; treat as read-only.
+func (t *Table) LiveBlockMetas() []BlockMeta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]BlockMeta, 0, len(t.live))
+	for _, li := range t.live {
+		out = append(out, t.blocks[li])
+	}
+	return out
+}
+
+// ChargeIndexRead accounts one read of the table's index block, against the
+// performance-tier mirror when configured (§3.1's low-cost index lookup) or
+// the table's own device otherwise. Compaction planners call this before
+// consulting block key lists.
+func (t *Table) ChargeIndexRead(op device.Op) {
+	t.mu.RLock()
+	n := t.idxBytes
+	metaF := t.metaF
+	t.mu.RUnlock()
+	if metaF != nil {
+		if sz := metaF.Size(); sz > 0 {
+			buf := make([]byte, sz)
+			metaF.ReadAt(buf, 0, op)
+		}
+		return
+	}
+	if n == 0 {
+		return
+	}
+	buf := make([]byte, n)
+	t.f.ReadAt(buf, t.f.Size()-footerSize-n, op)
+}
+
+// findLiveBlock returns the position in t.live of the block whose range
+// contains user, or -1. Caller holds mu (read).
+func (t *Table) findLiveBlock(user []byte) int {
+	lo, hi := 0, len(t.live)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.blocks[t.live[mid]].First, user) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first block with First > user; candidate is lo-1.
+	if lo == 0 {
+		return -1
+	}
+	b := &t.blocks[t.live[lo-1]]
+	if bytes.Compare(user, b.Last) > 0 {
+		return -1
+	}
+	return lo - 1
+}
+
+// readBlockData fetches one data block, via the page cache when configured.
+// gen namespaces cache keys per rewrite generation so blocks cached before a
+// full compaction can never serve the offsets it recycled.
+func (t *Table) readBlockData(gen, h, size uint64, op device.Op) ([]byte, error) {
+	var key string
+	if t.opts.PageCache != nil {
+		key = fmt.Sprintf("%s@%d#%d", t.f.Name(), gen, h)
+		if data, ok := t.opts.PageCache.Get(key); ok {
+			return data, nil
+		}
+	}
+	data := make([]byte, size)
+	if _, err := t.f.ReadAt(data, int64(h), op); err != nil {
+		return nil, err
+	}
+	if t.opts.PageCache != nil {
+		t.opts.PageCache.Put(key, data)
+	}
+	return data, nil
+}
+
+// Get returns the newest version of user visible at snapshot seq. found is
+// false when the table holds no version; tombstones return found=true with
+// kind=KindDelete. Reads run lock-free against the device; a full
+// compaction that recycles offsets mid-read is detected via the generation
+// counter and the lookup retries.
+func (t *Table) Get(user []byte, seq uint64, op device.Op) (value []byte, kind keys.Kind, found bool, err error) {
+	for {
+		t.mu.RLock()
+		gen := t.gen
+		li := t.findLiveBlock(user)
+		if li < 0 {
+			t.mu.RUnlock()
+			return nil, 0, false, nil
+		}
+		bm := t.blocks[t.live[li]]
+		t.mu.RUnlock()
+
+		if !bm.Filter.Contains(user) {
+			return nil, 0, false, nil
+		}
+		data, rerr := t.readBlockData(gen, bm.Handle.Offset, bm.Handle.Size, op)
+		value, kind, found, err = nil, 0, false, rerr
+		if err == nil {
+			var it *block.Iter
+			it, err = block.NewIter(data)
+			if err == nil {
+				it.SeekGE(keys.MakeSearchKey(user, seq))
+				if it.Valid() && bytes.Equal(it.Key().User, user) {
+					value = append([]byte(nil), it.Value()...)
+					kind = it.Key().Kind
+					found = true
+				} else {
+					err = it.Err()
+				}
+			}
+		}
+		t.mu.RLock()
+		stale := t.gen != gen
+		t.mu.RUnlock()
+		if stale {
+			continue // raced a rewrite; metadata and data are refreshed now
+		}
+		return value, kind, found, err
+	}
+}
+
+// ReadBlockEntries reads and decodes the entries of one live block (by its
+// position in LiveBlockMetas order). Callers are mutators serialised with
+// rewrites, so no generation retry is needed.
+func (t *Table) ReadBlockEntries(bm BlockMeta, op device.Op) ([]Entry, error) {
+	if op.Background {
+		// Compaction and migration stream whole blocks; the device grants
+		// streaming commands the sequential discount.
+		op.Sequential = true
+	}
+	t.mu.RLock()
+	gen := t.gen
+	t.mu.RUnlock()
+	data, err := t.readBlockData(gen, bm.Handle.Offset, bm.Handle.Size, op)
+	if err != nil {
+		return nil, err
+	}
+	it, err := block.NewIter(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for it.First(); it.Valid(); it.Next() {
+		k := it.Key()
+		out = append(out, Entry{
+			Key:   keys.InternalKey{User: append([]byte(nil), k.User...), Seq: k.Seq, Kind: k.Kind},
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Err()
+}
+
+// MergeStats reports what a Merge did, feeding the experiment counters.
+type MergeStats struct {
+	BlocksDirtied int
+	EntriesRead   int
+	EntriesMerged int
+	BytesRead     int64
+}
+
+// Merge integrates incoming (sorted by user key, one version per key, newest
+// versions) into the table: live blocks overlapping incoming are read and
+// dirtied, their surviving entries merged with incoming, and the result
+// appended as fresh blocks (Fig. 5). Tombstones in incoming are retained
+// (dropOnMerge false) or dropped (true, for the bottom level).
+func (t *Table) Merge(incoming []Entry, dropTombstones bool, op device.Op) (MergeStats, error) {
+	var st MergeStats
+	if len(incoming) == 0 {
+		return st, nil
+	}
+	span := keys.Range{
+		Lo: incoming[0].Key.User,
+		Hi: keys.Successor(incoming[len(incoming)-1].Key.User),
+	}
+
+	// Identify overlapping live blocks.
+	t.mu.RLock()
+	var dirty []int // indices into t.blocks
+	var victims []BlockMeta
+	for _, li := range t.live {
+		b := t.blocks[li]
+		if b.Range().Overlaps(span) {
+			dirty = append(dirty, li)
+			victims = append(victims, b)
+		}
+	}
+	t.mu.RUnlock()
+
+	// Read surviving entries from the dirty blocks.
+	var existing []Entry
+	for _, bm := range victims {
+		es, err := t.ReadBlockEntries(bm, op)
+		if err != nil {
+			return st, err
+		}
+		existing = append(existing, es...)
+		st.EntriesRead += len(es)
+		st.BytesRead += int64(bm.Handle.Size)
+	}
+	st.BlocksDirtied = len(dirty)
+
+	merged := mergeEntries(existing, incoming, dropTombstones)
+	st.EntriesMerged = len(merged)
+	return st, t.appendMerge(merged, dirty, op)
+}
+
+// ExtractOverlapping dirties every live block whose key range overlaps any
+// of spans and returns their live entries in user-key order. Preemptive
+// compaction uses this to carve blocks out of an intermediate level before
+// pushing their contents deeper (§3.4).
+func (t *Table) ExtractOverlapping(spans []keys.Range, op device.Op) ([]Entry, MergeStats, error) {
+	var st MergeStats
+	t.mu.RLock()
+	var dirty []int
+	var victims []BlockMeta
+	for _, li := range t.live {
+		b := t.blocks[li]
+		r := b.Range()
+		for _, s := range spans {
+			if r.Overlaps(s) {
+				dirty = append(dirty, li)
+				victims = append(victims, b)
+				break
+			}
+		}
+	}
+	t.mu.RUnlock()
+	if len(dirty) == 0 {
+		return nil, st, nil
+	}
+	var out []Entry
+	for _, bm := range victims {
+		es, err := t.ReadBlockEntries(bm, op)
+		if err != nil {
+			return nil, st, err
+		}
+		out = append(out, es...)
+		st.EntriesRead += len(es)
+		st.BytesRead += int64(bm.Handle.Size)
+	}
+	st.BlocksDirtied = len(dirty)
+	return out, st, t.appendMerge(nil, dirty, op)
+}
+
+// MergeSorted merges two runs sorted by user key; on collision the entry
+// with the larger sequence number wins. Tombstones are elided when
+// dropTombstones is set (bottom-level merges).
+func MergeSorted(old, new []Entry, dropTombstones bool) []Entry {
+	return mergeEntries(old, new, dropTombstones)
+}
+
+// mergeEntries merges two sorted runs by user key; on collision the entry
+// with the larger sequence wins. Tombstones are elided when dropTombstones.
+func mergeEntries(old, new []Entry, dropTombstones bool) []Entry {
+	out := make([]Entry, 0, len(old)+len(new))
+	i, j := 0, 0
+	emit := func(e Entry) {
+		if dropTombstones && e.Key.Kind == keys.KindDelete {
+			return
+		}
+		out = append(out, e)
+	}
+	for i < len(old) && j < len(new) {
+		c := bytes.Compare(old[i].Key.User, new[j].Key.User)
+		switch {
+		case c < 0:
+			emit(old[i])
+			i++
+		case c > 0:
+			emit(new[j])
+			j++
+		default:
+			if old[i].Key.Seq > new[j].Key.Seq {
+				emit(old[i])
+			} else {
+				emit(new[j])
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(old); i++ {
+		emit(old[i])
+	}
+	for ; j < len(new); j++ {
+		emit(new[j])
+	}
+	return out
+}
+
+// Rewrite performs a full compaction of the table in place: live entries are
+// read, the file reset, and everything rewritten as clean blocks. Reclaims
+// all stale space (§3.4's full-compaction path). The generation bump makes
+// concurrent lock-free readers retry instead of consuming recycled offsets.
+func (t *Table) Rewrite(op device.Op) error {
+	entries, err := t.AllEntries(op)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.blocks = nil
+	t.live = nil
+	t.stale = 0
+	t.gen++
+	if err := t.f.Truncate(0); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.mu.Unlock()
+	return t.appendMerge(entries, nil, op)
+}
+
+// AllEntries reads every live entry in user-key order.
+func (t *Table) AllEntries(op device.Op) ([]Entry, error) {
+	metas := t.LiveBlockMetas()
+	var out []Entry
+	for _, bm := range metas {
+		es, err := t.ReadBlockEntries(bm, op)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, es...)
+	}
+	// Blocks are disjoint and sorted, so out is already sorted; assert in
+	// debug-style by a cheap adjacent check only when small.
+	if len(out) < 1<<12 && !sort.SliceIsSorted(out, func(a, b int) bool {
+		return bytes.Compare(out[a].Key.User, out[b].Key.User) < 0
+	}) {
+		return nil, fmt.Errorf("semisst: %q live blocks out of order", t.f.Name())
+	}
+	return out, nil
+}
+
+// Iter iterates live entries in user-key order, streaming one block at a
+// time (used by scans and full compactions feeding deeper levels). If a
+// full compaction rewrites the table mid-scan, the iterator transparently
+// refreshes its block snapshot and resumes after the last key it returned.
+type Iter struct {
+	t       *Table
+	op      device.Op
+	metas   []BlockMeta
+	gen     uint64
+	bi      int
+	cur     *block.Iter
+	lastKey []byte
+	err     error
+}
+
+// NewIter returns an iterator over the table's live entries.
+func (t *Table) NewIter(op device.Op) *Iter {
+	t.mu.RLock()
+	gen := t.gen
+	t.mu.RUnlock()
+	return &Iter{t: t, op: op, metas: t.LiveBlockMetas(), gen: gen, bi: -1}
+}
+
+func (it *Iter) loadBlock(i int) bool {
+	it.t.mu.RLock()
+	gen := it.t.gen
+	it.t.mu.RUnlock()
+	if gen != it.gen {
+		// The table was rewritten under us: refresh the snapshot and
+		// resume just past the last key we returned.
+		it.gen = gen
+		it.metas = it.t.LiveBlockMetas()
+		if it.lastKey != nil {
+			resume := keys.Successor(it.lastKey)
+			it.seekLocked(resume)
+			return it.cur != nil
+		}
+		i = 0
+	}
+	if i >= len(it.metas) {
+		it.cur = nil
+		return false
+	}
+	data, err := it.t.readBlockData(it.gen, it.metas[i].Handle.Offset, it.metas[i].Handle.Size, it.op)
+	if err != nil {
+		it.err, it.cur = err, nil
+		return false
+	}
+	b, err := block.NewIter(data)
+	if err != nil {
+		it.err, it.cur = err, nil
+		return false
+	}
+	it.bi, it.cur = i, b
+	return true
+}
+
+// seekLocked positions at the first entry >= user within the current meta
+// snapshot (no generation re-check; loadBlock handles that).
+func (it *Iter) seekLocked(user []byte) {
+	lo, hi := 0, len(it.metas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(it.metas[mid].Last, user) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(it.metas) {
+		it.cur = nil
+		return
+	}
+	data, err := it.t.readBlockData(it.gen, it.metas[lo].Handle.Offset, it.metas[lo].Handle.Size, it.op)
+	if err != nil {
+		it.err, it.cur = err, nil
+		return
+	}
+	b, err := block.NewIter(data)
+	if err != nil {
+		it.err, it.cur = err, nil
+		return
+	}
+	it.bi, it.cur = lo, b
+	it.cur.SeekGE(keys.MakeSearchKey(user, keys.MaxSeq))
+	it.skipExhausted()
+}
+
+// First positions at the first live entry.
+func (it *Iter) First() {
+	if it.loadBlock(0) {
+		it.cur.First()
+		it.skipExhausted()
+	}
+}
+
+// SeekGE positions at the first entry with user key >= user.
+func (it *Iter) SeekGE(user []byte) {
+	lo, hi := 0, len(it.metas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(it.metas[mid].Last, user) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if !it.loadBlock(lo) {
+		return
+	}
+	it.cur.SeekGE(keys.MakeSearchKey(user, keys.MaxSeq))
+	it.skipExhausted()
+}
+
+// Next advances the iterator.
+func (it *Iter) Next() {
+	if it.cur == nil {
+		return
+	}
+	it.cur.Next()
+	it.skipExhausted()
+}
+
+func (it *Iter) skipExhausted() {
+	for it.cur != nil && !it.cur.Valid() {
+		if err := it.cur.Err(); err != nil {
+			it.err, it.cur = err, nil
+			return
+		}
+		if !it.loadBlock(it.bi + 1) {
+			return
+		}
+		it.cur.First()
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter) Valid() bool {
+	if it.cur != nil && it.cur.Valid() {
+		it.lastKey = append(it.lastKey[:0], it.cur.Key().User...)
+		return true
+	}
+	return false
+}
+
+// Key returns the current internal key.
+func (it *Iter) Key() keys.InternalKey { return it.cur.Key() }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.cur.Value() }
+
+// Err returns the first error encountered.
+func (it *Iter) Err() error { return it.err }

@@ -1,0 +1,161 @@
+// Package skiplist provides the sorted in-memory write buffer (MemTable)
+// used by every LSM engine in this repository. The design follows LevelDB's
+// memtable: a probabilistic skip list ordered by internal key, safe for any
+// number of concurrent readers alongside writers that are serialised
+// externally (the engines serialise writes per partition through the WAL
+// group-commit path anyway).
+package skiplist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hyperdb/internal/keys"
+)
+
+const maxHeight = 12
+
+type node struct {
+	key   keys.InternalKey
+	value []byte
+	next  [maxHeight]atomic.Pointer[node]
+}
+
+// SkipList is a sorted map from internal key to value. Readers never block;
+// Insert takes an internal mutex so multiple writers are also safe, at the
+// cost of serialising them.
+type SkipList struct {
+	head    *node
+	height  atomic.Int32
+	mu      sync.Mutex
+	rnd     uint64
+	count   atomic.Int64
+	byteSz  atomic.Int64
+	dataCap int64
+}
+
+// New returns an empty skip list.
+func New() *SkipList {
+	s := &SkipList{head: &node{}, rnd: 0x9E3779B97F4A7C15}
+	s.height.Store(1)
+	return s
+}
+
+// randomHeight draws a geometric height with p = 1/4, LevelDB-style.
+// Called under mu.
+func (s *SkipList) randomHeight() int {
+	// xorshift64*
+	s.rnd ^= s.rnd >> 12
+	s.rnd ^= s.rnd << 25
+	s.rnd ^= s.rnd >> 27
+	r := s.rnd * 0x2545F4914F6CDD1D
+	h := 1
+	for h < maxHeight && r&3 == 0 {
+		h++
+		r >>= 2
+	}
+	return h
+}
+
+// findGE locates the first node with key >= target, filling prev with the
+// rightmost node before target on every level when prev != nil.
+func (s *SkipList) findGE(target keys.InternalKey, prev *[maxHeight]*node) *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && keys.Compare(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Insert adds an entry. Duplicate internal keys (same user key, seq, kind)
+// overwrite in place, which never happens in normal engine operation because
+// sequence numbers are unique.
+func (s *SkipList) Insert(key keys.InternalKey, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var prev [maxHeight]*node
+	if existing := s.findGE(key, &prev); existing != nil && keys.Compare(existing.key, key) == 0 {
+		s.byteSz.Add(int64(len(value)) - int64(len(existing.value)))
+		existing.value = value
+		return
+	}
+
+	h := s.randomHeight()
+	if cur := int(s.height.Load()); h > cur {
+		for i := cur; i < h; i++ {
+			prev[i] = s.head
+		}
+		s.height.Store(int32(h))
+	}
+
+	n := &node{key: key, value: value}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	s.count.Add(1)
+	s.byteSz.Add(int64(len(key.User)) + 16 + int64(len(value)))
+}
+
+// Get returns the newest version of user key u visible at snapshot seq.
+// ok is false when no version exists; a tombstone returns ok=true with
+// kind=KindDelete so callers can stop searching older structures.
+func (s *SkipList) Get(u []byte, seq uint64) (value []byte, kind keys.Kind, ok bool) {
+	n := s.findGE(keys.MakeSearchKey(u, seq), nil)
+	if n == nil || string(n.key.User) != string(u) {
+		return nil, 0, false
+	}
+	return n.value, n.key.Kind, true
+}
+
+// Len returns the number of entries.
+func (s *SkipList) Len() int { return int(s.count.Load()) }
+
+// ApproxBytes estimates the memory held by keys and values.
+func (s *SkipList) ApproxBytes() int64 { return s.byteSz.Load() }
+
+// Iterator walks the list in internal-key order. It is valid as long as the
+// list exists; concurrent inserts may or may not be observed.
+type Iterator struct {
+	list *SkipList
+	node *node
+}
+
+// Iter returns an iterator positioned before the first entry.
+func (s *SkipList) Iter() *Iterator { return &Iterator{list: s} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.node != nil }
+
+// First moves to the smallest entry.
+func (it *Iterator) First() { it.node = it.list.head.next[0].Load() }
+
+// Next advances the iterator.
+func (it *Iterator) Next() {
+	if it.node != nil {
+		it.node = it.node.next[0].Load()
+	}
+}
+
+// SeekGE positions at the first entry with internal key >= target.
+func (it *Iterator) SeekGE(target keys.InternalKey) {
+	it.node = it.list.findGE(target, nil)
+}
+
+// Key returns the current internal key. Only valid when Valid().
+func (it *Iterator) Key() keys.InternalKey { return it.node.key }
+
+// Value returns the current value. Only valid when Valid().
+func (it *Iterator) Value() []byte { return it.node.value }

@@ -1,0 +1,183 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyperdb/internal/keys"
+)
+
+func TestInsertGet(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		s.Insert(keys.InternalKey{User: k, Seq: uint64(i + 1), Kind: keys.KindSet},
+			[]byte(fmt.Sprintf("val-%d", i)))
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v, kind, ok := s.Get(k, keys.MaxSeq)
+		if !ok || kind != keys.KindSet || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %d: %q %v %v", i, v, kind, ok)
+		}
+	}
+	if _, _, ok := s.Get([]byte("nope"), keys.MaxSeq); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestVersionsAndSnapshots(t *testing.T) {
+	s := New()
+	k := []byte("k")
+	s.Insert(keys.InternalKey{User: k, Seq: 10, Kind: keys.KindSet}, []byte("v10"))
+	s.Insert(keys.InternalKey{User: k, Seq: 20, Kind: keys.KindDelete}, nil)
+	s.Insert(keys.InternalKey{User: k, Seq: 30, Kind: keys.KindSet}, []byte("v30"))
+
+	v, kind, ok := s.Get(k, keys.MaxSeq)
+	if !ok || kind != keys.KindSet || string(v) != "v30" {
+		t.Fatalf("latest: %q %v %v", v, kind, ok)
+	}
+	_, kind, ok = s.Get(k, 25)
+	if !ok || kind != keys.KindDelete {
+		t.Fatalf("snapshot 25 should see tombstone: %v %v", kind, ok)
+	}
+	v, _, ok = s.Get(k, 15)
+	if !ok || string(v) != "v10" {
+		t.Fatalf("snapshot 15: %q %v", v, ok)
+	}
+	if _, _, ok := s.Get(k, 5); ok {
+		t.Fatal("snapshot 5 should see nothing")
+	}
+}
+
+func TestIterSorted(t *testing.T) {
+	s := New()
+	perm := rand.New(rand.NewSource(3)).Perm(500)
+	for _, i := range perm {
+		s.Insert(keys.InternalKey{User: []byte(fmt.Sprintf("%05d", i)), Seq: 1, Kind: keys.KindSet}, nil)
+	}
+	it := s.Iter()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if want := fmt.Sprintf("%05d", i); string(it.Key().User) != want {
+			t.Fatalf("entry %d: %q want %q", i, it.Key().User, want)
+		}
+		i++
+	}
+	if i != 500 {
+		t.Fatalf("iterated %d", i)
+	}
+}
+
+func TestIterSeekGE(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i += 2 {
+		s.Insert(keys.InternalKey{User: []byte(fmt.Sprintf("%03d", i)), Seq: 1, Kind: keys.KindSet}, nil)
+	}
+	it := s.Iter()
+	it.SeekGE(keys.MakeSearchKey([]byte("051"), keys.MaxSeq))
+	if !it.Valid() || string(it.Key().User) != "052" {
+		t.Fatalf("seek: %v", it.Key())
+	}
+	it.SeekGE(keys.MakeSearchKey([]byte("999"), keys.MaxSeq))
+	if it.Valid() {
+		t.Fatal("seek past end")
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	s := New()
+	if s.ApproxBytes() != 0 {
+		t.Fatal("empty list has bytes")
+	}
+	s.Insert(keys.InternalKey{User: []byte("abc"), Seq: 1, Kind: keys.KindSet}, make([]byte, 100))
+	if b := s.ApproxBytes(); b < 100 || b > 200 {
+		t.Fatalf("approx = %d", b)
+	}
+}
+
+func TestConcurrentReadersDuringInsert(t *testing.T) {
+	s := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := s.Iter()
+				prev := []byte(nil)
+				for it.First(); it.Valid(); it.Next() {
+					u := it.Key().User
+					if prev != nil && string(prev) > string(u) {
+						t.Error("iteration order violated during concurrent insert")
+						return
+					}
+					prev = append(prev[:0], u...)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		s.Insert(keys.InternalKey{User: []byte(fmt.Sprintf("%08d", rand.Intn(100000))), Seq: uint64(i + 1), Kind: keys.KindSet}, nil)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", id, i))
+				s.Insert(keys.InternalKey{User: k, Seq: uint64(id*1000000 + i + 1), Kind: keys.KindSet}, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 20000 {
+		t.Fatalf("len = %d, want 20000", s.Len())
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 5000; i += 97 {
+			k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+			if _, _, ok := s.Get(k, keys.MaxSeq); !ok {
+				t.Fatalf("lost %s", k)
+			}
+		}
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	s := New()
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	seq := uint64(0)
+	for i := 0; i < 30000; i++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(2000))
+		v := fmt.Sprintf("v%d", i)
+		seq++
+		s.Insert(keys.InternalKey{User: []byte(k), Seq: seq, Kind: keys.KindSet}, []byte(v))
+		ref[k] = v
+	}
+	for k, want := range ref {
+		v, kind, ok := s.Get([]byte(k), keys.MaxSeq)
+		if !ok || kind != keys.KindSet || string(v) != want {
+			t.Fatalf("%s: got %q, want %q", k, v, want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+func newDev() *device.Device {
+	return device.New(device.UnthrottledProfile("t", 0))
+}
+
+func buildTable(t testing.TB, dev *device.Device, name string, n int) (*Reader, map[string]string) {
+	t.Helper()
+	f, err := dev.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WriterOptions{ExpectedKeys: n})
+	want := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v := fmt.Sprintf("value-%05d", i)
+		want[k] = v
+		if err := w.Add(keys.InternalKey{User: []byte(k), Seq: uint64(i + 1), Kind: keys.KindSet}, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Entries != n {
+		t.Fatalf("meta entries = %d", meta.Entries)
+	}
+	if string(meta.Smallest) != "key-00000" || string(meta.Largest) != fmt.Sprintf("key-%05d", n-1) {
+		t.Fatalf("meta bounds %q..%q", meta.Smallest, meta.Largest)
+	}
+	r, err := OpenReader(f, nil, device.Fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, want
+}
+
+func TestWriteReadGet(t *testing.T) {
+	dev := newDev()
+	r, want := buildTable(t, dev, "t1", 2000)
+	for k, v := range want {
+		got, kind, found, err := r.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil || !found || kind != keys.KindSet || string(got) != v {
+			t.Fatalf("get %s: %q kind=%v found=%v err=%v", k, got, kind, found, err)
+		}
+	}
+	if _, _, found, _ := r.Get([]byte("zzz"), keys.MaxSeq, device.Fg); found {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestBloomSkipsAbsentKeys(t *testing.T) {
+	dev := newDev()
+	r, _ := buildTable(t, dev, "t1", 2000)
+	before := dev.Counters().ReadBytes.Load()
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		_, _, found, _ := r.Get([]byte(fmt.Sprintf("absent-%d", i)), keys.MaxSeq, device.Fg)
+		if !found {
+			misses++
+		}
+	}
+	delta := dev.Counters().ReadBytes.Load() - before
+	// With a 1% FP rate, ~10 of 1000 absent lookups read a block; allow 5x.
+	if delta > 50*4096 {
+		t.Fatalf("absent lookups read %d bytes; bloom filter not effective", delta)
+	}
+}
+
+func TestIterFullScan(t *testing.T) {
+	dev := newDev()
+	r, want := buildTable(t, dev, "t1", 1500)
+	it := r.NewIter(device.Fg)
+	n := 0
+	prev := ""
+	for it.First(); it.Valid(); it.Next() {
+		k := string(it.Key().User)
+		if k <= prev {
+			t.Fatalf("out of order: %q after %q", k, prev)
+		}
+		if want[k] != string(it.Value()) {
+			t.Fatalf("value mismatch at %q", k)
+		}
+		prev = k
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1500 {
+		t.Fatalf("scanned %d entries", n)
+	}
+}
+
+func TestIterSeek(t *testing.T) {
+	dev := newDev()
+	r, _ := buildTable(t, dev, "t1", 1000)
+	it := r.NewIter(device.Fg)
+	it.SeekGE(keys.MakeSearchKey([]byte("key-00500"), keys.MaxSeq))
+	if !it.Valid() || string(it.Key().User) != "key-00500" {
+		t.Fatalf("seek exact: %v", it.Key())
+	}
+	it.SeekGE(keys.MakeSearchKey([]byte("key-005005"), keys.MaxSeq))
+	if !it.Valid() || string(it.Key().User) != "key-00501" {
+		t.Fatalf("seek between: %v", it.Key())
+	}
+	it.SeekGE(keys.MakeSearchKey([]byte("zzz"), keys.MaxSeq))
+	if it.Valid() {
+		t.Fatal("seek past end")
+	}
+}
+
+func TestPageCacheReducesReads(t *testing.T) {
+	dev := newDev()
+	pc := cache.NewLRU(1<<20, nil)
+	f, _ := dev.Create("t1")
+	w := NewWriter(f, WriterOptions{})
+	for i := 0; i < 1000; i++ {
+		w.Add(keys.InternalKey{User: []byte(fmt.Sprintf("k%04d", i)), Seq: 1, Kind: keys.KindSet}, []byte("v"))
+	}
+	w.Finish()
+	r, err := OpenReader(f, pc, device.Fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Get([]byte("k0500"), keys.MaxSeq, device.Fg)
+	before := dev.Counters().ReadBytes.Load()
+	for i := 0; i < 100; i++ {
+		r.Get([]byte("k0500"), keys.MaxSeq, device.Fg)
+	}
+	if delta := dev.Counters().ReadBytes.Load() - before; delta != 0 {
+		t.Fatalf("cached gets read %d bytes from device", delta)
+	}
+}
+
+func TestTombstonesVisible(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("t1")
+	w := NewWriter(f, WriterOptions{})
+	w.Add(keys.InternalKey{User: []byte("a"), Seq: 5, Kind: keys.KindDelete}, nil)
+	w.Add(keys.InternalKey{User: []byte("b"), Seq: 6, Kind: keys.KindSet}, []byte("v"))
+	w.Finish()
+	r, _ := OpenReader(f, nil, device.Fg)
+	_, kind, found, err := r.Get([]byte("a"), keys.MaxSeq, device.Fg)
+	if err != nil || !found || kind != keys.KindDelete {
+		t.Fatalf("tombstone: kind=%v found=%v err=%v", kind, found, err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("junk")
+	f.Append(bytes.Repeat([]byte{0xAB}, 500))
+	f.Sync(device.Fg)
+	if _, err := OpenReader(f, nil, device.Fg); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	short, _ := dev.Create("short")
+	short.Append([]byte{1, 2, 3})
+	short.Sync(device.Fg)
+	if _, err := OpenReader(short, nil, device.Fg); err == nil {
+		t.Fatal("short file accepted")
+	}
+}
+
+func TestMultipleVersionsNewestWins(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("t1")
+	w := NewWriter(f, WriterOptions{})
+	// Internal-key order: same user key, descending seq.
+	w.Add(keys.InternalKey{User: []byte("k"), Seq: 30, Kind: keys.KindSet}, []byte("v30"))
+	w.Add(keys.InternalKey{User: []byte("k"), Seq: 10, Kind: keys.KindSet}, []byte("v10"))
+	w.Finish()
+	r, _ := OpenReader(f, nil, device.Fg)
+	v, _, found, _ := r.Get([]byte("k"), keys.MaxSeq, device.Fg)
+	if !found || string(v) != "v30" {
+		t.Fatalf("got %q", v)
+	}
+	v, _, found, _ = r.Get([]byte("k"), 20, device.Fg)
+	if !found || string(v) != "v10" {
+		t.Fatalf("snapshot 20: %q", v)
+	}
+}
+
+func TestHandleRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		h := Handle{Offset: rng.Uint64() >> 8, Size: rng.Uint64() >> 40}
+		enc := EncodeHandle(nil, h)
+		got, err := DecodeHandle(enc)
+		if err != nil || got != h {
+			t.Fatalf("roundtrip %v -> %v err=%v", h, got, err)
+		}
+	}
+	if _, err := DecodeHandle(nil); err == nil {
+		t.Fatal("empty handle accepted")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("big")
+	w := NewWriter(f, WriterOptions{})
+	big := bytes.Repeat([]byte{7}, 20000) // spans multiple blocks
+	w.Add(keys.InternalKey{User: []byte("big"), Seq: 1, Kind: keys.KindSet}, big)
+	w.Add(keys.InternalKey{User: []byte("small"), Seq: 2, Kind: keys.KindSet}, []byte("s"))
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := OpenReader(f, nil, device.Fg)
+	v, _, found, err := r.Get([]byte("big"), keys.MaxSeq, device.Fg)
+	if err != nil || !found || !bytes.Equal(v, big) {
+		t.Fatalf("large value: found=%v len=%d err=%v", found, len(v), err)
+	}
+}

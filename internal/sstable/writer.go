@@ -1,0 +1,194 @@
+// Package sstable implements the classic sorted string table used by the
+// RocksDB-style and PrismDB-style baselines: sorted prefix-compressed data
+// blocks, a whole-table bloom filter, an index block mapping separator keys
+// to block handles, and a fixed footer. The semi-SSTable (package semisst)
+// extends this format with append-after-persist and per-block validity.
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperdb/internal/block"
+	"hyperdb/internal/bloom"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+// Magic identifies a finished table in the footer.
+const Magic = 0x7068db5e57ab1e00
+
+// Handle locates a block inside a table file.
+type Handle struct {
+	Offset uint64
+	Size   uint64
+}
+
+// EncodeHandle appends the varint encoding of h to dst.
+func EncodeHandle(dst []byte, h Handle) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], h.Offset)
+	n += binary.PutUvarint(tmp[n:], h.Size)
+	return append(dst, tmp[:n]...)
+}
+
+// DecodeHandle parses a handle from buf.
+func DecodeHandle(buf []byte) (Handle, error) {
+	off, n1 := binary.Uvarint(buf)
+	if n1 <= 0 {
+		return Handle{}, fmt.Errorf("sstable: bad handle offset")
+	}
+	sz, n2 := binary.Uvarint(buf[n1:])
+	if n2 <= 0 {
+		return Handle{}, fmt.Errorf("sstable: bad handle size")
+	}
+	return Handle{Offset: off, Size: sz}, nil
+}
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// BlockSize is the uncompressed data-block target in bytes (default 4096,
+	// one device page, matching the paper's access granularity).
+	BlockSize int
+	// BloomBitsPerKey sizes the table filter (default 10).
+	BloomBitsPerKey int
+	// ExpectedKeys pre-sizes the bloom filter (default 4096).
+	ExpectedKeys int
+	// Op attributes the build I/O (flush and compaction use device.Bg).
+	Op device.Op
+}
+
+func (o *WriterOptions) fill() {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.ExpectedKeys <= 0 {
+		o.ExpectedKeys = 4096
+	}
+}
+
+// Meta summarises a finished table.
+type Meta struct {
+	Entries   int
+	DataSize  int64 // bytes of data blocks
+	TotalSize int64 // whole file
+	Blocks    int
+	Smallest  []byte // first user key
+	Largest   []byte // last user key
+	MaxSeq    uint64
+}
+
+// Range returns the closed-open user-key range covered by the table.
+func (m Meta) Range() keys.Range {
+	return keys.Range{Lo: m.Smallest, Hi: keys.Successor(m.Largest)}
+}
+
+// Writer builds a table by streaming sorted entries into a device file.
+type Writer struct {
+	f      *device.File
+	opts   WriterOptions
+	data   *block.Builder
+	index  *block.Builder
+	filter *bloom.Filter
+	meta   Meta
+	err    error
+}
+
+// NewWriter begins a new table in f, which must be empty.
+func NewWriter(f *device.File, opts WriterOptions) *Writer {
+	opts.fill()
+	return &Writer{
+		f:      f,
+		opts:   opts,
+		data:   block.NewBuilder(0),
+		index:  block.NewBuilder(1),
+		filter: bloom.New(opts.ExpectedKeys, opts.BloomBitsPerKey),
+	}
+}
+
+// Add appends an entry; internal keys must arrive in strictly increasing
+// order.
+func (w *Writer) Add(ikey keys.InternalKey, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.data.Add(ikey, value)
+	w.filter.Add(ikey.User)
+	if w.meta.Smallest == nil {
+		w.meta.Smallest = append([]byte(nil), ikey.User...)
+	}
+	w.meta.Largest = append(w.meta.Largest[:0], ikey.User...)
+	if ikey.Seq > w.meta.MaxSeq {
+		w.meta.MaxSeq = ikey.Seq
+	}
+	w.meta.Entries++
+	if w.data.SizeEstimate() >= w.opts.BlockSize {
+		w.err = w.flushDataBlock()
+	}
+	return w.err
+}
+
+func (w *Writer) flushDataBlock() error {
+	if w.data.Count() == 0 {
+		return nil
+	}
+	lastUser := append([]byte(nil), w.data.LastUserKey()...)
+	content := w.data.Finish()
+	off, err := w.f.Append(content)
+	if err != nil {
+		return err
+	}
+	w.meta.DataSize += int64(len(content))
+	w.meta.Blocks++
+	// Index entry: separator = last user key of the block at max seq, so a
+	// SeekGE(user) lands on the right block.
+	sep := keys.InternalKey{User: lastUser, Seq: 0, Kind: keys.KindSet}
+	w.index.Add(sep, EncodeHandle(nil, Handle{Offset: uint64(off), Size: uint64(len(content))}))
+	w.data.Reset()
+	return nil
+}
+
+// Finish flushes remaining blocks, writes filter, index and footer, and
+// syncs the file. The writer is unusable afterwards.
+func (w *Writer) Finish() (Meta, error) {
+	if w.err != nil {
+		return Meta{}, w.err
+	}
+	if err := w.flushDataBlock(); err != nil {
+		return Meta{}, err
+	}
+	filterData := w.filter.Marshal()
+	filterOff, err := w.f.Append(filterData)
+	if err != nil {
+		return Meta{}, err
+	}
+	indexData := w.index.Finish()
+	indexOff, err := w.f.Append(indexData)
+	if err != nil {
+		return Meta{}, err
+	}
+	footer := make([]byte, 0, 48)
+	footer = EncodeHandle(footer, Handle{Offset: uint64(filterOff), Size: uint64(len(filterData))})
+	footer = EncodeHandle(footer, Handle{Offset: uint64(indexOff), Size: uint64(len(indexData))})
+	// Pad so the footer is fixed-size from the end.
+	for len(footer) < footerSize-8 {
+		footer = append(footer, 0)
+	}
+	var magic [8]byte
+	binary.LittleEndian.PutUint64(magic[:], Magic)
+	footer = append(footer, magic[:]...)
+	if _, err := w.f.Append(footer); err != nil {
+		return Meta{}, err
+	}
+	if err := w.f.Sync(w.opts.Op); err != nil {
+		return Meta{}, err
+	}
+	w.meta.TotalSize = w.f.Size()
+	return w.meta, nil
+}
+
+// footerSize is the fixed footer length: two padded handles plus magic.
+const footerSize = 48

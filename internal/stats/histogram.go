@@ -1,0 +1,216 @@
+// Package stats provides the measurement plumbing used by every experiment:
+// lock-free latency histograms with percentile queries, monotonic traffic
+// counters, and a periodic bandwidth sampler.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrency-safe log-linear latency histogram. Buckets grow
+// geometrically from 250ns to ~17min with 16 linear sub-buckets per octave,
+// giving a worst-case quantile error of ~6%. Record is wait-free.
+type Histogram struct {
+	counts [nBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds, for Mean
+	max    atomic.Uint64
+	min    atomic.Uint64
+}
+
+const (
+	subBuckets = 16
+	octaves    = 33 // 250ns << 33 exceeds any latency we measure
+	nBuckets   = octaves * subBuckets
+	baseNanos  = 250
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+func bucketFor(nanos uint64) int {
+	if nanos < baseNanos {
+		return 0
+	}
+	v := nanos / baseNanos
+	// octave = floor(log2(v)), position within the octave in 16 steps.
+	oct := 63 - leadingZeros64(v)
+	if oct >= octaves {
+		return nBuckets - 1
+	}
+	var sub uint64
+	if oct > 0 {
+		sub = (v - 1<<uint(oct)) >> uint(oct-4)
+		if oct < 4 {
+			sub = (v - 1<<uint(oct)) << uint(4-oct)
+		}
+	}
+	idx := oct*subBuckets + int(sub)
+	if idx >= nBuckets {
+		idx = nBuckets - 1
+	}
+	return idx
+}
+
+func bucketUpper(idx int) uint64 {
+	oct := idx / subBuckets
+	sub := uint64(idx % subBuckets)
+	lo := uint64(1) << uint(oct)
+	var width uint64
+	if oct >= 4 {
+		width = lo >> 4
+	} else {
+		width = 1
+	}
+	return (lo + (sub+1)*width) * baseNanos
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	n := uint64(d.Nanoseconds())
+	h.counts[bucketFor(n)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(n)
+	for {
+		cur := h.max.Load()
+		if n <= cur || h.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if n >= cur || h.min.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the average latency, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest recorded latency, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	v := h.min.Load()
+	if v == math.MaxUint64 {
+		return 0
+	}
+	return time.Duration(v)
+}
+
+// Quantile returns the latency at quantile q in [0,1]. Snapshot-consistent
+// enough for reporting: concurrent records may shift the answer by a bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < nBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return h.Max()
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(math.MaxUint64)
+}
+
+// Merge adds o's observations into h. Min/Max merge exactly; buckets add.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	if om := o.max.Load(); om > h.max.Load() {
+		h.max.Store(om)
+	}
+	if om := o.min.Load(); om < h.min.Load() {
+		h.min.Store(om)
+	}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Median(), h.P99(), h.Max())
+}
+
+// ExactPercentiles computes percentiles from a raw sample slice; used by
+// tests to validate the histogram's bucketed answers.
+func ExactPercentiles(samples []time.Duration, qs ...float64) []time.Duration {
+	if len(samples) == 0 {
+		return make([]time.Duration, len(qs))
+	}
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		rank := int(q * float64(len(s)))
+		if rank >= len(s) {
+			rank = len(s) - 1
+		}
+		out[i] = s[rank]
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Median() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() == 0 || h.Max() == 0 {
+		t.Fatal("min/max not tracked")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform from 1µs to 100ms.
+		d := time.Duration(float64(time.Microsecond) * pow10(rng.Float64()*5))
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	exact := ExactPercentiles(samples, 0.5, 0.9, 0.99)
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		lo := float64(exact[i]) * 0.85
+		hi := float64(exact[i]) * 1.15
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q=%.2f: histogram %v vs exact %v (>15%% off)", q, got, exact[i])
+		}
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// linear interpolation within the last decade is fine for test data
+	return r * (1 + 9*x)
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(rng.Intn(1000000)) * time.Nanosecond)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d, want 80000", h.Count())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(4 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 4*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Intn(10_000_000)))
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTrafficSnapshotSub(t *testing.T) {
+	var tc TrafficCounters
+	tc.ReadBytes.Add(100)
+	tc.WriteBytes.Add(50)
+	tc.BgWriteBytes.Add(20)
+	s1 := tc.Snapshot()
+	tc.ReadBytes.Add(10)
+	tc.WriteBytes.Add(5)
+	d := tc.Snapshot().Sub(s1)
+	if d.ReadBytes != 10 || d.WriteBytes != 5 || d.BgWriteBytes != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if s1.TotalBytes() != 150 {
+		t.Fatalf("total = %d", s1.TotalBytes())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512B",
+		2048:    "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestBandwidthSampler(t *testing.T) {
+	var tc TrafficCounters
+	s := NewBandwidthSampler(&tc, 10*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		tc.ReadBytes.Add(1 << 20)
+		tc.WriteBytes.Add(1 << 19)
+		time.Sleep(12 * time.Millisecond)
+	}
+	samples := s.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	r, w := MeanBandwidth(samples)
+	if r <= 0 || w <= 0 {
+		t.Fatalf("bandwidth r=%f w=%f", r, w)
+	}
+	if r < w {
+		t.Fatalf("reads were 2x writes, but r=%f < w=%f", r, w)
+	}
+}
+
+func TestMeanBandwidthSkipsIdle(t *testing.T) {
+	samples := []BandwidthSample{
+		{ReadBps: 0, WriteBps: 0}, // idle: skipped
+		{ReadBps: 100, WriteBps: 50},
+		{ReadBps: 200, WriteBps: 150},
+	}
+	r, w := MeanBandwidth(samples)
+	if r != 150 || w != 100 {
+		t.Fatalf("r=%f w=%f", r, w)
+	}
+}

@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperdb/internal/device"
+)
+
+func newDev() *device.Device {
+	return device.New(device.UnthrottledProfile("t", 0))
+}
+
+func TestAppendReplay(t *testing.T) {
+	dev := newDev()
+	w, err := Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	if err := w.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dev := newDev()
+	w, _ := Open(dev, "wal")
+	w.Append([]byte("good-1"))
+	w.Append([]byte("good-2"))
+	// Simulate a torn tail: append a header claiming more bytes than exist.
+	f, _ := dev.Open("wal")
+	f.Append([]byte{0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x00, 0x00}) // crc + len 255
+	f.Sync(device.Fg)
+
+	w2, _ := Open(dev, "wal")
+	var n int
+	if err := w2.Replay(func(p []byte) error { n++; return nil }); err != nil {
+		t.Fatalf("torn tail should not error: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d, want 2", n)
+	}
+}
+
+func TestReplayCorruptMiddle(t *testing.T) {
+	dev := newDev()
+	w, _ := Open(dev, "wal")
+	w.Append([]byte("first"))
+	w.Append([]byte("second"))
+	// Corrupt a byte inside the first record's payload.
+	f, _ := dev.Open("wal")
+	f.WriteAt([]byte{0xFF}, 9, device.Fg)
+
+	w2, _ := Open(dev, "wal")
+	err := w2.Replay(func(p []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dev := newDev()
+	w, _ := Open(dev, "wal")
+	w.Append([]byte("x"))
+	if w.Size() == 0 {
+		t.Fatal("size should grow")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Fatal("reset did not empty the log")
+	}
+	n := 0
+	w.Replay(func([]byte) error { n++; return nil })
+	if n != 0 {
+		t.Fatalf("replay after reset returned %d records", n)
+	}
+	// Appends still work after reset.
+	if err := w.Append([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitSharesSyncs(t *testing.T) {
+	// Group commit only batches when syncs take time; give the device a
+	// write latency so concurrent appends pile up behind one sync.
+	dev := device.New(device.Profile{
+		Name: "t", PageSize: 4096, Channels: 1,
+		WriteLatency: 200 * time.Microsecond,
+	})
+	w, _ := Open(dev, "wal")
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.Append([]byte(fmt.Sprintf("w%d-%d", id, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	if err := w.Replay(func(p []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*each {
+		t.Fatalf("replayed %d, want %d", n, writers*each)
+	}
+	// Group commit: sync (write op) count must be well under record count.
+	ops := dev.Counters().WriteOps.Load()
+	if ops >= writers*each {
+		t.Fatalf("%d write ops for %d records — group commit not batching", ops, writers*each)
+	}
+}
+
+func TestReopenContinues(t *testing.T) {
+	dev := newDev()
+	w, _ := Open(dev, "wal")
+	w.Append([]byte("a"))
+	w2, err := Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w2.Replay(func([]byte) error { n++; return nil })
+	if n != 2 {
+		t.Fatalf("replayed %d after reopen, want 2", n)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	dev := newDev()
+	w, _ := Open(dev, "wal")
+	if err := w.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := w.Replay(func(p []byte) error {
+		if len(p) != 0 {
+			t.Fatalf("payload = %q", p)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}

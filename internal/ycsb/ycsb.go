@@ -1,0 +1,297 @@
+// Package ycsb reimplements the YCSB cloud-serving benchmark core used in
+// §4: the six standard workloads A–F, zipfian / uniform / latest request
+// distributions (Gray's incremental-zeta zipfian, FNV-scrambled like YCSB's
+// ScrambledZipfian), and deterministic per-client operation streams.
+package ycsb
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// OpType is the kind of one generated operation.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpRMW // read-modify-write (workload F)
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpRMW:
+		return "rmw"
+	default:
+		return "?"
+	}
+}
+
+// Distribution selects how request keys are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	Latest
+)
+
+// Workload is a YCSB workload mix.
+type Workload struct {
+	Name       string
+	ReadProp   float64
+	UpdateProp float64
+	InsertProp float64
+	ScanProp   float64
+	RMWProp    float64
+	Dist       Distribution
+	// Theta is the zipfian skew (YCSB default 0.99).
+	Theta float64
+	// ScanLen is the range-query length (paper default 50).
+	ScanLen int
+}
+
+// The six standard workloads, §4.1 defaults.
+var (
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, Dist: Zipfian, Theta: 0.99}
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, Dist: Zipfian, Theta: 0.99}
+	WorkloadC = Workload{Name: "C", ReadProp: 1.0, Dist: Zipfian, Theta: 0.99}
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, Dist: Latest, Theta: 0.99}
+	WorkloadE = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, Dist: Zipfian, Theta: 0.99, ScanLen: 50}
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, Dist: Zipfian, Theta: 0.99}
+)
+
+// ByName returns the standard workload with the given letter.
+func ByName(name string) (Workload, bool) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// WithTheta returns a copy of w with the zipfian skew replaced (uniform when
+// theta == 0).
+func (w Workload) WithTheta(theta float64) Workload {
+	o := w
+	if theta <= 0 {
+		o.Dist = Uniform
+	} else {
+		if o.Dist == Uniform {
+			o.Dist = Zipfian
+		}
+		o.Theta = theta
+	}
+	return o
+}
+
+// Key renders record index i as the canonical 8-byte key: an FNV-64 scramble
+// (YCSB's ScrambledZipfian) so hot indices spread uniformly across the key
+// space — and therefore across partitions, zones and level segments.
+func Key(i int64) []byte {
+	h := fnv64(uint64(i))
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, h)
+	return b
+}
+
+func fnv64(x uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return h
+}
+
+// Value fills a deterministic pseudo-random value of the given size.
+func Value(rng *rand.Rand, size int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte('a' + rng.Intn(26))
+	}
+	return v
+}
+
+// zipfGen draws zipf-distributed ranks in [0, n) with Gray's algorithm,
+// supporting incremental growth of n (needed by the Latest distribution).
+type zipfGen struct {
+	n          int64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	zeta2theta float64
+	eta        float64
+	countZeta  int64 // n the current zetan corresponds to
+}
+
+func newZipf(n int64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.countZeta = n
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = z.etaNow()
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) etaNow() float64 {
+	return (1 - math.Pow(2.0/float64(z.n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// grow extends n incrementally, updating zeta without a full recompute.
+func (z *zipfGen) grow(n int64) {
+	if n <= z.countZeta {
+		z.n = n
+		return
+	}
+	for i := z.countZeta + 1; i <= n; i++ {
+		z.zetan += 1.0 / math.Pow(float64(i), z.theta)
+	}
+	z.countZeta = n
+	z.n = n
+	z.eta = z.etaNow()
+}
+
+// next draws one rank; rank 0 is the hottest.
+func (z *zipfGen) next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     []byte
+	Value   []byte
+	ScanLen int
+}
+
+// Generator produces a deterministic operation stream for one client.
+type Generator struct {
+	w          Workload
+	rng        *rand.Rand
+	zipf       *zipfGen
+	records    int64 // current record count (inserts grow it)
+	valSize    int
+	nextInsert int64
+	stride     int64
+}
+
+// NewGenerator creates a stream over records existing keys with the given
+// value size. Each client gets its own seed.
+func NewGenerator(w Workload, records int64, valueSize int, seed int64) *Generator {
+	g := &Generator{
+		w:          w,
+		rng:        rand.New(rand.NewSource(seed)),
+		records:    records,
+		valSize:    valueSize,
+		nextInsert: records,
+		stride:     1,
+	}
+	if w.Dist == Zipfian || w.Dist == Latest {
+		theta := w.Theta
+		if theta <= 0 {
+			theta = 0.99
+		}
+		g.zipf = newZipf(records, theta)
+	}
+	return g
+}
+
+// pickKey draws a key index according to the workload's distribution.
+func (g *Generator) pickKey() int64 {
+	switch g.w.Dist {
+	case Uniform:
+		return g.rng.Int63n(g.records)
+	case Zipfian:
+		return g.zipf.next(g.rng)
+	case Latest:
+		// Rank 0 = newest record.
+		r := g.zipf.next(g.rng)
+		idx := g.records - 1 - r
+		if idx < 0 {
+			idx = 0
+		}
+		return idx
+	default:
+		return g.rng.Int63n(g.records)
+	}
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	w := g.w
+	switch {
+	case p < w.ReadProp:
+		return Op{Type: OpRead, Key: Key(g.pickKey())}
+	case p < w.ReadProp+w.UpdateProp:
+		return Op{Type: OpUpdate, Key: Key(g.pickKey()), Value: Value(g.rng, g.valSize)}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		idx := g.nextInsert
+		g.nextInsert += g.stride
+		g.records++
+		if g.zipf != nil && g.w.Dist == Latest {
+			g.zipf.grow(g.records)
+		}
+		return Op{Type: OpInsert, Key: Key(idx), Value: Value(g.rng, g.valSize)}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+		n := w.ScanLen
+		if n <= 0 {
+			n = 50
+		}
+		return Op{Type: OpScan, Key: Key(g.pickKey()), ScanLen: n}
+	default:
+		return Op{Type: OpRMW, Key: Key(g.pickKey()), Value: Value(g.rng, g.valSize)}
+	}
+}
+
+// Records returns the current record count (grows with inserts).
+func (g *Generator) Records() int64 { return g.records }
+
+// SetInsertStride partitions the insert index space among clients so
+// concurrent generators never produce colliding insert keys: client id gets
+// indices records+id, records+id+n, records+id+2n, …
+func (g *Generator) SetInsertStride(id, n int64) {
+	if n < 1 {
+		n = 1
+	}
+	g.nextInsert = g.records + id
+	g.stride = n
+}

@@ -1,0 +1,40 @@
+package zone
+
+import (
+	"bytes"
+	"fmt"
+
+	"hyperdb/internal/device"
+)
+
+// DebugSlotsForKey scans a partition's slot files for every CRC-valid slot
+// holding key, returning human-readable descriptions. Test diagnostics only.
+func DebugSlotsForKey(dev *device.Device, partition int, key []byte) []string {
+	var out []string
+	for _, cls := range defaultClasses {
+		f, err := dev.Open(fmt.Sprintf("p%d-slab%d", partition, cls))
+		if err != nil {
+			continue
+		}
+		ps := int64(4096)
+		spp := int(ps) / cls
+		if spp < 1 {
+			spp = 1
+		}
+		for _, p := range f.AllocatedPageIDs() {
+			page := make([]byte, ps)
+			if _, err := f.ReadAt(page, p*ps, device.Bg); err != nil {
+				continue
+			}
+			for s := 0; s < spp; s++ {
+				off := s * cls
+				ts, tomb, k, v, err := decodeSlot(page[off : off+cls])
+				if err != nil || !bytes.Equal(k, key) {
+					continue
+				}
+				out = append(out, fmt.Sprintf("class=%d page=%d slot=%d seq=%d tomb=%v vlen=%d", cls, p, s, ts, tomb, len(v)))
+			}
+		}
+	}
+	return out
+}

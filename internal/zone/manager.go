@@ -1,0 +1,655 @@
+package zone
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hyperdb/internal/btree"
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/stats"
+)
+
+// ErrTooLarge reports an object bigger than the largest slot class (one
+// page). The paper's workloads top out at 1 KiB values.
+var ErrTooLarge = errors.New("zone: object exceeds page size")
+
+// Location is an index entry: where a key lives in the zone group.
+type Location struct {
+	Class     int8
+	Page      uint32
+	Slot      uint16
+	ZoneID    uint32
+	Seq       uint64
+	Size      int32 // header+key+value bytes
+	Tombstone bool
+	// Promoted labels objects copied up from the capacity tier (§3.5); a
+	// no-longer-hot promoted object is dropped on eviction, not relocated.
+	Promoted bool
+}
+
+// Config sizes a zone Manager (one per partition).
+type Config struct {
+	// Dev is the performance-tier device.
+	Dev *device.Device
+	// Partition names this manager's files.
+	Partition int
+	// BatchSize is B, the migration batch size = zone capacity in bytes.
+	BatchSize int64
+	// HotCapacity caps the hot zone's payload bytes before eviction.
+	HotCapacity int64
+	// Classes are the slot sizes (defaults to 64B…4KiB powers of two).
+	Classes []int
+	// PageCache, if set, caches slot pages for reads.
+	PageCache cache.BlockCache
+}
+
+func (c *Config) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4 << 20
+	}
+	if c.HotCapacity <= 0 {
+		c.HotCapacity = c.BatchSize * 4
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = defaultClasses
+	}
+}
+
+// Stats aggregates a manager's experiment counters.
+type Stats struct {
+	Objects            int64
+	PayloadBytes       int64
+	Zones              int
+	Migrations         uint64
+	MigratedObjects    uint64
+	MigrationPageReads uint64
+	InPlaceUpdates     uint64
+	Relocations        uint64
+	HotEvictDropped    uint64
+	HotEvictRelocated  uint64
+}
+
+// Manager is one partition's zone group: slot files, the zone mapper, the
+// in-memory B-tree index and the hot zone. It is internally locked; the
+// shared-nothing partitioning above it keeps contention local.
+type Manager struct {
+	cfg Config
+
+	// evictMu serialises hot-zone evictions (background worker vs stalled
+	// foreground writers).
+	evictMu sync.Mutex
+
+	mu        sync.RWMutex
+	slotFiles []*slotFile
+	index     *btree.Map[Location]
+	zones     []*Zone // key-range zones sorted by lo
+	zoneByID  map[uint32]*Zone
+	hot       *Zone
+	nextZone  uint32
+
+	migrations         stats.Counter
+	migratedObjects    stats.Counter
+	migrationPageReads stats.Counter
+	inPlaceUpdates     stats.Counter
+	relocations        stats.Counter
+	hotEvictDropped    stats.Counter
+	hotEvictRelocated  stats.Counter
+}
+
+// NewManager creates the slot files and an empty zone group.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg.fill()
+	m := &Manager{
+		cfg:      cfg,
+		index:    btree.New[Location](),
+		zoneByID: make(map[uint32]*Zone),
+		nextZone: 1,
+	}
+	for _, cls := range cfg.Classes {
+		sf, err := newSlotFile(cfg.Dev, fmt.Sprintf("p%d-slab%d", cfg.Partition, cls), cls)
+		if err != nil {
+			return nil, err
+		}
+		m.slotFiles = append(m.slotFiles, sf)
+	}
+	m.hot = newZone(0, 0, math.MaxUint64, true, len(cfg.Classes))
+	m.zoneByID[0] = m.hot
+	return m, nil
+}
+
+// zoneFor finds the live key-range zone containing k64, or nil.
+func (m *Manager) zoneFor(k64 uint64) *Zone {
+	i := sort.Search(len(m.zones), func(i int) bool { return m.zones[i].lo > k64 })
+	if i == 0 {
+		return nil
+	}
+	z := m.zones[i-1]
+	if z.contains(k64) {
+		return z
+	}
+	return nil
+}
+
+// avgObjectSize is Eq. 1: ΣF_k / ΣN_k over the slot files.
+func (m *Manager) avgObjectSize() float64 {
+	var files, objs int64
+	for _, sf := range m.slotFiles {
+		files += sf.bytes
+		objs += sf.objects
+	}
+	if objs == 0 {
+		return 256 // bootstrap guess
+	}
+	return float64(files) / float64(objs)
+}
+
+// zoneWidth estimates the key-range width of a new zone: Eq. 2 gives
+// R = B/O objects per zone; the observed keyspace density (index size over
+// key span) converts that object count into a 64-bit prefix width.
+func (m *Manager) zoneWidth() uint64 {
+	r := float64(m.cfg.BatchSize) / m.avgObjectSize() // objects per zone
+	if r < 1 {
+		r = 1
+	}
+	n := m.index.Len()
+	if n < 2 {
+		return 1 << 56 // bootstrap: carve the space coarsely
+	}
+	span := float64(Key64(m.index.Max()) - Key64(m.index.Min()))
+	if span < 1 {
+		span = 1
+	}
+	width := r * span / float64(n)
+	if width < 1 {
+		return 1
+	}
+	if width >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(width)
+}
+
+// createZone makes the zone whose grid-aligned range contains k64, clipped
+// against existing neighbours. Caller holds mu.
+func (m *Manager) createZone(k64 uint64) *Zone {
+	width := m.zoneWidth()
+	var lo, hi uint64
+	if width == math.MaxUint64 {
+		lo, hi = 0, math.MaxUint64
+	} else {
+		lo = k64 - k64%width
+		if math.MaxUint64-lo < width {
+			hi = math.MaxUint64
+		} else {
+			hi = lo + width
+		}
+	}
+	// Clip to neighbours so zones stay disjoint as the width estimate drifts.
+	i := sort.Search(len(m.zones), func(i int) bool { return m.zones[i].lo > k64 })
+	if i > 0 {
+		if prev := m.zones[i-1]; prev.hi > lo {
+			lo = prev.hi
+		}
+	}
+	if i < len(m.zones) {
+		if next := m.zones[i]; next.lo < hi {
+			hi = next.lo
+		}
+	}
+	if lo > k64 || (hi != math.MaxUint64 && k64 >= hi) {
+		// Clipping collapsed the grid cell (width shrank since the
+		// neighbours were created); fall back to a tight range around k64.
+		lo, hi = k64, k64+1
+		if i > 0 && m.zones[i-1].hi > lo {
+			lo = m.zones[i-1].hi
+		}
+		if i < len(m.zones) && m.zones[i].lo < hi {
+			hi = m.zones[i].lo
+		}
+	}
+	z := newZone(m.nextZone, lo, hi, false, len(m.cfg.Classes))
+	m.nextZone++
+	m.zoneByID[z.id] = z
+	m.zones = append(m.zones, nil)
+	copy(m.zones[i+1:], m.zones[i:])
+	m.zones[i] = z
+	return z
+}
+
+// writeObject stores an object into zone z, allocating a slot. Caller holds
+// mu. Returns the new location.
+func (m *Manager) writeObject(z *Zone, c int, k, v []byte, seq uint64, tombstone, promoted bool, op device.Op) (Location, error) {
+	sf := m.slotFiles[c]
+	ref, ok := z.takeSlot(c, sf.slotsPerPage)
+	if !ok {
+		page, err := sf.allocPage()
+		if err != nil {
+			return Location{}, err
+		}
+		ref = z.addPage(c, page, sf.slotsPerPage)
+	}
+	if err := sf.writeSlot(ref.page, ref.slot, seq, tombstone, k, v, op); err != nil {
+		return Location{}, err
+	}
+	m.invalidateCache(c, ref.page)
+	size := int32(slotHeaderSize + len(k) + len(v))
+	z.objects++
+	z.bytes += int64(size)
+	sf.objects++
+	sf.bytes += int64(size)
+	return Location{
+		Class: int8(c), Page: ref.page, Slot: ref.slot, ZoneID: z.id,
+		Seq: seq, Size: size, Tombstone: tombstone, Promoted: promoted,
+	}, nil
+}
+
+// dropLocation releases loc's slot and adjusts accounting. Caller holds mu.
+func (m *Manager) dropLocation(loc Location) {
+	z, ok := m.zoneByID[loc.ZoneID]
+	if !ok {
+		return // zone already detached by a migration
+	}
+	z.releaseSlot(int(loc.Class), slotRef{page: loc.Page, slot: loc.Slot})
+	z.objects--
+	z.bytes -= int64(loc.Size)
+	sf := m.slotFiles[loc.Class]
+	sf.objects--
+	sf.bytes -= int64(loc.Size)
+}
+
+func (m *Manager) cacheKey(c int, page uint32) string {
+	return fmt.Sprintf("p%dc%d#%d", m.cfg.Partition, c, page)
+}
+
+func (m *Manager) invalidateCache(c int, page uint32) {
+	if m.cfg.PageCache != nil {
+		m.cfg.PageCache.Delete(m.cacheKey(c, page))
+	}
+}
+
+// Put writes key=value at sequence seq. hot routes the object to the hot
+// zone (tracker-classified or promoted). promoted marks a copy of
+// capacity-tier data. Charges one random page write, plus a tombstone write
+// when the object relocates between slots (§3.2).
+func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
+	need := slotHeaderSize + len(key) + len(value)
+	c := classFor(m.cfg.Classes, need)
+	if c < 0 {
+		return ErrTooLarge
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if old, ok := m.index.Get(key); ok {
+		oldZone, zoneLive := m.zoneByID[old.ZoneID]
+		if zoneLive && int(old.Class) == c && !old.Tombstone {
+			// In-place update: same slot, one page write.
+			sf := m.slotFiles[c]
+			if err := sf.writeSlot(old.Page, old.Slot, seq, false, key, value, device.Fg); err != nil {
+				return err
+			}
+			m.invalidateCache(c, old.Page)
+			size := int32(need)
+			oldZone.bytes += int64(size) - int64(old.Size)
+			sf.bytes += int64(size) - int64(old.Size)
+			old.Seq, old.Size, old.Promoted = seq, size, false
+			m.index.Set(bytes.Clone(key), old)
+			m.inPlaceUpdates.Inc()
+			return nil
+		}
+		// Resized (different class) or zone gone: write the new slot first,
+		// then leave a tombstone at the old location (§3.2). Writing the
+		// value before the tombstone keeps recovery safe: a crash between
+		// the two leaves two versions and the newer one wins the scan.
+		z := m.hot
+		if !hot {
+			k64 := Key64(key)
+			if z = m.zoneFor(k64); z == nil {
+				z = m.createZone(k64)
+			}
+		}
+		loc, err := m.writeObject(z, c, key, value, seq, false, promoted, device.Fg)
+		if err != nil {
+			return err
+		}
+		m.index.Set(bytes.Clone(key), loc)
+		if zoneLive {
+			sf := m.slotFiles[old.Class]
+			if err := sf.writeSlot(old.Page, old.Slot, seq, true, key, nil, device.Fg); err != nil {
+				return err
+			}
+			m.invalidateCache(int(old.Class), old.Page)
+			m.dropLocation(old)
+			m.relocations.Inc()
+		}
+		return nil
+	}
+
+	z := m.hot
+	if !hot {
+		k64 := Key64(key)
+		if z = m.zoneFor(k64); z == nil {
+			z = m.createZone(k64)
+		}
+	}
+	loc, err := m.writeObject(z, c, key, value, seq, false, promoted, device.Fg)
+	if err != nil {
+		return err
+	}
+	m.index.Set(bytes.Clone(key), loc)
+	return nil
+}
+
+// Delete writes a tombstone for key. The tombstone occupies a small slot and
+// migrates to the capacity tier like any object, deleting the key there.
+func (m *Manager) Delete(key []byte, seq uint64) error {
+	c := classFor(m.cfg.Classes, slotHeaderSize+len(key))
+	if c < 0 {
+		return ErrTooLarge
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if old, ok := m.index.Get(key); ok {
+		if z, live := m.zoneByID[old.ZoneID]; live {
+			// Overwrite the existing slot with the tombstone: cheaper than
+			// allocating, and mandatory for recovery — a released slot
+			// holding a stale-but-checksummed value would outlive its
+			// tombstone if the tombstone's zone migrated to the capacity
+			// tier first.
+			sf := m.slotFiles[old.Class]
+			if err := sf.writeSlot(old.Page, old.Slot, seq, true, key, nil, device.Fg); err != nil {
+				return err
+			}
+			m.invalidateCache(int(old.Class), old.Page)
+			size := int32(slotHeaderSize + len(key))
+			z.bytes += int64(size) - int64(old.Size)
+			sf.bytes += int64(size) - int64(old.Size)
+			old.Seq, old.Size, old.Tombstone, old.Promoted = seq, size, true, false
+			m.index.Set(bytes.Clone(key), old)
+			return nil
+		}
+	}
+	k64 := Key64(key)
+	z := m.zoneFor(k64)
+	if z == nil {
+		z = m.createZone(k64)
+	}
+	loc, err := m.writeObject(z, c, key, nil, seq, true, false, device.Fg)
+	if err != nil {
+		return err
+	}
+	m.index.Set(bytes.Clone(key), loc)
+	return nil
+}
+
+// Get looks key up in the tier. found=false means the tier has no opinion
+// (fall through to the capacity tier); a tombstone returns found=true,
+// tombstone=true — authoritative deletion.
+func (m *Manager) Get(key []byte, op device.Op) (value []byte, seq uint64, tombstone, found bool, err error) {
+	m.mu.RLock()
+	loc, ok := m.index.Get(key)
+	if !ok {
+		m.mu.RUnlock()
+		return nil, 0, false, false, nil
+	}
+	if loc.Tombstone {
+		m.mu.RUnlock()
+		return nil, loc.Seq, true, true, nil
+	}
+	z := m.zoneByID[loc.ZoneID]
+	sf := m.slotFiles[loc.Class]
+	ck := m.cacheKey(int(loc.Class), loc.Page)
+	m.mu.RUnlock()
+
+	// Page cache first; misses charge one page read and bump the zone's
+	// read-I/O counter used by the demotion score. A cached page is only
+	// trusted when the slot's stored sequence matches the index entry —
+	// an in-place update that raced the caching of this page otherwise
+	// serves a stale value.
+	if m.cfg.PageCache != nil {
+		if page, hit := m.cfg.PageCache.Get(ck); hit {
+			slotSeq, tomb, k, v, derr := sf.decodeSlotInPage(page, loc.Slot)
+			if derr == nil && bytes.Equal(k, key) && slotSeq == loc.Seq && !tomb {
+				return bytes.Clone(v), loc.Seq, false, true, nil
+			}
+			// Stale cache entry (slot rewritten); fall through to device.
+		}
+	}
+	page, err := sf.readPage(loc.Page, op)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	if m.cfg.PageCache != nil {
+		m.cfg.PageCache.Put(ck, page)
+	}
+	if z != nil && !op.Background {
+		m.mu.Lock()
+		z.readIOs++
+		m.mu.Unlock()
+	}
+	_, tomb, k, v, err := sf.decodeSlotInPage(page, loc.Slot)
+	if err != nil || !bytes.Equal(k, key) {
+		// The slot was recycled (or TRIMmed to zeros) by a migration that
+		// committed between our index lookup and the page read; the value
+		// now lives in the capacity tier, so report a miss and let the
+		// caller fall through.
+		return nil, 0, false, false, nil
+	}
+	if tomb {
+		return nil, loc.Seq, true, true, nil
+	}
+	return bytes.Clone(v), loc.Seq, false, true, nil
+}
+
+// Promote inserts a capacity-tier object into the hot zone with the
+// promotion label, unless the tier already has any version of the key
+// (which would be at least as new). Charged as background I/O (§3.5:
+// promotions flush asynchronously from the object cache).
+func (m *Manager) Promote(key, value []byte, seq uint64) error {
+	need := slotHeaderSize + len(key) + len(value)
+	c := classFor(m.cfg.Classes, need)
+	if c < 0 {
+		return ErrTooLarge
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.index.Get(key); ok {
+		return nil
+	}
+	loc, err := m.writeObject(m.hot, c, key, value, seq, false, true, device.Bg)
+	if err != nil {
+		return err
+	}
+	m.index.Set(bytes.Clone(key), loc)
+	return nil
+}
+
+// Has reports whether the tier has an entry (value or tombstone) for key.
+func (m *Manager) Has(key []byte) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.index.Get(key)
+	return ok
+}
+
+// Scan visits index entries with lo <= key < hi in order. fn must not call
+// back into the manager.
+func (m *Manager) Scan(lo, hi []byte, fn func(key []byte, loc Location) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.index.Ascend(lo, hi, fn)
+}
+
+// ReadAt fetches the object at loc (used by scans after collecting
+// locations). Charges a page read through the cache.
+func (m *Manager) ReadAt(key []byte, loc Location, op device.Op) ([]byte, error) {
+	m.mu.RLock()
+	sf := m.slotFiles[loc.Class]
+	ck := m.cacheKey(int(loc.Class), loc.Page)
+	m.mu.RUnlock()
+	if m.cfg.PageCache != nil {
+		if page, hit := m.cfg.PageCache.Get(ck); hit {
+			slotSeq, tomb, k, v, err := sf.decodeSlotInPage(page, loc.Slot)
+			if err == nil && bytes.Equal(k, key) && slotSeq == loc.Seq && !tomb {
+				return bytes.Clone(v), nil
+			}
+		}
+	}
+	page, err := sf.readPage(loc.Page, op)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.PageCache != nil {
+		m.cfg.PageCache.Put(ck, page)
+	}
+	_, tomb, k, v, err := sf.decodeSlotInPage(page, loc.Slot)
+	if err != nil {
+		return nil, err
+	}
+	if tomb || !bytes.Equal(k, key) {
+		return nil, fmt.Errorf("zone: object %q moved", key)
+	}
+	return bytes.Clone(v), nil
+}
+
+// ObjectCount returns the number of index entries.
+func (m *Manager) ObjectCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.index.Len()
+}
+
+// PayloadBytes returns the payload stored across all zones.
+func (m *Manager) PayloadBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	n += m.hot.bytes
+	for _, z := range m.zones {
+		n += z.bytes
+	}
+	return n
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var payload int64
+	payload += m.hot.bytes
+	for _, z := range m.zones {
+		payload += z.bytes
+	}
+	return Stats{
+		Objects:            int64(m.index.Len()),
+		PayloadBytes:       payload,
+		Zones:              len(m.zones),
+		Migrations:         m.migrations.Load(),
+		MigratedObjects:    m.migratedObjects.Load(),
+		MigrationPageReads: m.migrationPageReads.Load(),
+		InPlaceUpdates:     m.inPlaceUpdates.Load(),
+		Relocations:        m.relocations.Load(),
+		HotEvictDropped:    m.hotEvictDropped.Load(),
+		HotEvictRelocated:  m.hotEvictRelocated.Load(),
+	}
+}
+
+// HotZoneBytes returns the hot zone's payload size.
+func (m *Manager) HotZoneBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hot.bytes
+}
+
+// HotZoneOver reports whether the hot zone exceeds its capacity.
+func (m *Manager) HotZoneOver() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hot.bytes > m.cfg.HotCapacity
+}
+
+// ZoneCount returns the number of key-range zones (excluding the hot zone).
+func (m *Manager) ZoneCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.zones)
+}
+
+// Batch is a migration batch: sorted entries plus provenance for commit.
+type Batch struct {
+	Entries   []MigEntry
+	PageReads int
+	zone      *Zone
+}
+
+// MigEntry is one object leaving the performance tier.
+type MigEntry struct {
+	Key       []byte
+	Value     []byte
+	Seq       uint64
+	Tombstone bool
+}
+
+// Range returns the migrated key range.
+func (b *Batch) Range() keys.Range {
+	if len(b.Entries) == 0 {
+		return keys.Range{}
+	}
+	return keys.Range{
+		Lo: b.Entries[0].Key,
+		Hi: keys.Successor(b.Entries[len(b.Entries)-1].Key),
+	}
+}
+
+// ScanReader amortises page reads across one range scan: distinct pages are
+// fetched once and shared by every object on them. This implements the scan
+// optimisation the paper leaves as future work (§4.2) — without it, scans
+// are sequential point queries that may fetch the same page repeatedly.
+type ScanReader struct {
+	m     *Manager
+	pages map[scanPageKey][]byte
+}
+
+type scanPageKey struct {
+	class int8
+	page  uint32
+}
+
+// NewScanReader returns a reader with an empty page memo.
+func (m *Manager) NewScanReader() *ScanReader {
+	return &ScanReader{m: m, pages: make(map[scanPageKey][]byte)}
+}
+
+// Read fetches the object at loc, reusing previously fetched pages.
+func (r *ScanReader) Read(key []byte, loc Location, op device.Op) ([]byte, error) {
+	pk := scanPageKey{loc.Class, loc.Page}
+	page, ok := r.pages[pk]
+	if !ok {
+		r.m.mu.RLock()
+		sf := r.m.slotFiles[loc.Class]
+		r.m.mu.RUnlock()
+		var err error
+		op.Sequential = true
+		page, err = sf.readPage(loc.Page, op)
+		if err != nil {
+			return nil, err
+		}
+		r.pages[pk] = page
+	}
+	r.m.mu.RLock()
+	sf := r.m.slotFiles[loc.Class]
+	r.m.mu.RUnlock()
+	_, tomb, k, v, err := sf.decodeSlotInPage(page, loc.Slot)
+	if err != nil || tomb || !bytes.Equal(k, key) {
+		return nil, fmt.Errorf("zone: object %q moved", key)
+	}
+	return bytes.Clone(v), nil
+}

@@ -1,0 +1,181 @@
+// Package zone implements the performance-tier data layout of §3.2: each
+// partition's NVMe share is a zone group; a zone stores objects of one
+// contiguous key range (ordered and non-overlapping between zones) in
+// size-classed slot files; the zone mapper tracks which slot-file pages each
+// zone owns; a per-partition hot zone holds tracker-identified hot objects
+// with no key-range restriction. Objects smaller than a page update in
+// place; resized objects relocate with a tombstone at the old slot. Access
+// is at page (block) granularity, matching the device model, so the
+// page-read amplification the paper analyses appears naturally.
+package zone
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"hyperdb/internal/device"
+)
+
+// slot header: timestamp(8) | flags(1) | keyLen(2) | valLen(4) | crc32(4)
+// The checksum covers the rest of the header plus key and value; recovery
+// scans use it to distinguish live slots from freed or torn ones.
+const slotHeaderSize = 19
+
+const (
+	flagTombstone = 1 << 0
+)
+
+// Classes are the slot sizes; an object occupies the smallest class that
+// fits header+key+value. The largest class is one page.
+var defaultClasses = []int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// classFor returns the class index fitting need bytes, or -1 if oversized.
+func classFor(classes []int, need int) int {
+	for i, c := range classes {
+		if need <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeSlot writes the object into dst (len >= slotHeaderSize+len(k)+len(v)).
+func encodeSlot(dst []byte, ts uint64, tombstone bool, k, v []byte) {
+	binary.LittleEndian.PutUint64(dst[0:], ts)
+	var flags byte
+	if tombstone {
+		flags |= flagTombstone
+	}
+	dst[8] = flags
+	binary.LittleEndian.PutUint16(dst[9:], uint16(len(k)))
+	binary.LittleEndian.PutUint32(dst[11:], uint32(len(v)))
+	copy(dst[slotHeaderSize:], k)
+	copy(dst[slotHeaderSize+len(k):], v)
+	binary.LittleEndian.PutUint32(dst[15:], slotCRC(dst, len(k), len(v)))
+}
+
+// slotCRC computes the slot checksum: header fields (crc zeroed) + payload.
+func slotCRC(buf []byte, kl, vl int) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(buf[:15])
+	h.Write(buf[slotHeaderSize : slotHeaderSize+kl+vl])
+	return h.Sum32()
+}
+
+// decodeSlot parses a slot, returning ts, tombstone flag, key and value
+// views into buf. A checksum mismatch (freed/garbage/torn slot) errors.
+func decodeSlot(buf []byte) (ts uint64, tombstone bool, k, v []byte, err error) {
+	if len(buf) < slotHeaderSize {
+		return 0, false, nil, nil, fmt.Errorf("zone: slot too short")
+	}
+	ts = binary.LittleEndian.Uint64(buf[0:])
+	tombstone = buf[8]&flagTombstone != 0
+	kl := int(binary.LittleEndian.Uint16(buf[9:]))
+	vl := int(binary.LittleEndian.Uint32(buf[11:]))
+	if slotHeaderSize+kl+vl > len(buf) {
+		return 0, false, nil, nil, fmt.Errorf("zone: slot overflow kl=%d vl=%d cap=%d", kl, vl, len(buf))
+	}
+	if got := binary.LittleEndian.Uint32(buf[15:]); got != slotCRC(buf, kl, vl) {
+		return 0, false, nil, nil, fmt.Errorf("zone: slot checksum mismatch")
+	}
+	k = buf[slotHeaderSize : slotHeaderSize+kl]
+	v = buf[slotHeaderSize+kl : slotHeaderSize+kl+vl]
+	return ts, tombstone, k, v, nil
+}
+
+// slotFile is one size class's backing file: an array of pages, each divided
+// into fixed slots. Pages are allocated at the tail and recycled through a
+// free list when zones migrate away.
+type slotFile struct {
+	f            *device.File
+	slotSize     int
+	pageSize     int
+	slotsPerPage int
+	nextPage     uint32
+	freePages    []uint32
+	// Aggregate fill statistics for Eq. 1 (average object size O_k).
+	objects int64
+	bytes   int64
+}
+
+func newSlotFile(dev *device.Device, name string, slotSize int) (*slotFile, error) {
+	f, err := dev.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	ps := dev.PageSize()
+	spp := ps / slotSize
+	if spp < 1 {
+		spp = 1
+	}
+	return &slotFile{f: f, slotSize: slotSize, pageSize: ps, slotsPerPage: spp}, nil
+}
+
+// allocPage returns a page index, reusing freed (hole-punched) pages first.
+func (sf *slotFile) allocPage() (uint32, error) {
+	if n := len(sf.freePages); n > 0 {
+		p := sf.freePages[n-1]
+		if err := sf.f.Reallocate(int64(p)); err != nil {
+			return 0, err
+		}
+		sf.freePages = sf.freePages[:n-1]
+		return p, nil
+	}
+	p := sf.nextPage
+	// Extend the file by one page; allocation is a ledger operation, not
+	// device traffic.
+	if err := sf.f.EnsureAllocated(int64(p+1) * int64(sf.pageSize)); err != nil {
+		return 0, err
+	}
+	sf.nextPage++
+	return p, nil
+}
+
+// freePage returns page p to the free list and the device ledger (TRIM).
+// Contents remain readable until reuse.
+func (sf *slotFile) freePage(p uint32) {
+	sf.freePages = append(sf.freePages, p)
+	sf.f.PunchHole(int64(p))
+}
+
+// slotOffset returns the byte offset of slot s in page p.
+func (sf *slotFile) slotOffset(p uint32, s uint16) int64 {
+	return int64(p)*int64(sf.pageSize) + int64(s)*int64(sf.slotSize)
+}
+
+// writeSlot stores an encoded object into (page, slot), charging one random
+// page write.
+func (sf *slotFile) writeSlot(p uint32, s uint16, ts uint64, tombstone bool, k, v []byte, op device.Op) error {
+	buf := make([]byte, sf.slotSize)
+	encodeSlot(buf, ts, tombstone, k, v)
+	return sf.f.WriteAt(buf, sf.slotOffset(p, s), op)
+}
+
+// readSlot fetches the object at (page, slot), charging one page read unless
+// the caller provides pageData already fetched for this page.
+func (sf *slotFile) readSlot(p uint32, s uint16, op device.Op) (ts uint64, tombstone bool, k, v []byte, err error) {
+	buf := make([]byte, sf.slotSize)
+	if _, err = sf.f.ReadAt(buf, sf.slotOffset(p, s), op); err != nil {
+		return 0, false, nil, nil, err
+	}
+	return decodeSlot(buf)
+}
+
+// readPage fetches an entire page, charging one page read.
+func (sf *slotFile) readPage(p uint32, op device.Op) ([]byte, error) {
+	buf := make([]byte, sf.pageSize)
+	if _, err := sf.f.ReadAt(buf, int64(p)*int64(sf.pageSize), op); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// decodeSlotInPage parses slot s out of a previously read page buffer.
+func (sf *slotFile) decodeSlotInPage(page []byte, s uint16) (ts uint64, tombstone bool, k, v []byte, err error) {
+	off := int(s) * sf.slotSize
+	if off+sf.slotSize > len(page) {
+		return 0, false, nil, nil, fmt.Errorf("zone: slot %d beyond page", s)
+	}
+	return decodeSlot(page[off : off+sf.slotSize])
+}

@@ -1,0 +1,447 @@
+package zone
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdb/internal/device"
+)
+
+func newMgr(t testing.TB, capacity int64, batch int64) (*Manager, *device.Device) {
+	t.Helper()
+	dev := device.New(device.UnthrottledProfile("nvme", capacity))
+	m, err := NewManager(Config{Dev: dev, Partition: 0, BatchSize: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev
+}
+
+func k8(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, i)
+	return b
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	for i := uint64(0); i < 500; i++ {
+		if err := m.Put(k8(i<<40), []byte(fmt.Sprintf("v%d", i)), i+1, false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		v, seq, tomb, found, err := m.Get(k8(i<<40), device.Fg)
+		if err != nil || !found || tomb || seq != i+1 || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d: %q seq=%d tomb=%v found=%v err=%v", i, v, seq, tomb, found, err)
+		}
+	}
+	if err := m.Delete(k8(7<<40), 1000); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tomb, found, _ := m.Get(k8(7<<40), device.Fg)
+	if !found || !tomb {
+		t.Fatalf("deleted key: tomb=%v found=%v", tomb, found)
+	}
+	if _, _, _, found, _ := m.Get(k8(999<<40), device.Fg); found {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestInPlaceUpdateSameClass(t *testing.T) {
+	m, dev := newMgr(t, 0, 64<<10)
+	key := k8(5 << 40)
+	m.Put(key, make([]byte, 100), 1, false, false)
+	usedBefore := dev.Used()
+	m.Put(key, make([]byte, 90), 2, false, false) // same 128B class
+	if dev.Used() != usedBefore {
+		t.Fatal("in-place update should not allocate")
+	}
+	if m.Stats().InPlaceUpdates != 1 {
+		t.Fatalf("inPlace = %d", m.Stats().InPlaceUpdates)
+	}
+	v, seq, _, found, _ := m.Get(key, device.Fg)
+	if !found || seq != 2 || len(v) != 90 {
+		t.Fatalf("after update: len=%d seq=%d", len(v), seq)
+	}
+}
+
+func TestResizeRelocatesWithTombstone(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	key := k8(5 << 40)
+	m.Put(key, make([]byte, 40), 1, false, false)  // 64B class
+	m.Put(key, make([]byte, 400), 2, false, false) // 512B class
+	if m.Stats().Relocations != 1 {
+		t.Fatalf("relocations = %d", m.Stats().Relocations)
+	}
+	v, _, _, found, _ := m.Get(key, device.Fg)
+	if !found || len(v) != 400 {
+		t.Fatalf("after resize: len=%d found=%v", len(v), found)
+	}
+	if m.ObjectCount() != 1 {
+		t.Fatalf("objects = %d", m.ObjectCount())
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	if err := m.Put(k8(1), make([]byte, 5000), 1, false, false); err != ErrTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZonesPartitionKeySpace(t *testing.T) {
+	m, _ := newMgr(t, 0, 16<<10)
+	// Fill with spread keys so multiple zones appear after the estimate
+	// kicks in.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		m.Put(k8(rng.Uint64()), make([]byte, 64), uint64(i+1), false, false)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := 1; i < len(m.zones); i++ {
+		if m.zones[i-1].hi > m.zones[i].lo {
+			t.Fatalf("zones %d,%d overlap: [%x,%x) vs [%x,%x)", i-1, i,
+				m.zones[i-1].lo, m.zones[i-1].hi, m.zones[i].lo, m.zones[i].hi)
+		}
+	}
+}
+
+func TestHotObjectsGoToHotZone(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	m.Put(k8(1<<40), []byte("hot"), 1, true, false)
+	m.Put(k8(2<<40), []byte("cold"), 2, false, false)
+	if m.HotZoneBytes() == 0 {
+		t.Fatal("hot put did not land in hot zone")
+	}
+	v, _, _, found, _ := m.Get(k8(1<<40), device.Fg)
+	if !found || string(v) != "hot" {
+		t.Fatalf("hot get: %q %v", v, found)
+	}
+}
+
+func TestMigrationLifecycle(t *testing.T) {
+	m, dev := newMgr(t, 0, 8<<10)
+	var wantKeys [][]byte
+	for i := uint64(0); i < 400; i++ {
+		k := k8(i << 32)
+		wantKeys = append(wantKeys, k)
+		m.Put(k, []byte(fmt.Sprintf("v%d", i)), i+1, false, false)
+	}
+	z := m.PickDemotionVictim()
+	if z == nil {
+		t.Fatal("no victim")
+	}
+	usedBefore := dev.Used()
+	batch, err := m.PrepareMigration(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Entries) == 0 || batch.PageReads == 0 {
+		t.Fatalf("batch: %d entries, %d reads", len(batch.Entries), batch.PageReads)
+	}
+	// Entries sorted.
+	for i := 1; i < len(batch.Entries); i++ {
+		if bytes.Compare(batch.Entries[i-1].Key, batch.Entries[i].Key) >= 0 {
+			t.Fatal("batch out of order")
+		}
+	}
+	// Before commit, reads still work (pages not freed yet).
+	v, _, _, found, _ := m.Get(batch.Entries[0].Key, device.Fg)
+	if !found || !bytes.Equal(v, batch.Entries[0].Value) {
+		t.Fatal("read during migration failed")
+	}
+	m.CommitMigration(batch)
+	if dev.Used() >= usedBefore {
+		t.Fatal("commit did not free pages")
+	}
+	// Migrated keys gone from the tier.
+	if _, _, _, found, _ := m.Get(batch.Entries[0].Key, device.Fg); found {
+		t.Fatal("migrated key still present")
+	}
+	st := m.Stats()
+	if st.Migrations != 1 || st.MigratedObjects != uint64(len(batch.Entries)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMigrationKeepsConcurrentUpdates(t *testing.T) {
+	m, _ := newMgr(t, 0, 8<<10)
+	for i := uint64(0); i < 200; i++ {
+		m.Put(k8(i<<32), []byte("old"), i+1, false, false)
+	}
+	z := m.PickDemotionVictim()
+	batch, err := m.PrepareMigration(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update one migrated key mid-flight.
+	victim := batch.Entries[0].Key
+	if err := m.Put(victim, []byte("newer"), 10_000, false, false); err != nil {
+		t.Fatal(err)
+	}
+	m.CommitMigration(batch)
+	v, seq, _, found, _ := m.Get(victim, device.Fg)
+	if !found || string(v) != "newer" || seq != 10_000 {
+		t.Fatalf("concurrent update lost: %q seq=%d found=%v", v, seq, found)
+	}
+}
+
+func TestAbortMigrationRestores(t *testing.T) {
+	m, _ := newMgr(t, 0, 8<<10)
+	for i := uint64(0); i < 200; i++ {
+		m.Put(k8(i<<32), []byte("v"), i+1, false, false)
+	}
+	z := m.PickDemotionVictim()
+	batch, _ := m.PrepareMigration(z)
+	m.AbortMigration(batch)
+	// All keys still readable and a second migration can pick the zone.
+	for _, e := range batch.Entries {
+		if _, _, _, found, _ := m.Get(e.Key, device.Fg); !found {
+			t.Fatalf("key %x lost after abort", e.Key)
+		}
+	}
+	if m.PickDemotionVictim() == nil {
+		t.Fatal("aborted zone not demotable again")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	if err := m.Promote(k8(3<<40), []byte("promoted"), 7); err != nil {
+		t.Fatal(err)
+	}
+	v, seq, _, found, _ := m.Get(k8(3<<40), device.Fg)
+	if !found || seq != 7 || string(v) != "promoted" {
+		t.Fatalf("promoted get: %q seq=%d", v, seq)
+	}
+	// Promote must not clobber an existing (newer) version.
+	m.Put(k8(4<<40), []byte("fresh"), 100, false, false)
+	m.Promote(k8(4<<40), []byte("stale"), 50)
+	v, _, _, _, _ = m.Get(k8(4<<40), device.Fg)
+	if string(v) != "fresh" {
+		t.Fatalf("promote clobbered newer value: %q", v)
+	}
+}
+
+func TestEvictHotZone(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	// Three kinds of hot-zone residents:
+	m.Put(k8(1<<40), []byte("still-hot"), 1, true, false)
+	m.Promote(k8(2<<40), []byte("cold-promoted"), 2)
+	m.Put(k8(3<<40), []byte("cold-authoritative"), 3, true, false)
+
+	stillHot := func(key []byte) bool { return bytes.Equal(key, k8(1<<40)) }
+	if err := m.EvictHotZone(stillHot); err != nil {
+		t.Fatal(err)
+	}
+	// still-hot stays readable.
+	if _, _, _, found, _ := m.Get(k8(1<<40), device.Fg); !found {
+		t.Fatal("still-hot object lost")
+	}
+	// cold promoted copy dropped (capacity tier owns it).
+	if _, _, _, found, _ := m.Get(k8(2<<40), device.Fg); found {
+		t.Fatal("cold promoted copy should be dropped")
+	}
+	// cold authoritative object relocated, still readable.
+	v, _, _, found, _ := m.Get(k8(3<<40), device.Fg)
+	if !found || string(v) != "cold-authoritative" {
+		t.Fatalf("cold authoritative object lost: %q %v", v, found)
+	}
+	st := m.Stats()
+	if st.HotEvictDropped != 1 || st.HotEvictRelocated != 1 {
+		t.Fatalf("evict stats: %+v", st)
+	}
+}
+
+func TestDemotionScorePrefersColdDenseZones(t *testing.T) {
+	m, _ := newMgr(t, 0, 4<<10)
+	// Create objects across two zones; then read one zone a lot.
+	for i := uint64(0); i < 100; i++ {
+		m.Put(k8(i<<30), make([]byte, 100), i+1, false, false)
+	}
+	for i := uint64(0); i < 100; i++ {
+		m.Put(k8(1<<60|i<<30), make([]byte, 100), 200+i, false, false)
+	}
+	m.mu.RLock()
+	nZones := len(m.zones)
+	m.mu.RUnlock()
+	if nZones < 2 {
+		t.Skip("bootstrap produced one zone; scoring comparison needs two")
+	}
+	// Heavily read keys in the second half of the space.
+	for r := 0; r < 50; r++ {
+		m.Get(k8(1<<60|uint64(r%100)<<30), device.Fg)
+	}
+	victim := m.PickDemotionVictim()
+	if victim == nil {
+		t.Fatal("no victim")
+	}
+	if victim.contains(1 << 60) {
+		t.Fatal("picked the hot (recently read) zone for demotion")
+	}
+}
+
+func TestSplitZone(t *testing.T) {
+	m, _ := newMgr(t, 0, 4<<10) // tiny batch: bootstrap zone oversize fast
+	for i := uint64(0); i < 2000; i++ {
+		m.Put(k8(i<<44), make([]byte, 64), i+1, false, false)
+	}
+	z, _ := m.PickOversizedZone()
+	if z == nil {
+		t.Skip("no oversized zone emerged")
+	}
+	zonesBefore := m.ZoneCount()
+	moved, err := m.SplitZone(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("split moved nothing")
+	}
+	if m.ZoneCount() <= zonesBefore {
+		t.Fatalf("zones %d -> %d; split should create more zones", zonesBefore, m.ZoneCount())
+	}
+	// All data still readable.
+	for i := uint64(0); i < 2000; i += 97 {
+		if _, _, _, found, _ := m.Get(k8(i<<44), device.Fg); !found {
+			t.Fatalf("key %d lost in split", i)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	m, _ := newMgr(t, 0, 64<<10)
+	for i := uint64(0); i < 300; i++ {
+		m.Put(k8(i<<40), []byte("v"), i+1, false, false)
+	}
+	var prev []byte
+	n := 0
+	m.Scan(nil, nil, func(k []byte, loc Location) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != 300 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestKey64(t *testing.T) {
+	if Key64([]byte{0, 0, 0, 0, 0, 0, 0, 1}) != 1 {
+		t.Fatal("BE decode wrong")
+	}
+	if Key64([]byte{1}) != 1<<56 {
+		t.Fatal("short key padding wrong")
+	}
+	if Key64(nil) != 0 {
+		t.Fatal("nil key should map to 0")
+	}
+}
+
+func TestRecoverRebuildsIndex(t *testing.T) {
+	dev := device.New(device.UnthrottledProfile("nvme", 0))
+	m, err := NewManager(Config{Dev: dev, Partition: 0, BatchSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes, updates (in place and resized), deletes, a migration.
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(k8(i<<40), make([]byte, 100), i+1, false, false)
+	}
+	for i := uint64(0); i < 1000; i += 5 {
+		m.Put(k8(i<<40), make([]byte, 90), 2000+i, false, false) // in place
+	}
+	for i := uint64(1); i < 1000; i += 50 {
+		m.Put(k8(i<<40), make([]byte, 400), 4000+i, false, false) // resized
+	}
+	for i := uint64(2); i < 1000; i += 100 {
+		m.Delete(k8(i<<40), 6000+i)
+	}
+	if z := m.PickDemotionVictim(); z != nil {
+		b, err := m.PrepareMigration(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.CommitMigration(b)
+	}
+	// Refill after the migration so the recovered tier is non-trivial.
+	for i := uint64(0); i < 300; i++ {
+		m.Put(k8(i<<40|7), make([]byte, 80), 10_000+i, false, false)
+	}
+
+	// Snapshot expected state.
+	type want struct {
+		seq  uint64
+		tomb bool
+	}
+	expect := map[string]want{}
+	m.Scan(nil, nil, func(k []byte, loc Location) bool {
+		expect[string(k)] = want{seq: loc.Seq, tomb: loc.Tombstone}
+		return true
+	})
+
+	re, maxSeq, err := Recover(Config{Dev: dev, Partition: 0, BatchSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.ObjectCount() != len(expect) {
+		t.Fatalf("recovered %d objects, want %d", re.ObjectCount(), len(expect))
+	}
+	for k, w := range expect {
+		v, seq, tomb, found, err := re.Get([]byte(k), device.Fg)
+		if err != nil || !found {
+			t.Fatalf("recovered get %x: found=%v err=%v", k, found, err)
+		}
+		if seq != w.seq || tomb != w.tomb {
+			t.Fatalf("recovered %x: seq=%d tomb=%v, want seq=%d tomb=%v", k, seq, tomb, w.seq, w.tomb)
+		}
+		if !tomb && len(v) == 0 {
+			t.Fatalf("recovered %x: empty value", k)
+		}
+	}
+	if maxSeq < 10_000 {
+		t.Fatalf("maxSeq = %d", maxSeq)
+	}
+	// The recovered manager is fully operational.
+	if err := re.Put(k8(5000<<32), []byte("new"), maxSeq+1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if z := re.PickDemotionVictim(); z == nil {
+		t.Fatal("recovered manager cannot pick demotion victims")
+	}
+}
+
+func TestRecoverSlotReuseAccounting(t *testing.T) {
+	// After recovery, freed slots must be reusable without double counting.
+	dev := device.New(device.UnthrottledProfile("nvme", 0))
+	m, _ := NewManager(Config{Dev: dev, Partition: 0, BatchSize: 16 << 10})
+	for i := uint64(0); i < 200; i++ {
+		m.Put(k8(i<<40), make([]byte, 100), i+1, false, false)
+	}
+	for i := uint64(0); i < 200; i += 2 {
+		m.Put(k8(i<<40), make([]byte, 400), 500+i, false, false) // resize frees 128B slots
+	}
+	re, maxSeq, err := Recover(Config{Dev: dev, Partition: 0, BatchSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := dev.Used()
+	// New small writes into the existing zone ranges should reuse the freed
+	// 128B slots, not allocate fresh pages.
+	for i := uint64(0); i < 50; i++ {
+		if err := re.Put(k8(i<<40|3), make([]byte, 100), maxSeq+i+1, false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown := dev.Used() - usedBefore; grown > 4096*2 {
+		t.Fatalf("recovered manager allocated %d bytes despite free slots", grown)
+	}
+}

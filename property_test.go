@@ -1,0 +1,172 @@
+package hyperdb_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hyperdb"
+	"hyperdb/internal/ycsb"
+)
+
+// TestPropertyModelCheck drives long random operation sequences against a
+// map reference model through the public API, with migration/compaction
+// interleaved, and verifies every Get, Scan and final state.
+func TestPropertyModelCheck(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			db, err := hyperdb.Open(hyperdb.Options{
+				Unthrottled:       true,
+				NVMeCapacity:      1 << 20, // tiny: constant migration pressure
+				SATACapacity:      1 << 30,
+				Partitions:        4,
+				CacheBytes:        1 << 20,
+				MigrationBatch:    128 << 10,
+				DisableBackground: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			ref := map[string][]byte{}
+			rng := rand.New(rand.NewSource(seed))
+			const ops = 30000
+			for i := 0; i < ops; i++ {
+				k := ycsb.Key(int64(rng.Intn(8000)))
+				switch rng.Intn(10) {
+				case 0: // delete
+					if err := db.Delete(k); err != nil {
+						t.Fatalf("op %d delete: %v", i, err)
+					}
+					delete(ref, string(k))
+				case 1, 2: // get
+					want, exists := ref[string(k)]
+					v, err := db.Get(k)
+					if exists {
+						if err != nil || !bytes.Equal(v, want) {
+							t.Fatalf("op %d get: %q/%v, want %q", i, v, err, want)
+						}
+					} else if !errors.Is(err, hyperdb.ErrNotFound) {
+						t.Fatalf("op %d get absent: %v", i, err)
+					}
+				case 3: // scan and verify against the model
+					got, err := db.Scan(k, 10)
+					if err != nil {
+						t.Fatalf("op %d scan: %v", i, err)
+					}
+					want := modelScan(ref, k, 10)
+					if len(got) != len(want) {
+						t.Fatalf("op %d scan: %d results, want %d", i, len(got), len(want))
+					}
+					for j := range got {
+						if !bytes.Equal(got[j].Key, want[j].Key) || !bytes.Equal(got[j].Value, want[j].Value) {
+							t.Fatalf("op %d scan[%d]: %x=%q, want %x=%q",
+								i, j, got[j].Key, got[j].Value, want[j].Key, want[j].Value)
+						}
+					}
+				default: // put
+					v := make([]byte, 16+rng.Intn(200))
+					rng.Read(v)
+					if err := db.Put(k, v); err != nil {
+						t.Fatalf("op %d put: %v", i, err)
+					}
+					ref[string(k)] = v
+				}
+				if i%2500 == 2499 {
+					// Interleave background work at a random partition.
+					if err := db.MigrationStep(rng.Intn(4)); err != nil {
+						t.Fatalf("op %d migration: %v", i, err)
+					}
+					if _, err := db.CompactionStep(rng.Intn(4)); err != nil {
+						t.Fatalf("op %d compaction: %v", i, err)
+					}
+				}
+			}
+			if err := db.DrainBackground(); err != nil {
+				t.Fatal(err)
+			}
+			// Final sweep.
+			for k, want := range ref {
+				v, err := db.Get([]byte(k))
+				if err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("final get %x: %q/%v, want %q", k, v, err, want)
+				}
+			}
+			st := db.Stats()
+			if st.Zone.Migrations == 0 {
+				t.Fatal("model check exercised no migrations")
+			}
+		})
+	}
+}
+
+// modelScan computes the expected scan result from the reference map.
+func modelScan(ref map[string][]byte, start []byte, limit int) []hyperdb.KV {
+	var ks []string
+	for k := range ref {
+		if bytes.Compare([]byte(k), start) >= 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	if len(ks) > limit {
+		ks = ks[:limit]
+	}
+	out := make([]hyperdb.KV, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, hyperdb.KV{Key: []byte(k), Value: ref[k]})
+	}
+	return out
+}
+
+// TestQuickPutGetRoundtrip is a testing/quick property: any (key, value)
+// written is immediately readable, through arbitrary migration pressure.
+func TestQuickPutGetRoundtrip(t *testing.T) {
+	db, err := hyperdb.Open(hyperdb.Options{
+		Unthrottled:       true,
+		NVMeCapacity:      2 << 20,
+		SATACapacity:      512 << 20,
+		Partitions:        2,
+		MigrationBatch:    64 << 10,
+		DisableBackground: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	n := 0
+	prop := func(key []byte, value []byte) bool {
+		if len(key) == 0 || len(key) > 1024 || len(value) > 2048 {
+			return true // out of supported shape; skip
+		}
+		if err := db.Put(key, value); err != nil {
+			t.Logf("put: %v", err)
+			return false
+		}
+		n++
+		if n%64 == 0 {
+			for p := 0; p < 2; p++ {
+				if err := db.MigrationStep(p); err != nil {
+					t.Logf("migrate: %v", err)
+					return false
+				}
+			}
+		}
+		v, err := db.Get(key)
+		if err != nil {
+			t.Logf("get: %v", err)
+			return false
+		}
+		return bytes.Equal(v, value)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package hyperdb_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdb"
+)
+
+func key(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, i)
+	return b
+}
+
+func openSmall(t testing.TB, nvmeCap int64) *hyperdb.DB {
+	t.Helper()
+	db, err := hyperdb.Open(hyperdb.Options{
+		Unthrottled:       true,
+		NVMeCapacity:      nvmeCap,
+		SATACapacity:      1 << 30,
+		Partitions:        4,
+		CacheBytes:        4 << 20,
+		MigrationBatch:    256 << 10,
+		DisableBackground: true,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSmokePutGet(t *testing.T) {
+	db := openSmall(t, 64<<20)
+	for i := uint64(0); i < 1000; i++ {
+		if err := db.Put(key(i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, err := db.Get(key(i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("value-%d", i); string(v) != want {
+			t.Fatalf("get %d = %q, want %q", i, v, want)
+		}
+	}
+	if _, err := db.Get(key(99999)); err != hyperdb.ErrNotFound {
+		t.Fatalf("missing key: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestSmokeMigrationAndReadback(t *testing.T) {
+	// Small NVMe forces demotions into the capacity tier.
+	db := openSmall(t, 4<<20)
+	const n = 40000
+	rng := rand.New(rand.NewSource(1))
+	vals := make(map[uint64][]byte, n)
+	for i := 0; i < n; i++ {
+		k := uint64(rng.Intn(n))
+		v := make([]byte, 64+rng.Intn(64))
+		rng.Read(v)
+		vals[k] = v
+		if err := db.Put(key(k), v); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if i%2000 == 0 {
+			for p := 0; p < 4; p++ {
+				if err := db.MigrationStep(p); err != nil {
+					t.Fatalf("migrate: %v", err)
+				}
+			}
+		}
+	}
+	if err := db.DrainBackground(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := db.Stats()
+	if st.Zone.Migrations == 0 {
+		t.Fatalf("expected migrations to happen, stats: %+v", st.Zone)
+	}
+	for k, want := range vals {
+		v, err := db.Get(key(k))
+		if err != nil {
+			t.Fatalf("get %d after migration: %v", k, err)
+		}
+		if !bytes.Equal(v, want) {
+			t.Fatalf("get %d = %d bytes, want %d bytes", k, len(v), len(want))
+		}
+	}
+}
+
+func TestSmokeDeleteAndScan(t *testing.T) {
+	db := openSmall(t, 16<<20)
+	for i := uint64(0); i < 500; i++ {
+		if err := db.Put(key(i), []byte{byte(i)}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		if err := db.Delete(key(i)); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	if _, err := db.Get(key(4)); err != hyperdb.ErrNotFound {
+		t.Fatalf("deleted key: got %v", err)
+	}
+	kvs, err := db.Scan(key(0), 100)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(kvs) != 100 {
+		t.Fatalf("scan returned %d, want 100", len(kvs))
+	}
+	for i, kv := range kvs {
+		want := uint64(2*i + 1) // odd keys survive
+		if !bytes.Equal(kv.Key, key(want)) {
+			t.Fatalf("scan[%d] = %x, want %x", i, kv.Key, key(want))
+		}
+	}
+}
