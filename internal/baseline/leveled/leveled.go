@@ -273,6 +273,7 @@ func (l *LSM) buildTableOn(dev *device.Device, level int, gen uint64, entries []
 	}
 	r, err := sstable.OpenReader(f, l.opts.PageCache, op)
 	if err != nil {
+		dev.Remove(name)
 		return nil, nil, err
 	}
 	tbl := &table{reader: r, meta: meta, file: f, dev: dev}
@@ -317,6 +318,45 @@ func (l *LSM) Get(user []byte, seq uint64, op device.Op) (value []byte, kind key
 		}
 	}
 	return nil, 0, false, nil
+}
+
+// GetWithSeq is Get plus the matched version's sequence number. Crash
+// recovery uses it to arbitrate between an LSM version and a fast-tier copy
+// of the same key.
+func (l *LSM) GetWithSeq(user []byte, seq uint64, op device.Op) (value []byte, kind keys.Kind, entrySeq uint64, found bool, err error) {
+	l.mu.RLock()
+	var all []*table
+	for i := len(l.levels[0]) - 1; i >= 0; i-- {
+		t := l.levels[0][i]
+		if t.rang().Contains(user) {
+			all = append(all, t)
+		}
+	}
+	for level := 1; level < l.opts.MaxLevels; level++ {
+		if t := findTable(l.levels[level], user); t != nil {
+			all = append(all, t)
+		}
+	}
+	for _, t := range all {
+		t.acquire()
+	}
+	l.mu.RUnlock()
+	defer func() {
+		for _, t := range all {
+			t.release()
+		}
+	}()
+
+	for _, t := range all {
+		v, k, es, ok, err := t.reader.GetEntry(user, seq, op)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if ok {
+			return v, k, es, true, nil
+		}
+	}
+	return nil, 0, 0, false, nil
 }
 
 // findTable binary-searches a sorted non-overlapping level.

@@ -1,0 +1,211 @@
+package leveled
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/sstable"
+)
+
+// Recover rebuilds a leveled LSM from the SSTables persisted on devs. File
+// names carry (level, generation); entries carry their sequence numbers, so
+// no manifest is needed.
+//
+// Generation numbers are not a cross-level recency order — a deep compaction
+// output can have a higher generation than an L0 flush holding newer
+// versions of the same keys — so tables are restored at their named levels,
+// where the shallowest-level-wins read path stays correct. Within L0, flushes
+// are serialized, so generation order is arrival order. A crash mid-compaction
+// can leave its outputs installed next to its not-yet-removed inputs; the
+// resulting same-level overlaps at L1+ are repaired by a sequence-aware merge
+// of each overlapping group into fresh tables. Structurally unreadable files
+// (cut before their footer synced) are deleted: their content is either
+// replayable (flush, WAL retained) or still present in the compaction's
+// inputs. A device I/O error during open aborts recovery instead — the file
+// may be intact, so deleting it would turn a transient fault into data loss.
+//
+// Returns the LSM and the largest sequence number seen.
+func Recover(opts Options, devs ...*device.Device) (*LSM, uint64, error) {
+	l, err := New(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	type cand struct {
+		dev   *device.Device
+		name  string
+		level int
+		gen   uint64
+	}
+	var cands []cand
+	prefix := l.opts.Name + "-L"
+	for _, dev := range devs {
+		for _, name := range dev.List() {
+			if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".sst") {
+				continue
+			}
+			var level int
+			var gen uint64
+			if _, err := fmt.Sscanf(name, l.opts.Name+"-L%d-G%d.sst", &level, &gen); err != nil {
+				continue
+			}
+			if level < 0 {
+				continue
+			}
+			cands = append(cands, cand{dev, name, level, gen})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].gen < cands[b].gen })
+
+	var maxSeq uint64
+	for _, c := range cands {
+		if c.gen > l.nextGen {
+			l.nextGen = c.gen // never reuse a generation, even a discarded one
+		}
+		level := c.level
+		if level >= l.opts.MaxLevels {
+			level = l.opts.MaxLevels - 1
+		}
+		f, err := c.dev.Open(c.name)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := sstable.OpenReader(f, l.opts.PageCache, device.BgSeq)
+		if err != nil {
+			if device.IsIOError(err) {
+				// Medium error, not a torn file: deleting would lose data.
+				return nil, 0, fmt.Errorf("leveled: recover %q: %w", c.name, err)
+			}
+			c.dev.Remove(c.name)
+			continue
+		}
+		meta, err := r.ComputeMeta(device.BgSeq)
+		if err != nil && device.IsIOError(err) {
+			return nil, 0, fmt.Errorf("leveled: recover %q: %w", c.name, err)
+		}
+		if err != nil || meta.Entries == 0 {
+			c.dev.Remove(c.name)
+			continue
+		}
+		if meta.MaxSeq > maxSeq {
+			maxSeq = meta.MaxSeq
+		}
+		tbl := &table{reader: r, meta: meta, file: f, dev: c.dev}
+		tbl.refs.Store(1)
+		l.levels[level] = append(l.levels[level], tbl)
+	}
+
+	for level := 1; level < l.opts.MaxLevels; level++ {
+		sortTables(l.levels[level])
+		if err := l.repairLevel(level); err != nil {
+			return nil, 0, err
+		}
+	}
+	return l, maxSeq, nil
+}
+
+// repairLevel restores the non-overlap invariant of a sorted level by
+// merging each group of key-overlapping tables into fresh tables. Entries
+// carry sequence numbers, so the newest version always wins regardless of
+// which crash window produced the overlap.
+func (l *LSM) repairLevel(level int) error {
+	tables := l.levels[level]
+	var out []*table
+	i := 0
+	for i < len(tables) {
+		group := []*table{tables[i]}
+		hi := tables[i].meta.Largest
+		j := i + 1
+		for j < len(tables) && bytes.Compare(tables[j].meta.Smallest, hi) <= 0 {
+			if bytes.Compare(tables[j].meta.Largest, hi) > 0 {
+				hi = tables[j].meta.Largest
+			}
+			group = append(group, tables[j])
+			j++
+		}
+		if len(group) == 1 {
+			out = append(out, tables[i])
+		} else {
+			merged, err := l.mergeGroup(group, level)
+			if err != nil {
+				return err
+			}
+			out = append(out, merged...)
+		}
+		i = j
+	}
+	sortTables(out)
+	l.levels[level] = out
+	return nil
+}
+
+// mergeGroup heap-merges overlapping tables (newest version per user key)
+// into fresh tables at the level, then deletes the inputs.
+func (l *LSM) mergeGroup(group []*table, level int) ([]*table, error) {
+	op := device.BgSeq
+	bottom := level == l.opts.MaxLevels-1
+	h := make(tableHeap, 0, len(group))
+	for _, t := range group {
+		it := t.reader.NewIter(op)
+		it.First()
+		if it.Valid() {
+			h = append(h, &tableIter{it: it})
+		} else if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	heap.Init(&h)
+	var merged []Entry
+	var lastUser []byte
+	haveLast := false
+	for len(h) > 0 {
+		top := h[0]
+		k := top.it.Key()
+		if !haveLast || !bytes.Equal(k.User, lastUser) {
+			if k.Kind != keys.KindDelete || !bottom {
+				merged = append(merged, Entry{
+					Key: keys.InternalKey{
+						User: append([]byte(nil), k.User...),
+						Seq:  k.Seq,
+						Kind: k.Kind,
+					},
+					Value: append([]byte(nil), top.it.Value()...),
+				})
+			}
+			lastUser = append(lastUser[:0], k.User...)
+			haveLast = true
+		}
+		top.it.Next()
+		if top.it.Valid() {
+			heap.Fix(&h, 0)
+		} else {
+			if err := top.it.Err(); err != nil {
+				return nil, err
+			}
+			heap.Pop(&h)
+		}
+	}
+
+	var newTables []*table
+	rest := merged
+	for len(rest) > 0 {
+		n := len(rest)
+		tbl, r, err := l.buildTable(level, rest, op)
+		if err != nil {
+			return nil, err
+		}
+		rest = r
+		if len(rest) == n {
+			return nil, fmt.Errorf("leveled: repair made no progress")
+		}
+		newTables = append(newTables, tbl)
+	}
+	for _, t := range group {
+		t.release()
+	}
+	return newTables, nil
+}

@@ -14,6 +14,7 @@ package prismish
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,8 +77,19 @@ func (o *Options) fill() {
 	}
 }
 
-// slot header: seq(8) flags(1) klen(2) vlen(4)
-const slotHeader = 15
+// slot header: seq(8) flags(1) klen(2) vlen(4) crc(4). The CRC covers the
+// first 15 header bytes plus the key/value payload, so recovery can tell a
+// fully persisted slot from a never-written or torn one — an all-zero slot
+// fails the check (the CRC of zero bytes is non-zero).
+const slotHeader = 19
+
+// slotCRC checksums a slot's header prefix and payload.
+func slotCRC(buf []byte, kl, vl int) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(buf[:15])
+	h.Write(buf[slotHeader : slotHeader+kl+vl])
+	return h.Sum32()
+}
 
 var classes = []int{64, 128, 256, 512, 1024, 2048, 4096}
 
@@ -207,6 +219,7 @@ func encodeSlot(dst []byte, seq uint64, tomb bool, k, v []byte) {
 	binary.LittleEndian.PutUint32(dst[11:], uint32(len(v)))
 	copy(dst[slotHeader:], k)
 	copy(dst[slotHeader+len(k):], v)
+	binary.LittleEndian.PutUint32(dst[15:], slotCRC(dst, len(k), len(v)))
 }
 
 func decodeSlot(buf []byte) (seq uint64, tomb bool, k, v []byte, err error) {
@@ -219,6 +232,9 @@ func decodeSlot(buf []byte) (seq uint64, tomb bool, k, v []byte, err error) {
 	vl := int(binary.LittleEndian.Uint32(buf[11:]))
 	if slotHeader+kl+vl > len(buf) {
 		return 0, false, nil, nil, fmt.Errorf("prismish: slot overflow")
+	}
+	if binary.LittleEndian.Uint32(buf[15:]) != slotCRC(buf, kl, vl) {
+		return 0, false, nil, nil, fmt.Errorf("prismish: slot checksum mismatch")
 	}
 	return seq, tomb, buf[slotHeader : slotHeader+kl], buf[slotHeader+kl : slotHeader+kl+vl], nil
 }

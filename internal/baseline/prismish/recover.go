@@ -1,0 +1,145 @@
+package prismish
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"hyperdb/internal/baseline/leveled"
+	"hyperdb/internal/btree"
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+// Recover rebuilds the engine from the devices after a crash. Slab writes
+// are durable in-place page writes, so the slot files themselves survive;
+// what is lost is the in-memory index and free lists. Recovery rescans every
+// slot: CRC-valid slots are candidates (torn or never-written slots fail the
+// checksum and become free), the newest sequence wins per key, and a
+// candidate whose key has an equal-or-newer version in the SATA LSM is a
+// leftover from a completed migration — its slot is freed, since the
+// migration's slot-free bookkeeping also lived only in memory.
+func Recover(opts Options) (*DB, error) {
+	if opts.NVMe == nil || opts.SATA == nil {
+		return nil, fmt.Errorf("prismish: both devices required")
+	}
+	opts.fill()
+	db := &DB{
+		opts:  opts,
+		dram:  cache.NewLRU(opts.CacheBytes, nil),
+		index: btree.New[loc](),
+		stopC: make(chan struct{}),
+	}
+	ps := opts.NVMe.PageSize()
+	for _, c := range classes {
+		name := fmt.Sprintf("prismish-slab%d", c)
+		f, err := opts.NVMe.Open(name)
+		if err != nil {
+			f, err = opts.NVMe.Create(name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		spp := ps / c
+		if spp < 1 {
+			spp = 1
+		}
+		db.slabs = append(db.slabs, &slabFile{
+			f: f, slotSize: c, slotsPerPage: spp,
+			nextPage: uint32((f.Size() + int64(ps) - 1) / int64(ps)),
+		})
+	}
+
+	l, lsmSeq, err := leveled.Recover(leveled.Options{
+		Name:      "prismish",
+		Place:     func(int, int64) *device.Device { return opts.SATA },
+		FileSize:  opts.FileSize,
+		L1Target:  opts.L1Target,
+		Ratio:     opts.Ratio,
+		MaxLevels: opts.MaxLevels,
+		PageCache: db.dram,
+	}, opts.SATA)
+	if err != nil {
+		return nil, err
+	}
+	db.lsm = l
+	maxSeq := lsmSeq
+
+	type cand struct {
+		key  []byte
+		l    loc
+		free bool
+	}
+	var cands []cand
+	pageBuf := make([]byte, ps)
+	for ci, sf := range db.slabs {
+		nPages := sf.f.Size() / int64(ps)
+		for page := int64(0); page < nPages; page++ {
+			if _, err := sf.f.ReadAt(pageBuf, page*int64(ps), device.BgSeq); err != nil {
+				return nil, err
+			}
+			for slot := 0; slot < sf.slotsPerPage; slot++ {
+				buf := pageBuf[slot*sf.slotSize : (slot+1)*sf.slotSize]
+				seq, tomb, k, v, err := decodeSlot(buf)
+				if err != nil {
+					sf.freeSlots = append(sf.freeSlots,
+						slotRef{page: uint32(page), slot: uint16(slot)})
+					continue
+				}
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+				cands = append(cands, cand{
+					key: bytes.Clone(k),
+					l: loc{
+						class: int8(ci), page: uint32(page), slot: uint16(slot),
+						seq: seq, size: int32(slotHeader + len(k) + len(v)),
+						tomb: tomb,
+					},
+				})
+			}
+		}
+	}
+
+	// Newest sequence wins per key; every losing copy (a stale slot left by a
+	// resize to another class) frees its slot.
+	sort.Slice(cands, func(a, b int) bool {
+		if c := bytes.Compare(cands[a].key, cands[b].key); c != 0 {
+			return c < 0
+		}
+		return cands[a].l.seq > cands[b].l.seq
+	})
+	for i := range cands {
+		if i > 0 && bytes.Equal(cands[i].key, cands[i-1].key) {
+			cands[i].free = true
+			continue
+		}
+		_, _, entrySeq, found, err := db.lsm.GetWithSeq(cands[i].key, keys.MaxSeq, device.BgSeq)
+		if err != nil {
+			return nil, err
+		}
+		if found && entrySeq >= cands[i].l.seq {
+			cands[i].free = true // already migrated to the LSM
+			continue
+		}
+		db.index.Set(cands[i].key, cands[i].l)
+	}
+	for _, c := range cands {
+		if c.free {
+			db.slabs[c.l.class].freeSlots = append(db.slabs[c.l.class].freeSlots,
+				slotRef{page: c.l.page, slot: c.l.slot})
+		}
+	}
+	db.seq.Store(maxSeq)
+
+	if !opts.DisableBackground {
+		db.wg.Add(1)
+		go db.migrationWorker()
+		for i := 0; i < opts.BackgroundThreads; i++ {
+			db.wg.Add(1)
+			go db.compactionWorker()
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,153 @@
+package rocksish
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hyperdb/internal/baseline/leveled"
+	"hyperdb/internal/cache"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/skiplist"
+	"hyperdb/internal/wal"
+)
+
+// Recover rebuilds the engine from what survives on the devices after a
+// crash: the leveled LSM is recovered from its self-describing SSTables, and
+// every surviving WAL generation is replayed (oldest first) into a fresh
+// memtable. The replayed records are ingested into L0 before the old logs
+// are deleted, so a crash during recovery itself loses nothing — at worst
+// the next recovery replays records whose sequence numbers already exist in
+// the LSM, which is idempotent.
+func Recover(opts Options) (*DB, error) {
+	if opts.NVMe == nil || opts.SATA == nil {
+		return nil, fmt.Errorf("rocksish: both devices required")
+	}
+	opts.fill()
+	db := &DB{
+		opts:     opts,
+		mem:      skiplist.New(),
+		stop:     make(chan struct{}),
+		flushC:   make(chan struct{}, 1),
+		compactC: make(chan struct{}, 1),
+		flushed:  make(chan struct{}),
+	}
+
+	if opts.SecondaryCache {
+		// Flash-cache contents are not durable state: drop any leftover
+		// cache file and start the cache cold.
+		opts.NVMe.Remove("rocksish-sc")
+		budget := opts.NVMe.Capacity() * 9 / 10
+		fl, err := cache.NewFlash(opts.NVMe, "rocksish-sc", budget)
+		if err != nil {
+			return nil, err
+		}
+		db.bc = cache.NewTiered(opts.CacheBytes, fl)
+	} else {
+		db.bc = cache.NewLRU(opts.CacheBytes, nil)
+	}
+
+	l, lsmSeq, err := leveled.Recover(leveled.Options{
+		Name:      "rocksish",
+		Place:     db.place,
+		Fallback:  opts.SATA,
+		FileSize:  opts.FileSize,
+		L1Target:  opts.L1Target,
+		Ratio:     opts.Ratio,
+		MaxLevels: opts.MaxLevels,
+		PageCache: db.bc,
+	}, opts.NVMe, opts.SATA)
+	if err != nil {
+		return nil, err
+	}
+	db.lsm = l
+
+	walDev := opts.walDevice()
+	var gens []int
+	for _, name := range walDev.List() {
+		var gen int
+		if _, err := fmt.Sscanf(name, "rocksish-wal-%d", &gen); err == nil {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Ints(gens)
+	var walSeq uint64
+	for _, gen := range gens {
+		w, err := wal.Open(walDev, fmt.Sprintf("rocksish-wal-%d", gen))
+		if err != nil {
+			return nil, err
+		}
+		err = w.Replay(func(p []byte) error {
+			kind, seq, k, v, err := decodeRecord(p)
+			if err != nil {
+				return err
+			}
+			if seq > walSeq {
+				walSeq = seq
+			}
+			db.mem.Insert(keys.InternalKey{User: k, Seq: seq, Kind: kind}, v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Make the replayed records durable in L0 before the logs go away.
+	if db.mem.Len() > 0 {
+		var entries []leveled.Entry
+		it := db.mem.Iter()
+		for it.First(); it.Valid(); it.Next() {
+			entries = append(entries, leveled.Entry{Key: it.Key(), Value: it.Value()})
+		}
+		if err := db.lsm.Ingest(entries, device.Bg); err != nil {
+			return nil, err
+		}
+		db.mem = skiplist.New()
+	}
+
+	if n := len(gens); n > 0 {
+		db.walGen = gens[n-1] + 1
+	}
+	w, err := wal.Open(walDev, fmt.Sprintf("rocksish-wal-%d", db.walGen))
+	if err != nil {
+		return nil, err
+	}
+	db.memWAL = w
+	for _, gen := range gens {
+		walDev.Remove(fmt.Sprintf("rocksish-wal-%d", gen))
+	}
+
+	if lsmSeq > walSeq {
+		walSeq = lsmSeq
+	}
+	db.seq.Store(walSeq)
+
+	if !opts.DisableBackground {
+		db.wg.Add(1)
+		go db.flushWorker()
+		for i := 0; i < opts.BackgroundThreads; i++ {
+			db.wg.Add(1)
+			go db.compactionWorker()
+		}
+	}
+	return db, nil
+}
+
+// decodeRecord is the inverse of encodeRecord.
+func decodeRecord(p []byte) (kind keys.Kind, seq uint64, key, value []byte, err error) {
+	if len(p) < 17 {
+		return 0, 0, nil, nil, fmt.Errorf("rocksish: short wal record (%d bytes)", len(p))
+	}
+	kind = keys.Kind(p[0])
+	seq = binary.LittleEndian.Uint64(p[1:])
+	kl := int(binary.LittleEndian.Uint32(p[9:]))
+	vl := int(binary.LittleEndian.Uint32(p[13:]))
+	if 17+kl+vl != len(p) {
+		return 0, 0, nil, nil, fmt.Errorf("rocksish: wal record length mismatch (%d+%d+17 != %d)", kl, vl, len(p))
+	}
+	key = append([]byte(nil), p[17:17+kl]...)
+	value = append([]byte(nil), p[17+kl:]...)
+	return kind, seq, key, value, nil
+}

@@ -1,0 +1,229 @@
+package crashtest
+
+import (
+	"errors"
+
+	"hyperdb/internal/baseline/prismish"
+	"hyperdb/internal/baseline/rocksish"
+	"hyperdb/internal/core"
+	"hyperdb/internal/device"
+)
+
+// Config carries the two simulated devices a cycle runs against. Capacities
+// are deliberately tiny so a short trace forces flushes, migrations and
+// compactions — the windows the fault plan cuts into.
+type Config struct {
+	NVMe *device.Device
+	SATA *device.Device
+}
+
+// ErrNotFound is the harness's uniform missing-key error; adapters map each
+// engine's sentinel onto it.
+var ErrNotFound = errors.New("crashtest: not found")
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Engine is the uniform surface the harness drives. Step runs one bounded
+// round of background work (flush, migration, compaction) so crashes land
+// inside those code paths deterministically.
+type Engine interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	Get(key []byte) ([]byte, error)
+	Scan(start []byte, limit int) ([]KV, error)
+	Step() error
+	Close() error
+}
+
+// Factory builds an engine fresh (Open) or from surviving device state
+// (Recover), plus the device capacities it is sized for.
+type Factory struct {
+	Name    string
+	NVMeCap int64
+	SATACap int64
+	Open    func(Config) (Engine, error)
+	Recover func(Config) (Engine, error)
+}
+
+// Factories returns the three engines under crash test: HyperDB and the two
+// baselines. All run with background workers disabled — the trace's Step ops
+// drive flush/migration/compaction, which keeps every cycle deterministic
+// for a given seed.
+func Factories() []Factory {
+	return []Factory{
+		{
+			Name:    "hyperdb",
+			NVMeCap: 64 << 10,
+			SATACap: 1 << 20,
+			Open: func(c Config) (Engine, error) {
+				db, err := core.Open(hyperOpts(c))
+				return &hyperEngine{db}, err
+			},
+			Recover: func(c Config) (Engine, error) {
+				db, err := core.Recover(hyperOpts(c))
+				return &hyperEngine{db}, err
+			},
+		},
+		{
+			Name:    "rocksish",
+			NVMeCap: 64 << 10,
+			SATACap: 2 << 20,
+			Open: func(c Config) (Engine, error) {
+				db, err := rocksish.Open(rocksOpts(c))
+				return &rocksEngine{db}, err
+			},
+			Recover: func(c Config) (Engine, error) {
+				db, err := rocksish.Recover(rocksOpts(c))
+				return &rocksEngine{db}, err
+			},
+		},
+		{
+			Name:    "prismish",
+			NVMeCap: 64 << 10,
+			SATACap: 1 << 20,
+			Open: func(c Config) (Engine, error) {
+				db, err := prismish.Open(prismOpts(c))
+				return &prismEngine{db}, err
+			},
+			Recover: func(c Config) (Engine, error) {
+				db, err := prismish.Recover(prismOpts(c))
+				return &prismEngine{db}, err
+			},
+		},
+	}
+}
+
+func hyperOpts(c Config) core.Options {
+	return core.Options{
+		NVMe:              c.NVMe,
+		SATA:              c.SATA,
+		Partitions:        2,
+		CacheBytes:        64 << 10,
+		MigrationBatch:    8 << 10,
+		MaxLevels:         3,
+		MirrorIndexToNVMe: true,
+		DisableBackground: true,
+	}
+}
+
+type hyperEngine struct{ db *core.DB }
+
+func (e *hyperEngine) Put(k, v []byte) error { return e.db.Put(k, v) }
+func (e *hyperEngine) Delete(k []byte) error { return e.db.Delete(k) }
+func (e *hyperEngine) Get(k []byte) ([]byte, error) {
+	v, err := e.db.Get(k)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (e *hyperEngine) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := e.db.Scan(start, limit)
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, err
+}
+func (e *hyperEngine) Step() error {
+	for pid := 0; pid < e.db.Partitions(); pid++ {
+		if err := e.db.MigrationStep(pid); err != nil {
+			return err
+		}
+		if _, err := e.db.CompactionStep(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (e *hyperEngine) Close() error { return e.db.Close() }
+
+func rocksOpts(c Config) rocksish.Options {
+	return rocksish.Options{
+		NVMe:              c.NVMe,
+		SATA:              c.SATA,
+		MemtableBytes:     2 << 10,
+		CacheBytes:        64 << 10,
+		FileSize:          4 << 10,
+		L1Target:          8 << 10,
+		Ratio:             4,
+		MaxLevels:         3,
+		DisableBackground: true,
+	}
+}
+
+type rocksEngine struct{ db *rocksish.DB }
+
+func (e *rocksEngine) Put(k, v []byte) error { return e.db.Put(k, v) }
+func (e *rocksEngine) Delete(k []byte) error { return e.db.Delete(k) }
+func (e *rocksEngine) Get(k []byte) ([]byte, error) {
+	v, err := e.db.Get(k)
+	if errors.Is(err, rocksish.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (e *rocksEngine) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := e.db.Scan(start, limit)
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, err
+}
+func (e *rocksEngine) Step() error {
+	if err := e.db.FlushOnce(); err != nil {
+		return err
+	}
+	_, err := e.db.LSM().CompactOnce(device.Bg)
+	return err
+}
+func (e *rocksEngine) Close() error { return e.db.Close() }
+
+func prismOpts(c Config) prismish.Options {
+	return prismish.Options{
+		NVMe:              c.NVMe,
+		SATA:              c.SATA,
+		CacheBytes:        64 << 10,
+		HighWatermark:     0.6,
+		LowWatermark:      0.4,
+		BatchObjects:      24,
+		FileSize:          4 << 10,
+		L1Target:          8 << 10,
+		Ratio:             4,
+		MaxLevels:         3,
+		DisableBackground: true,
+	}
+}
+
+type prismEngine struct{ db *prismish.DB }
+
+func (e *prismEngine) Put(k, v []byte) error { return e.db.Put(k, v) }
+func (e *prismEngine) Delete(k []byte) error { return e.db.Delete(k) }
+func (e *prismEngine) Get(k []byte) ([]byte, error) {
+	v, err := e.db.Get(k)
+	if errors.Is(err, prismish.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+func (e *prismEngine) Scan(start []byte, limit int) ([]KV, error) {
+	kvs, err := e.db.Scan(start, limit)
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, err
+}
+func (e *prismEngine) Step() error {
+	if _, err := e.db.MigrateOnce(); err != nil {
+		return err
+	}
+	_, err := e.db.LSM().CompactOnce(device.Bg)
+	return err
+}
+func (e *prismEngine) Close() error { return e.db.Close() }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyperdb/internal/stats"
@@ -41,6 +42,7 @@ type Device struct {
 	profile  Profile
 	throttle *throttle
 	counters stats.TrafficCounters
+	faults   atomic.Pointer[faultState]
 
 	mu        sync.Mutex
 	usedPages int64
@@ -207,6 +209,9 @@ func (d *Device) Create(name string) (*File, error) {
 func (d *Device) Open(name string) (*File, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
 	f, ok := d.files[name]
 	if !ok {
 		return nil, fmt.Errorf("device: file %q not found", name)

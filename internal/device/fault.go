@@ -1,0 +1,128 @@
+package device
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the error surfaced by I/O that a fault plan failed. It is
+// distinct from ErrNoSpace so engines' space-pressure retry loops never
+// swallow an injected fault.
+var ErrInjected = errors.New("device: injected fault")
+
+// IsIOError reports whether err came from the device layer itself (an
+// injected fault or a closed device) rather than from interpreting the bytes
+// it returned. Recovery paths use this to tell a table that failed to open
+// because the medium errored (retryable, keep the file) from one whose
+// content is structurally torn (crash artifact, safe to discard).
+func IsIOError(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrClosed)
+}
+
+// FaultPlan schedules deterministic I/O failures on a device. All decisions
+// derive from Seed, so a failing crash-test cycle replays exactly.
+//
+// Write faults fire on the chargeable write operations: Sync of a non-empty
+// dirty tail, and non-empty WriteAt. Read faults fire on ReadAt calls that
+// would return data. Namespace operations (Create, Remove, Truncate,
+// EnsureAllocated, PunchHole) never fault: the simulator treats metadata as
+// durable the moment it is applied (see DESIGN.md, crash model).
+type FaultPlan struct {
+	// Seed drives the plan's private RNG (probability draws, torn-write
+	// split points).
+	Seed int64
+	// FailWriteAfter > 0 fails the Nth write operation after the plan is
+	// installed. One-shot: the counter keeps advancing but the trigger
+	// disarms once fired.
+	FailWriteAfter int64
+	// FailReadAfter > 0 fails the Nth read operation. One-shot.
+	FailReadAfter int64
+	// WriteErrorProb fails each write independently with this probability.
+	WriteErrorProb float64
+	// ReadErrorProb fails each read independently with this probability.
+	ReadErrorProb float64
+	// TornWrites makes failed writes persist a strict prefix of their
+	// payload before returning ErrInjected, modelling a write cut by power
+	// loss partway through: a torn Sync durably advances over a prefix of
+	// the dirty pages, a torn WriteAt applies a prefix of its bytes.
+	TornWrites bool
+}
+
+// faultState is a device's installed plan plus its op counters.
+type faultState struct {
+	mu     sync.Mutex
+	plan   FaultPlan
+	rng    *rand.Rand
+	writes int64
+	reads  int64
+}
+
+// InjectFaults installs a fault plan, replacing any previous one and
+// resetting the op counters.
+func (d *Device) InjectFaults(p FaultPlan) {
+	d.faults.Store(&faultState{plan: p, rng: rand.New(rand.NewSource(p.Seed))})
+}
+
+// ClearFaults removes the installed fault plan, if any.
+func (d *Device) ClearFaults() {
+	d.faults.Store(nil)
+}
+
+// writeFault consults the plan for one write op. When fire is true the write
+// must fail with ErrInjected; if torn is also true, the caller persists a
+// prefix sized by frac in [0,1) first.
+func (d *Device) writeFault() (fire, torn bool, frac float64) {
+	fs := d.faults.Load()
+	if fs == nil {
+		return false, false, 0
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writes++
+	if fs.plan.FailWriteAfter > 0 && fs.writes == fs.plan.FailWriteAfter {
+		fire = true
+	}
+	if !fire && fs.plan.WriteErrorProb > 0 && fs.rng.Float64() < fs.plan.WriteErrorProb {
+		fire = true
+	}
+	if fire && fs.plan.TornWrites {
+		torn = true
+		frac = fs.rng.Float64()
+	}
+	return fire, torn, frac
+}
+
+// readFault consults the plan for one read op.
+func (d *Device) readFault() bool {
+	fs := d.faults.Load()
+	if fs == nil {
+		return false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.reads++
+	if fs.plan.FailReadAfter > 0 && fs.reads == fs.plan.FailReadAfter {
+		return true
+	}
+	return fs.plan.ReadErrorProb > 0 && fs.rng.Float64() < fs.plan.ReadErrorProb
+}
+
+// PowerCut models sudden power loss: every file's unsynced appended tail is
+// discarded. Only Append buffers data (always at the tail — dirtyLo marks
+// where the unsynced region begins), so truncating each file to dirtyLo
+// restores exactly the durable image. WriteAt data and namespace operations
+// (create/remove/truncate) are durable the moment they complete, so there
+// are no crash-time create/remove races to resolve. The device stays usable:
+// recovery code runs against the same handle.
+func (d *Device) PowerCut() {
+	d.mu.Lock()
+	files := make([]*File, 0, len(d.files))
+	for _, f := range d.files {
+		files = append(files, f)
+	}
+	d.mu.Unlock()
+	for _, f := range files {
+		f.powerCut()
+	}
+}

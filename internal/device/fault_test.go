@@ -1,0 +1,251 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newTestDev() *Device {
+	return New(UnthrottledProfile("t", 0))
+}
+
+// Open on a closed device must fail like Create does, instead of handing out
+// a file whose I/O would hit a dead ledger.
+func TestOpenAfterClose(t *testing.T) {
+	d := newTestDev()
+	if _, err := d.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.Open("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Open on closed device: err=%v, want ErrClosed", err)
+	}
+	if _, err := d.Create("b"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Create on closed device: err=%v, want ErrClosed", err)
+	}
+}
+
+// TestTruncateDirtyWindow drives Truncate through every position relative to
+// the dirty append window and checks both the power-cut image and what the
+// next Sync charges.
+func TestTruncateDirtyWindow(t *testing.T) {
+	const ps = 4096
+	cases := []struct {
+		name       string
+		truncateTo int64
+		wantSize   int64 // file size after truncate
+		wantBytes  uint64
+	}{
+		// Synced prefix: 2 pages. Dirty appended tail: [8192, 14192).
+		{"above window (no-op)", 14192, 14192, 6144}, // sectorRound(6000), pages 2..3
+		{"inside window", 10000, 10000, 2048},        // sectorRound(10000-8192)
+		{"at window start", 8192, 8192, 0},           // window emptied
+		{"below window", 8000, 8000, 0},              // window emptied, synced data cut
+		{"to zero", 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newTestDev()
+			f, err := d.Create("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append(make([]byte, 2*ps)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(Fg); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append(make([]byte, 6000)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(tc.truncateTo); err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Size(); got != tc.wantSize {
+				t.Fatalf("size after truncate = %d, want %d", got, tc.wantSize)
+			}
+			before := d.Counters().Snapshot()
+			if err := f.Sync(Fg); err != nil {
+				t.Fatal(err)
+			}
+			delta := d.Counters().Snapshot().Sub(before)
+			if delta.WriteBytes != tc.wantBytes {
+				t.Fatalf("sync charged %d bytes, want %d", delta.WriteBytes, tc.wantBytes)
+			}
+			wantOps := uint64(1)
+			if tc.wantBytes == 0 {
+				wantOps = 0
+			}
+			if delta.WriteOps != wantOps {
+				t.Fatalf("sync charged %d ops, want %d", delta.WriteOps, wantOps)
+			}
+			// After a clean sync nothing is dirty: a power cut keeps the file.
+			f.powerCut()
+			if got := f.Size(); got != tc.wantSize {
+				t.Fatalf("size after sync+powercut = %d, want %d", got, tc.wantSize)
+			}
+		})
+	}
+}
+
+func TestPowerCutDiscardsUnsyncedTail(t *testing.T) {
+	d := newTestDev()
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := bytes.Repeat([]byte{7}, 5000)
+	if _, err := f.Append(durable); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(Fg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerCut()
+	if got := f.Size(); got != int64(len(durable)) {
+		t.Fatalf("size after power cut = %d, want %d", got, len(durable))
+	}
+	back := make([]byte, len(durable))
+	if _, err := f.ReadAt(back, 0, Fg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, durable) {
+		t.Fatal("synced bytes corrupted by power cut")
+	}
+	// WriteAt data is durable immediately — a second cut keeps it.
+	if err := f.WriteAt([]byte{9, 9, 9}, 100, Fg); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerCut()
+	if _, err := f.ReadAt(back[:3], 100, Fg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[:3], []byte{9, 9, 9}) {
+		t.Fatal("WriteAt data lost by power cut")
+	}
+}
+
+func TestFailWriteAfterOneShot(t *testing.T) {
+	d := newTestDev()
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultPlan{Seed: 1, FailWriteAfter: 3})
+	for i := 1; i <= 5; i++ {
+		err := f.WriteAt([]byte{1}, int64(i)*4096, Fg)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: err=%v, want ErrInjected", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("write %d: %v (trigger must be one-shot)", i, err)
+		}
+	}
+	d.ClearFaults()
+	if err := f.WriteAt([]byte{1}, 0, Fg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornSyncPersistsPagePrefix(t *testing.T) {
+	const ps = 4096
+	for seed := int64(0); seed < 20; seed++ {
+		d := newTestDev()
+		f, err := d.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4*ps)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if _, err := f.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		d.InjectFaults(FaultPlan{Seed: seed, FailWriteAfter: 1, TornWrites: true})
+		if err := f.Sync(Fg); !errors.Is(err, ErrInjected) {
+			t.Fatalf("seed %d: sync err=%v, want ErrInjected", seed, err)
+		}
+		d.ClearFaults()
+		d.PowerCut()
+		size := f.Size()
+		if size < 0 || size >= int64(len(data)) {
+			t.Fatalf("seed %d: torn sync kept %d bytes, want a strict prefix", seed, size)
+		}
+		if size%ps != 0 {
+			t.Fatalf("seed %d: torn sync kept %d bytes, not page-aligned", seed, size)
+		}
+		if size > 0 {
+			back := make([]byte, size)
+			if _, err := f.ReadAt(back, 0, Fg); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data[:size]) {
+				t.Fatalf("seed %d: torn prefix corrupted", seed)
+			}
+		}
+	}
+}
+
+func TestTornWriteAtPersistsBytePrefix(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		d := newTestDev()
+		f, err := d.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.EnsureAllocated(4096); err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{0xAB}, 1000)
+		d.InjectFaults(FaultPlan{Seed: seed, FailWriteAfter: 1, TornWrites: true})
+		if err := f.WriteAt(data, 0, Fg); !errors.Is(err, ErrInjected) {
+			t.Fatalf("seed %d: err=%v, want ErrInjected", seed, err)
+		}
+		d.ClearFaults()
+		back := make([]byte, len(data))
+		if _, err := f.ReadAt(back, 0, Fg); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for n < len(back) && back[n] == 0xAB {
+			n++
+		}
+		if n >= len(data) {
+			t.Fatalf("seed %d: torn WriteAt persisted everything", seed)
+		}
+		for _, b := range back[n:] {
+			if b != 0 {
+				t.Fatalf("seed %d: non-prefix bytes written", seed)
+			}
+		}
+	}
+}
+
+func TestReadFault(t *testing.T) {
+	d := newTestDev()
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt([]byte{1, 2, 3}, 0, Fg); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultPlan{Seed: 1, FailReadAfter: 2})
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 0, Fg); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := f.ReadAt(buf, 0, Fg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: err=%v, want ErrInjected", err)
+	}
+	if _, err := f.ReadAt(buf, 0, Fg); err != nil {
+		t.Fatalf("read 3: %v (one-shot)", err)
+	}
+}

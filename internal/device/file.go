@@ -186,6 +186,35 @@ func (f *File) Sync(op Op) error {
 		return nil
 	}
 	lo, hi := f.dirtyLo, f.dirtyHi
+	if fire, torn, frac := f.dev.writeFault(); fire {
+		if !torn {
+			// Nothing persisted; the dirty range is untouched.
+			f.mu.Unlock()
+			return ErrInjected
+		}
+		// Torn sync: a strict page-aligned prefix of the dirty range
+		// becomes durable (and is paid for); the rest stays dirty and a
+		// PowerCut discards it.
+		firstPage, pages := f.pageSpan(lo, hi-lo)
+		keep := int64(frac * float64(pages))
+		if keep >= pages {
+			keep = pages - 1
+		}
+		if keep <= 0 {
+			f.mu.Unlock()
+			return ErrInjected
+		}
+		ps := int64(f.dev.PageSize())
+		newLo := (firstPage + keep) * ps
+		if newLo > hi {
+			newLo = hi
+		}
+		f.dirtyLo = newLo
+		f.mu.Unlock()
+		op.Sequential = true
+		f.dev.chargeWrite(sectorRound(f.dev, newLo-lo), keep, op)
+		return ErrInjected
+	}
 	f.dirtyLo, f.dirtyHi = -1, 0
 	f.mu.Unlock()
 
@@ -215,6 +244,33 @@ func (f *File) WriteAt(p []byte, off int64, op Op) error {
 		f.mu.Unlock()
 		return ErrClosed
 	}
+	if len(p) > 0 {
+		if fire, torn, frac := f.dev.writeFault(); fire {
+			keep := 0
+			if torn {
+				// Torn in-place write: a strict byte prefix lands.
+				keep = int(frac * float64(len(p)))
+				if keep >= len(p) {
+					keep = len(p) - 1
+				}
+			}
+			if keep <= 0 {
+				f.mu.Unlock()
+				return ErrInjected
+			}
+			p = p[:keep]
+			if err := f.writeAtLocked(p, off, op); err != nil {
+				return err
+			}
+			return ErrInjected
+		}
+	}
+	return f.writeAtLocked(p, off, op)
+}
+
+// writeAtLocked applies and charges an in-place write; caller holds f.mu,
+// which is released before charging.
+func (f *File) writeAtLocked(p []byte, off int64, op Op) error {
 	end := off + int64(len(p))
 	if err := f.ensureCapacity(end); err != nil {
 		f.mu.Unlock()
@@ -271,6 +327,10 @@ func (f *File) ReadAt(p []byte, off int64, op Op) (int, error) {
 		f.mu.RUnlock()
 		return 0, nil
 	}
+	if len(p) > 0 && f.dev.readFault() {
+		f.mu.RUnlock()
+		return 0, ErrInjected
+	}
 	n := copy(p, f.buf[off:])
 	f.mu.RUnlock()
 
@@ -305,6 +365,26 @@ func (f *File) Truncate(size int64) error {
 	if size < 0 || size > int64(len(f.buf)) {
 		return fmt.Errorf("device: truncate size %d out of range [0,%d]", size, len(f.buf))
 	}
+	f.truncateLocked(size)
+	return nil
+}
+
+// powerCut discards the file's dirty appended tail. Appends only ever dirty
+// the tail (and Truncate clamps the window), so [dirtyLo, len(buf)) is
+// exactly the unsynced region; truncating to dirtyLo restores the durable
+// image.
+func (f *File) powerCut() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released || f.dirtyLo < 0 {
+		return
+	}
+	f.truncateLocked(f.dirtyLo)
+}
+
+// truncateLocked shrinks buf to size and returns freed pages; caller holds
+// f.mu and has validated size.
+func (f *File) truncateLocked(size int64) {
 	f.buf = f.buf[:size]
 	ps := int64(f.dev.PageSize())
 	need := (size + ps - 1) / ps
@@ -327,7 +407,6 @@ func (f *File) Truncate(size int64) error {
 	if f.dirtyLo >= size {
 		f.dirtyLo, f.dirtyHi = -1, 0
 	}
-	return nil
 }
 
 // release frees all pages; called by Device.Remove.

@@ -13,6 +13,9 @@ func TestDiagYCSBB(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throttled default-scale run")
 	}
+	if raceEnabled {
+		t.Skip("throughput ordering is meaningless under the race detector")
+	}
 	s := DefaultScale()
 	tput := map[EngineKind]float64{}
 	for _, kind := range []EngineKind{KindRocksDB, KindPrismDB, KindHyperDB} {

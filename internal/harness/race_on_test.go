@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled is true when the race detector is compiled in. Tests that
+// assert relative performance (throughput orderings, traffic byte counts
+// shaped by background-worker timing) skip under it: the detector's
+// slowdown distorts exactly what they measure.
+const raceEnabled = true

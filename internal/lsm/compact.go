@@ -15,17 +15,38 @@ func (t *Tree) MaybeCompact(op device.Op) (bool, error) {
 	t.mutMu.Lock()
 	defer t.mutMu.Unlock()
 	op.Background = true
-	// Full compactions first: they bound space amplification.
+	// Full compactions first: they bound space amplification. The rewrite
+	// swaps in a freshly built generation file rather than truncating the
+	// table in place: the old generation stays durable until the new one
+	// syncs, so a crash at any point leaves recovery a readable table
+	// (newest openable generation wins, see Recover).
 	if fe, level := t.popPendingFull(); fe != nil {
-		before := fe.table.FileBytes()
 		live := fe.table.LiveBytes()
-		if err := fe.table.Rewrite(op); err != nil {
+		entries, err := fe.table.AllEntries(op)
+		if err != nil {
 			return false, err
 		}
+		t.mu.Lock()
+		if t.levels[level][fe.seg] != fe {
+			t.mu.Unlock() // superseded while queued
+			return true, nil
+		}
+		if len(entries) == 0 {
+			t.dropTable(level, fe)
+			t.mu.Unlock()
+			t.traffic[level].FullRewrites.Inc()
+			return true, nil
+		}
+		nfe, err := t.newTable(level, fe.seg, entries, op)
+		if err != nil {
+			t.mu.Unlock() // old table remains installed; retry later
+			return false, err
+		}
+		t.mu.Unlock()
+		fe.release()
 		t.traffic[level].ReadBytes.Add(uint64(live))
-		t.traffic[level].WriteBytes.Add(uint64(fe.table.FileBytes()))
+		t.traffic[level].WriteBytes.Add(uint64(nfe.table.FileBytes()))
 		t.traffic[level].FullRewrites.Inc()
-		_ = before
 		return true, nil
 	}
 	for level := 1; level < t.opts.MaxLevels; level++ {

@@ -281,6 +281,12 @@ func (t *Tree) newTable(level, seg int, entries []semisst.Entry, op device.Op) (
 		MetaBackup: metaDev,
 	}, entries, op)
 	if err != nil {
+		// Don't leak the half-built file (or its mirror): a later build
+		// would collide on the name and recovery would have to discard it.
+		t.opts.Dev.Remove(name)
+		if metaDev != nil {
+			metaDev.Remove(name + ".idx")
+		}
 		return nil, err
 	}
 	fe := &fileEntry{table: tbl, seg: seg, dev: t.opts.Dev}

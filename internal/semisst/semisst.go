@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 
@@ -35,7 +36,42 @@ import (
 // Magic identifies a semi-SSTable footer.
 const Magic = 0x5e3915ab1e5e3900
 
+// footerSize is the fixed footer length: the index handle varints padded to
+// footerSize-12 bytes, a crc32 of that prefix, then the magic. The checksum
+// lets crash recovery distinguish a real footer from data bytes that happen
+// to end in the magic while scanning backward for the newest persisted
+// index.
 const footerSize = 32
+
+// encodeFooter serialises a footer pointing at the index block.
+func encodeFooter(h sstable.Handle) []byte {
+	footer := sstable.EncodeHandle(nil, h)
+	for len(footer) < footerSize-12 {
+		footer = append(footer, 0)
+	}
+	var tail [12]byte
+	binary.LittleEndian.PutUint32(tail[0:], crc32.ChecksumIEEE(footer))
+	binary.LittleEndian.PutUint64(tail[4:], Magic)
+	return append(footer, tail[:]...)
+}
+
+// parseFooter validates magic and checksum and returns the index handle.
+func parseFooter(footer []byte) (sstable.Handle, bool) {
+	if len(footer) != footerSize {
+		return sstable.Handle{}, false
+	}
+	if binary.LittleEndian.Uint64(footer[footerSize-8:]) != Magic {
+		return sstable.Handle{}, false
+	}
+	if binary.LittleEndian.Uint32(footer[footerSize-12:]) != crc32.ChecksumIEEE(footer[:footerSize-12]) {
+		return sstable.Handle{}, false
+	}
+	h, err := sstable.DecodeHandle(footer[:footerSize-12])
+	if err != nil {
+		return sstable.Handle{}, false
+	}
+	return h, true
+}
 
 // BlockMeta describes one data block of a semi-SSTable.
 type BlockMeta struct {
@@ -136,7 +172,11 @@ func (t *Table) openMetaBackup() error {
 	return nil
 }
 
-// Open reloads a semi-SSTable persisted in f.
+// Open reloads a semi-SSTable persisted in f. A merge appends new blocks,
+// index and footer after the previous index (append-after-persist), so after
+// a clean sync the newest footer sits at EOF. A crash can leave a torn tail
+// — a page prefix of an unfinished merge — in which case Open scans backward
+// for the newest valid (checksummed) footer and truncates the dead tail.
 func Open(f *device.File, opts Options, op device.Op) (*Table, error) {
 	opts.fill()
 	size := f.Size()
@@ -147,17 +187,45 @@ func Open(f *device.File, opts Options, op device.Op) (*Table, error) {
 	if _, err := f.ReadAt(footer, size-footerSize, op); err != nil {
 		return nil, err
 	}
-	if got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got != Magic {
-		return nil, fmt.Errorf("semisst: bad magic in %q", f.Name())
+	if idxH, ok := parseFooter(footer); ok {
+		idx := make([]byte, idxH.Size)
+		if _, err := f.ReadAt(idx, int64(idxH.Offset), op); err != nil {
+			return nil, err
+		}
+		if t, err := openFromIndex(f, opts, idx); err == nil {
+			return t, nil
+		}
 	}
-	idxH, err := sstable.DecodeHandle(footer)
-	if err != nil {
+	// Torn tail: read the whole file once and scan backward for the newest
+	// offset that ends in a valid footer whose index decodes.
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0, device.Op{Background: op.Background, Sequential: true}); err != nil {
 		return nil, err
 	}
-	idx := make([]byte, idxH.Size)
-	if _, err := f.ReadAt(idx, int64(idxH.Offset), op); err != nil {
-		return nil, err
+	for end := size; end >= footerSize; end-- {
+		if binary.LittleEndian.Uint64(buf[end-8:end]) != Magic {
+			continue
+		}
+		h, ok := parseFooter(buf[end-footerSize : end])
+		if !ok || int64(h.Offset)+int64(h.Size) > end-footerSize {
+			continue
+		}
+		t, err := openFromIndex(f, opts, buf[h.Offset:int64(h.Offset)+int64(h.Size)])
+		if err != nil {
+			continue
+		}
+		if end < size {
+			if err := f.Truncate(end); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
 	}
+	return nil, fmt.Errorf("semisst: no valid footer in %q", f.Name())
+}
+
+// openFromIndex builds a Table from a decoded index payload.
+func openFromIndex(f *device.File, opts Options, idx []byte) (*Table, error) {
 	t := &Table{f: f, opts: opts, idxBytes: int64(len(idx))}
 	if err := t.decodeIndex(idx); err != nil {
 		return nil, err
@@ -203,27 +271,46 @@ func (t *Table) recomputeLive() {
 }
 
 // appendMerge marks dirtyIdx blocks invalid, appends entries as fresh blocks
-// at the tail, and rewrites the index and footer. entries must be sorted by
-// internal key with one version per user key, and must not overlap any
-// block that remains clean.
+// at the tail, and appends a new index and footer after the previous ones
+// (append-after-persist: the old index stays durable until the new tail
+// syncs, so a crash at any point leaves a recoverable table — Open falls
+// back to the newest valid footer). The superseded index region becomes
+// dead space, reclaimed with the dirty blocks by a full compaction. entries
+// must be sorted by internal key with one version per user key, and must
+// not overlap any block that remains clean.
+//
+// On error the merge rolls back completely: the unsynced appended tail is
+// dropped and block validity restored, so the in-memory table, the durable
+// file image, and a retry all agree.
 func (t *Table) appendMerge(entries []Entry, dirtyIdx []int, op device.Op) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
+	var marked []int
 	for _, i := range dirtyIdx {
 		if i < 0 || i >= len(t.blocks) {
 			return fmt.Errorf("semisst: dirty index %d out of range", i)
 		}
 		if t.blocks[i].Valid {
 			t.blocks[i].Valid = false
-			t.blocks[i].Filter = nil
-			t.blocks[i].Keys = nil
 			t.stale += int64(t.blocks[i].Handle.Size)
+			marked = append(marked, i)
 		}
 	}
 
-	// Drop the previous index/footer tail; data blocks stay put.
-	if err := t.f.Truncate(t.dataEnd()); err != nil {
+	start := t.f.Size()
+	nBlocks := len(t.blocks)
+	oldIdxBytes := t.idxBytes
+	rollback := func(err error) error {
+		for _, i := range marked {
+			t.blocks[i].Valid = true
+			t.stale -= int64(t.blocks[i].Handle.Size)
+		}
+		t.blocks = t.blocks[:nBlocks]
+		t.idxBytes = oldIdxBytes
+		// The appended tail was never synced; dropping it is safe.
+		t.f.Truncate(start)
+		t.recomputeLive()
 		return err
 	}
 
@@ -265,20 +352,31 @@ func (t *Table) appendMerge(entries []Entry, dirtyIdx []int, op device.Op) error
 		}
 		if bb.SizeEstimate() >= t.opts.BlockSize {
 			if err := flush(); err != nil {
-				return err
+				return rollback(err)
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return err
+		return rollback(err)
 	}
 
 	t.recomputeLive()
 	if err := t.writeIndexLocked(op); err != nil {
-		return err
+		return rollback(err)
 	}
 	op.Sequential = true
-	return t.f.Sync(op)
+	if err := t.f.Sync(op); err != nil {
+		return rollback(err)
+	}
+	// Durable. The superseded index+footer (if any) is now dead file space;
+	// it stays out of StaleBytes (a data-block metric) but shows up in
+	// FileBytes, so space-amplification pressure still reclaims it via full
+	// compaction.
+	for _, i := range marked {
+		t.blocks[i].Filter = nil
+		t.blocks[i].Keys = nil
+	}
+	return nil
 }
 
 // dataEnd returns the offset just past the last data block. Caller holds mu.
@@ -301,13 +399,7 @@ func (t *Table) writeIndexLocked(op device.Op) error {
 	if err != nil {
 		return err
 	}
-	footer := sstable.EncodeHandle(nil, sstable.Handle{Offset: uint64(off), Size: uint64(len(idx))})
-	for len(footer) < footerSize-8 {
-		footer = append(footer, 0)
-	}
-	var magic [8]byte
-	binary.LittleEndian.PutUint64(magic[:], Magic)
-	footer = append(footer, magic[:]...)
+	footer := encodeFooter(sstable.Handle{Offset: uint64(off), Size: uint64(len(idx))})
 	if _, err := t.f.Append(footer); err != nil {
 		return err
 	}

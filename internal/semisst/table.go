@@ -376,6 +376,11 @@ func mergeEntries(old, new []Entry, dropTombstones bool) []Entry {
 // read, the file reset, and everything rewritten as clean blocks. Reclaims
 // all stale space (§3.4's full-compaction path). The generation bump makes
 // concurrent lock-free readers retry instead of consuming recycled offsets.
+//
+// Rewrite is NOT crash-safe: the truncate durably destroys the old image
+// before the new one syncs. The LSM's full-compaction path therefore swaps
+// in a freshly built generation file instead (lsm.MaybeCompact); Rewrite
+// remains for callers that manage crash atomicity themselves.
 func (t *Table) Rewrite(op device.Op) error {
 	entries, err := t.AllEntries(op)
 	if err != nil {
@@ -385,6 +390,7 @@ func (t *Table) Rewrite(op device.Op) error {
 	t.blocks = nil
 	t.live = nil
 	t.stale = 0
+	t.idxBytes = 0
 	t.gen++
 	if err := t.f.Truncate(0); err != nil {
 		t.mu.Unlock()

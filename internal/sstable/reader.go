@@ -144,27 +144,63 @@ func lessBytes(a, b []byte) bool {
 // found=false means the table holds no version; a tombstone returns
 // found=true, kind=KindDelete.
 func (r *Reader) Get(user []byte, seq uint64, op device.Op) (value []byte, kind keys.Kind, found bool, err error) {
+	value, kind, _, found, err = r.GetEntry(user, seq, op)
+	return value, kind, found, err
+}
+
+// GetEntry is Get plus the matched version's sequence number; crash
+// recovery uses the sequence to arbitrate between an LSM version and a
+// fast-tier copy of the same key.
+func (r *Reader) GetEntry(user []byte, seq uint64, op device.Op) (value []byte, kind keys.Kind, entrySeq uint64, found bool, err error) {
 	if !r.filter.Contains(user) {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	bi := r.blockFor(user)
 	if bi < 0 {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	data, err := r.readBlock(bi, op)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	it, err := block.NewIter(data)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	it.SeekGE(keys.MakeSearchKey(user, seq))
 	if !it.Valid() || string(it.Key().User) != string(user) {
-		return nil, 0, false, it.Err()
+		return nil, 0, 0, false, it.Err()
 	}
 	v := append([]byte(nil), it.Value()...)
-	return v, it.Key().Kind, true, nil
+	return v, it.Key().Kind, it.Key().Seq, true, nil
+}
+
+// ComputeMeta rebuilds the table's Meta by scanning every entry. The footer
+// does not persist the writer's metadata, so recovery derives it here.
+func (r *Reader) ComputeMeta(op device.Op) (Meta, error) {
+	var m Meta
+	m.TotalSize = r.f.Size()
+	m.Blocks = len(r.blocks)
+	for _, h := range r.blocks {
+		m.DataSize += int64(h.Size)
+	}
+	it := r.NewIter(op)
+	for it.First(); it.Valid(); it.Next() {
+		k := it.Key()
+		if m.Smallest == nil {
+			m.Smallest = append([]byte(nil), k.User...)
+		}
+		m.Largest = append(m.Largest[:0], k.User...)
+		if k.Seq > m.MaxSeq {
+			m.MaxSeq = k.Seq
+		}
+		m.Entries++
+	}
+	if err := it.Err(); err != nil {
+		return Meta{}, err
+	}
+	m.Largest = append([]byte(nil), m.Largest...)
+	return m, nil
 }
 
 // Iter iterates the whole table in internal-key order.
