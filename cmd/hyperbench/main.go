@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hyperdb/internal/harness"
 )
@@ -22,7 +24,32 @@ func main() {
 	quick := flag.Bool("quick", false, "tiny unthrottled run (CI smoke): traffic shapes only, no timing fidelity")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	jsonOut := flag.Bool("json", false, "emit figures as JSON instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1000) // one sample per µs blocked
+		defer writeProfile("block", *blockProfile)
+	}
 
 	scale := harness.DefaultScale().Mult(*scaleF)
 	if *quick {
@@ -61,6 +88,21 @@ func main() {
 			fmt.Println()
 		} else {
 			table.Fprint(os.Stdout)
+		}
+	}
+}
+
+// writeProfile dumps a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if p := pprof.Lookup(name); p != nil {
+		if err := p.WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 }

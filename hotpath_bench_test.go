@@ -1,0 +1,209 @@
+// Parallel microbenchmarks for the foreground hot path: Put/Get (and their
+// batch counterparts) at 1/4/8/16 client goroutines over unthrottled devices
+// with background workers disabled, so the numbers isolate the software path
+// — tracker, watermark checks, zone index, cache — from the simulated device
+// model. CI runs these with -benchtime=1x as a smoke test; BENCH_hotpath.json
+// records the measured trajectory.
+package hyperdb_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyperdb"
+	"hyperdb/internal/ycsb"
+)
+
+const (
+	hotPathKeys      = 1 << 15 // working set; fits NVMe so updates stay in place
+	hotPathValueSize = 128
+)
+
+var hotPathGoroutines = []int{1, 4, 8, 16}
+
+func hotPathValue() []byte {
+	v := make([]byte, hotPathValueSize)
+	for i := range v {
+		v[i] = byte('a' + i%26)
+	}
+	return v
+}
+
+// hotPathDB opens a DB sized so the whole working set stays in the
+// performance tier: no write stalls, no migration — pure foreground path.
+func hotPathDB(b *testing.B) *hyperdb.DB {
+	b.Helper()
+	db, err := hyperdb.Open(hyperdb.Options{
+		NVMeCapacity:      1 << 30,
+		SATACapacity:      4 << 30,
+		Unthrottled:       true,
+		DisableBackground: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func hotPathPreload(b *testing.B, db *hyperdb.DB) {
+	b.Helper()
+	v := hotPathValue()
+	for i := int64(0); i < hotPathKeys; i++ {
+		if err := db.Put(ycsb.Key(i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runHotPath spreads b.N operations over g goroutines, claiming work in
+// chunks so the dispatch counter stays off the measured path.
+func runHotPath(b *testing.B, g int, op func(i int)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 256
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for t := 0; t < g; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= b.N {
+					return
+				}
+				hi := lo + chunk
+				if hi > b.N {
+					hi = b.N
+				}
+				for i := lo; i < hi; i++ {
+					op(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+func BenchmarkHotPathPut(b *testing.B) {
+	for _, g := range hotPathGoroutines {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			db := hotPathDB(b)
+			defer db.Close()
+			hotPathPreload(b, db)
+			v := hotPathValue()
+			runHotPath(b, g, func(i int) {
+				if err := db.Put(ycsb.Key(int64(i%hotPathKeys)), v); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkHotPathGet(b *testing.B) {
+	for _, g := range hotPathGoroutines {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			db := hotPathDB(b)
+			defer db.Close()
+			hotPathPreload(b, db)
+			runHotPath(b, g, func(i int) {
+				if _, err := db.Get(ycsb.Key(int64(i % hotPathKeys))); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+// batchSize is the ops-per-call size for the batch benchmarks; ns/op numbers
+// are per batch, so divide by batchSize to compare with Put/Get.
+const batchSize = 64
+
+func BenchmarkHotPathWriteBatch(b *testing.B) {
+	for _, g := range hotPathGoroutines {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			db := hotPathDB(b)
+			defer db.Close()
+			hotPathPreload(b, db)
+			v := hotPathValue()
+			// Per-goroutine reusable op slices: the batch API borrows, never
+			// retains.
+			pool := sync.Pool{New: func() any {
+				ops := make([]hyperdb.BatchOp, batchSize)
+				for i := range ops {
+					ops[i].Value = v
+				}
+				return &ops
+			}}
+			runHotPath(b, g, func(i int) {
+				ops := *pool.Get().(*[]hyperdb.BatchOp)
+				base := int64(i) * batchSize
+				for j := range ops {
+					ops[j].Key = ycsb.Key((base + int64(j)) % hotPathKeys)
+				}
+				if err := db.WriteBatch(ops); err != nil {
+					b.Error(err)
+				}
+				pool.Put(&ops)
+			})
+		})
+	}
+}
+
+func BenchmarkHotPathMultiGet(b *testing.B) {
+	for _, g := range hotPathGoroutines {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			db := hotPathDB(b)
+			defer db.Close()
+			hotPathPreload(b, db)
+			pool := sync.Pool{New: func() any {
+				keys := make([][]byte, batchSize)
+				return &keys
+			}}
+			runHotPath(b, g, func(i int) {
+				keys := *pool.Get().(*[][]byte)
+				base := int64(i) * batchSize
+				for j := range keys {
+					keys[j] = ycsb.Key((base + int64(j)) % hotPathKeys)
+				}
+				vals, err := db.MultiGet(keys)
+				if err != nil {
+					b.Error(err)
+				} else if vals[0] == nil {
+					b.Error("unexpected miss")
+				}
+				pool.Put(&keys)
+			})
+		})
+	}
+}
+
+// BenchmarkHotPathMixed is the acceptance metric: aggregate 50/50 Get+Put
+// throughput under parallel clients.
+func BenchmarkHotPathMixed(b *testing.B) {
+	for _, g := range hotPathGoroutines {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			db := hotPathDB(b)
+			defer db.Close()
+			hotPathPreload(b, db)
+			v := hotPathValue()
+			runHotPath(b, g, func(i int) {
+				k := ycsb.Key(int64(i % hotPathKeys))
+				if i%2 == 0 {
+					if _, err := db.Get(k); err != nil {
+						b.Error(err)
+					}
+				} else {
+					if err := db.Put(k, v); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -92,6 +92,22 @@ func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
+// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
+// set.
+type BatchOp = core.BatchOp
+
+// WriteBatch applies the ops with batched amortisation: keys are grouped per
+// partition, each partition group takes the engine's locks once, and the
+// whole batch draws one sequence block. Duplicate keys resolve in slice
+// order (last write wins). Not atomic across partitions: on error a prefix
+// of the batch may be applied.
+func (db *DB) WriteBatch(ops []BatchOp) error { return db.inner.WriteBatch(ops) }
+
+// MultiGet returns values positionally aligned with keys; missing or deleted
+// keys yield nil entries. Lookups are grouped per partition and share page
+// reads between keys on the same slot page.
+func (db *DB) MultiGet(keys [][]byte) ([][]byte, error) { return db.inner.MultiGet(keys) }
+
 // KV is one scan result.
 type KV = core.KV
 

@@ -61,14 +61,19 @@ func (db *DB) putWithEviction(key, value []byte, tomb bool) error {
 }
 
 func (db *DB) put(key, value []byte, tomb bool, op device.Op) error {
+	seq := db.seq.Add(1)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.putLocked(key, value, tomb, seq, op)
+}
+
+// putLocked is put's body with the sequence supplied by the caller (batches
+// allocate one block up front). Caller holds db.mu.
+func (db *DB) putLocked(key, value []byte, tomb bool, seq uint64, op device.Op) error {
 	c := classFor(slotHeader + len(key) + len(value))
 	if c < 0 {
 		return ErrTooLarge
 	}
-	seq := db.seq.Add(1)
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if old, ok := db.index.Get(key); ok {
 		if int(old.class) == c {
 			// In-place update.
@@ -145,6 +150,127 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		db.put(key, v, false, device.Bg)
 	}
 	return v, nil
+}
+
+// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
+// set.
+type BatchOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// WriteBatch applies the ops under one lock acquisition, drawing a single
+// sequence block so slice order is sequence order (last-write-wins for
+// duplicates). On ErrNoSpace the lock is dropped, one migration batch runs
+// synchronously, and the batch resumes at the failed op.
+func (db *DB) WriteBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	n := uint64(len(ops))
+	base := db.seq.Add(n) - n + 1
+	i, attempts := 0, 0
+	db.mu.Lock()
+	for i < len(ops) {
+		o := &ops[i]
+		err := db.putLocked(o.Key, o.Value, o.Delete, base+uint64(i), device.Fg)
+		if err == nil {
+			i++
+			continue
+		}
+		if !errors.Is(err, device.ErrNoSpace) || attempts >= 64 {
+			db.mu.Unlock()
+			return err
+		}
+		attempts++
+		db.mu.Unlock()
+		if _, merr := db.MigrateOnce(); merr != nil {
+			return merr
+		}
+		db.mu.Lock()
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// MultiGet returns values positionally aligned with keys (nil = missing or
+// deleted): one index-lock acquisition for the batch, a page memo shared
+// between keys on the same slab page, one clock-bit refresh pass, and LSM
+// fallback (with slab admission) for index misses.
+func (db *DB) MultiGet(keyList [][]byte) ([][]byte, error) {
+	out := make([][]byte, len(keyList))
+	type pend struct {
+		idx int
+		l   loc
+	}
+	var slab []pend
+	var lsmMiss []int
+	db.mu.RLock()
+	for i, k := range keyList {
+		if l, ok := db.index.Get(k); ok {
+			if !l.tomb {
+				slab = append(slab, pend{idx: i, l: l})
+			}
+		} else {
+			lsmMiss = append(lsmMiss, i)
+		}
+	}
+	db.mu.RUnlock()
+
+	type pid struct {
+		c    int8
+		page uint32
+	}
+	pages := make(map[pid][]byte, len(slab))
+	var refresh []pend
+	for _, p := range slab {
+		key := keyList[p.idx]
+		pg, ok := pages[pid{p.l.class, p.l.page}]
+		if !ok {
+			var err error
+			pg, err = db.readSlotPage(int(p.l.class), p.l.page, device.Fg)
+			if err != nil {
+				return nil, err
+			}
+			pages[pid{p.l.class, p.l.page}] = pg
+		}
+		sf := db.slabs[p.l.class]
+		off := int(p.l.slot) * sf.slotSize
+		if off+sf.slotSize > len(pg) {
+			continue
+		}
+		_, tomb, k2, v, err := decodeSlot(pg[off : off+sf.slotSize])
+		if err != nil || tomb || !bytes.Equal(k2, key) {
+			continue
+		}
+		out[p.idx] = bytes.Clone(v)
+		refresh = append(refresh, p)
+	}
+	if len(refresh) > 0 {
+		db.mu.Lock()
+		for _, p := range refresh {
+			if cur, ok := db.index.Get(keyList[p.idx]); ok && cur.seq == p.l.seq {
+				cur.ref = true
+				db.index.Set(keyList[p.idx], cur)
+			}
+		}
+		db.mu.Unlock()
+	}
+
+	for _, i := range lsmMiss {
+		v, kind, found, err := db.lsm.Get(keyList[i], keys.MaxSeq, device.Fg)
+		if err != nil {
+			return nil, err
+		}
+		if found && kind != keys.KindDelete {
+			out[i] = v
+			if db.usedFraction() < db.opts.HighWatermark {
+				db.put(keyList[i], v, false, device.Bg)
+			}
+		}
+	}
+	return out, nil
 }
 
 // KV is one scan result.

@@ -284,8 +284,14 @@ func (db *DB) writeSlot(c int, r slotRef, seq uint64, tomb bool, k, v []byte, op
 	return sf.f.WriteAt(buf, off, op)
 }
 
+// pageKey builds the DRAM-cache key without fmt (hot on every slab read).
+// The 'P' prefix plus binary layout keeps it disjoint from other cache keys.
 func (db *DB) pageKey(c int, page uint32) string {
-	return fmt.Sprintf("prism-c%d#%d", c, page)
+	var b [6]byte
+	b[0] = 'P'
+	b[1] = byte(c)
+	binary.LittleEndian.PutUint32(b[2:], page)
+	return string(b[:])
 }
 
 // readSlotPage fetches a slab page through the DRAM cache.

@@ -226,11 +226,9 @@ func (db *DB) Delete(key []byte) error {
 	return db.write(keys.KindDelete, key, nil)
 }
 
-func (db *DB) write(kind keys.Kind, key, value []byte) error {
-	if db.closed.Load() {
-		return fmt.Errorf("rocksish: closed")
-	}
-	// Write stall on L0 debt, RocksDB-style.
+// stallWait blocks while the LSM signals an L0-debt write stall,
+// RocksDB-style.
+func (db *DB) stallWait() {
 	for db.lsm.Stalled() {
 		ch := db.lsm.StallChan()
 		select {
@@ -242,6 +240,13 @@ func (db *DB) write(kind keys.Kind, key, value []byte) error {
 			break
 		}
 	}
+}
+
+func (db *DB) write(kind keys.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return fmt.Errorf("rocksish: closed")
+	}
+	db.stallWait()
 	seq := db.seq.Add(1)
 
 	// Hold the rotation lock across the append so a concurrent flush
@@ -256,8 +261,13 @@ func (db *DB) write(kind keys.Kind, key, value []byte) error {
 	db.mu.Lock()
 	db.mem.Insert(keys.InternalKey{User: append([]byte(nil), key...), Seq: seq, Kind: kind},
 		append([]byte(nil), value...))
-	rotate := db.mem.ApproxBytes() >= db.opts.MemtableBytes
-	if rotate {
+	return db.maybeRotateLocked()
+}
+
+// maybeRotateLocked rotates the memtable when it crosses its budget. Called
+// with db.mu held; always returns with it released.
+func (db *DB) maybeRotateLocked() error {
+	if db.mem.ApproxBytes() >= db.opts.MemtableBytes {
 		for db.imm != nil {
 			// Previous flush still running: wait (write stall).
 			done := db.flushed
@@ -293,6 +303,91 @@ func (db *DB) write(kind keys.Kind, key, value []byte) error {
 	}
 	db.mu.Unlock()
 	return nil
+}
+
+// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
+// set.
+type BatchOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// WriteBatch is the group-commit write path: one stall check, one sequence
+// block, one WAL-lock acquisition for all appends, and one memtable lock for
+// all inserts with a single rotation check at the end. Slice order is
+// sequence order, so duplicate keys resolve last-write-wins.
+func (db *DB) WriteBatch(ops []BatchOp) error {
+	if db.closed.Load() {
+		return fmt.Errorf("rocksish: closed")
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	db.stallWait()
+	n := uint64(len(ops))
+	base := db.seq.Add(n) - n + 1
+
+	db.walMu.RLock()
+	for i := range ops {
+		kind := keys.KindSet
+		if ops[i].Delete {
+			kind = keys.KindDelete
+		}
+		if err := db.memWAL.Append(encodeRecord(kind, base+uint64(i), ops[i].Key, ops[i].Value)); err != nil {
+			db.walMu.RUnlock()
+			return err
+		}
+	}
+	db.walMu.RUnlock()
+
+	db.mu.Lock()
+	for i := range ops {
+		kind := keys.KindSet
+		if ops[i].Delete {
+			kind = keys.KindDelete
+		}
+		db.mem.Insert(keys.InternalKey{User: append([]byte(nil), ops[i].Key...), Seq: base + uint64(i), Kind: kind},
+			append([]byte(nil), ops[i].Value...))
+	}
+	return db.maybeRotateLocked()
+}
+
+// MultiGet returns values positionally aligned with keys (nil = missing or
+// deleted), snapshotting the memtables once for the whole batch.
+func (db *DB) MultiGet(keyList [][]byte) ([][]byte, error) {
+	if db.closed.Load() {
+		return nil, fmt.Errorf("rocksish: closed")
+	}
+	db.mu.Lock()
+	mem, imm := db.mem, db.imm
+	db.mu.Unlock()
+
+	out := make([][]byte, len(keyList))
+	for i, key := range keyList {
+		if v, kind, ok := mem.Get(key, keys.MaxSeq); ok {
+			if kind != keys.KindDelete {
+				out[i] = v
+			}
+			continue
+		}
+		if imm != nil {
+			if v, kind, ok := imm.Get(key, keys.MaxSeq); ok {
+				if kind != keys.KindDelete {
+					out[i] = v
+				}
+				continue
+			}
+		}
+		v, kind, found, err := db.lsm.Get(key, keys.MaxSeq, device.Fg)
+		if err != nil {
+			return nil, err
+		}
+		if found && kind != keys.KindDelete {
+			out[i] = v
+		}
+	}
+	return out, nil
 }
 
 // FlushOnce flushes the immutable memtable if present. Serialised by

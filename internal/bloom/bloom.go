@@ -106,6 +106,9 @@ func (f *Filter) Capacity() uint64 { return f.capacity }
 // hotness tracker seals a window filter when this trips.
 func (f *Filter) Full() bool { return f.inserted >= f.capacity }
 
+// SizeBytes returns the bit-array footprint.
+func (f *Filter) SizeBytes() int64 { return int64(len(f.bits) * 8) }
+
 // FillRatio returns the fraction of set bits; useful to assert the FP rate
 // stayed in budget.
 func (f *Filter) FillRatio() float64 {

@@ -70,6 +70,26 @@ func (t *Map[V]) Get(k []byte) (V, bool) {
 	return zero, false
 }
 
+// Ref returns a pointer to the stored value for k, or nil if absent. It
+// lets an update-in-place caller pay one descent instead of Get+Set and
+// skip re-cloning the key. The pointer is invalidated by the next
+// structural change (any Set or Delete); callers must hold whatever lock
+// guards the tree for as long as they use it.
+func (t *Map[V]) Ref(k []byte) *V {
+	n := t.root
+	for n != nil {
+		i, ok := n.search(k)
+		if ok {
+			return &n.items[i].val
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+	return nil
+}
+
 // Set inserts or replaces the value for key k. The key slice is stored as
 // given; callers that reuse buffers must clone first.
 func (t *Map[V]) Set(k []byte, v V) {

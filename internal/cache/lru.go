@@ -7,8 +7,6 @@ package cache
 import (
 	"container/list"
 	"sync"
-
-	"hyperdb/internal/stats"
 )
 
 // entry is one cached item.
@@ -18,11 +16,15 @@ type entry struct {
 	charge int64
 }
 
-// shard is an independently locked LRU.
+// shard is an independently locked LRU. Hit/miss tallies live per shard,
+// under the lock Get already holds, so parallel readers never contend on a
+// shared counter cache line; Stats aggregates them on demand.
 type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
+	hits     uint64
+	misses   uint64
 	order    *list.List // front = most recent
 	items    map[string]*list.Element
 	onEvict  func(key string, value []byte)
@@ -31,8 +33,6 @@ type shard struct {
 // LRU is a sharded least-recently-used byte cache.
 type LRU struct {
 	shards []shard
-	hits   stats.Counter
-	misses stats.Counter
 }
 
 const nShards = 16
@@ -71,14 +71,14 @@ func (c *LRU) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	el, ok := s.items[key]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
-		c.misses.Inc()
 		return nil, false
 	}
 	s.order.MoveToFront(el)
 	v := el.Value.(*entry).value
+	s.hits++
 	s.mu.Unlock()
-	c.hits.Inc()
 	return v, true
 }
 
@@ -157,12 +157,21 @@ func (c *LRU) Len() int {
 
 // HitRate returns hits/(hits+misses) since creation, or 0 when unused.
 func (c *LRU) HitRate() float64 {
-	h, m := c.hits.Load(), c.misses.Load()
+	h, m := c.Stats()
 	if h+m == 0 {
 		return 0
 	}
 	return float64(h) / float64(h+m)
 }
 
-// Stats returns raw hit/miss counts.
-func (c *LRU) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }
+// Stats returns raw hit/miss counts summed across shards.
+func (c *LRU) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}

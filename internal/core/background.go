@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
 	"hyperdb/internal/semisst"
 	"hyperdb/internal/zone"
 )
@@ -67,11 +68,17 @@ func (db *DB) compactionWorker(p *partition) {
 func (db *DB) MigrationStep(pid int) error {
 	p := db.parts[pid]
 
-	// Drain the promotion queue (the in-memory object cache flush).
+	// Drain the promotion queue (the in-memory object cache flush). Buffers
+	// go back to the pool and their reserved slots free up whether or not
+	// the promotion succeeded.
 	for {
 		select {
 		case pr := <-p.promoCh:
-			if err := p.zones.Promote(pr.key, pr.value, pr.seq); err != nil {
+			err := p.zones.Promote(pr.key, pr.value, pr.seq)
+			pr.key, pr.value = pr.key[:0], pr.value[:0]
+			db.promoPool.Put(pr)
+			p.promoSlots.Add(1)
+			if err != nil {
 				return err
 			}
 			continue
@@ -130,9 +137,11 @@ func (db *DB) demoteZone(p *partition, z *zone.Zone) error {
 	}
 	entries := make([]semisst.Entry, 0, len(batch.Entries))
 	for _, e := range batch.Entries {
-		kind := kindOf(e.Tombstone)
+		// The batch already owns cloned key/value buffers (PrepareMigration
+		// detaches them) and the semi-SST copies whatever it retains, so the
+		// entries can borrow directly — no per-object key clone here.
 		entries = append(entries, semisst.Entry{
-			Key:   newInternalKey(e.Key, e.Seq, kind),
+			Key:   keys.InternalKey{User: e.Key, Seq: e.Seq, Kind: kindOf(e.Tombstone)},
 			Value: e.Value,
 		})
 	}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/zone"
+)
+
+// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
+// set (Value is ignored for deletes).
+type BatchOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// WriteBatch applies ops with batch-grouped amortisation: keys are grouped
+// per partition, each group takes the tracker and zone locks once, and the
+// whole batch draws a single sequence block. Ordering follows the slice —
+// duplicate keys resolve last-write-wins. The batch is not atomic across
+// partitions (each partition group is its own lock scope), matching the
+// paper's shared-nothing design; an error may leave a prefix applied.
+func (db *DB) WriteBatch(ops []BatchOp) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	// Validate everything up front so a malformed op can't strand a
+	// half-applied batch.
+	for i := range ops {
+		if len(ops[i].Key) == 0 {
+			return fmt.Errorf("hyperdb: empty key at batch index %d", i)
+		}
+	}
+
+	// One sequence block for the batch; op i carries base+i so slice order
+	// is sequence order and duplicates resolve last-write-wins.
+	n := uint64(len(ops))
+	base := db.seq.Add(n) - n + 1
+
+	// Group op indices per partition, preserving slice order within a group.
+	groups := make(map[*partition][]int, len(db.parts))
+	for i := range ops {
+		p := db.partFor(ops[i].Key)
+		groups[p] = append(groups[p], i)
+	}
+
+	for p, idxs := range groups {
+		keyList := make([][]byte, len(idxs))
+		for gi, i := range idxs {
+			keyList[gi] = ops[i].Key
+		}
+		hot := make([]bool, len(idxs))
+		p.tracker.RecordBatch(keyList, hot)
+
+		zops := make([]zone.BatchOp, len(idxs))
+		for gi, i := range idxs {
+			zops[gi] = zone.BatchOp{
+				Key:    ops[i].Key,
+				Value:  ops[i].Value,
+				Seq:    base + uint64(i),
+				Hot:    hot[gi],
+				Delete: ops[i].Delete,
+			}
+		}
+		rem := zops
+		applied, err := p.zones.ApplyBatch(rem)
+		rem = rem[applied:]
+		if errors.Is(err, device.ErrNoSpace) {
+			// Stall: demote synchronously and resume from the failed op,
+			// keeping the already-allocated sequences.
+			err = db.putStalled(p, func() error {
+				n, rerr := p.zones.ApplyBatch(rem)
+				rem = rem[n:]
+				return rerr
+			})
+		}
+		if err != nil {
+			return err
+		}
+		db.maybeTriggerMigration(p)
+	}
+	return nil
+}
+
+// MultiGet looks up every key and returns positionally aligned values; a
+// missing or deleted key yields nil (no ErrNotFound per key, so one cold key
+// doesn't fail the batch). Lookups are grouped per partition: one tracker
+// pass, one zone index-lock acquisition, and page reads shared across keys
+// that land on the same slot page. Hot capacity-tier hits are queued for
+// promotion exactly like Get.
+func (db *DB) MultiGet(keyList [][]byte) ([][]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	out := make([][]byte, len(keyList))
+	if len(keyList) == 0 {
+		return out, nil
+	}
+
+	groups := make(map[*partition][]int, len(db.parts))
+	for i, k := range keyList {
+		p := db.partFor(k)
+		groups[p] = append(groups[p], i)
+	}
+
+	for p, idxs := range groups {
+		gk := make([][]byte, len(idxs))
+		for gi, i := range idxs {
+			gk[gi] = keyList[i]
+		}
+		hot := make([]bool, len(idxs))
+		p.tracker.RecordBatch(gk, hot)
+
+		res, err := p.zones.GetBatch(gk, device.Fg)
+		if err != nil {
+			return nil, err
+		}
+		for gi, r := range res {
+			i := idxs[gi]
+			switch {
+			case r.Found && !r.Tombstone:
+				out[i] = r.Value
+			case r.Found: // tombstone: authoritative miss
+			default:
+				v, kind, found, err := p.tree.Get(gk[gi], keys.MaxSeq, device.Fg)
+				if err != nil {
+					return nil, err
+				}
+				if found && kind != keys.KindDelete {
+					out[i] = v
+					if hot[gi] {
+						db.enqueuePromotion(p, gk[gi], v)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -38,10 +38,15 @@ type partition struct {
 	tree    *lsm.Tree
 	tracker *hotness.Tracker
 
-	promoCh   chan promotion
-	wakeMig   chan struct{}
-	wakeComp  chan struct{}
-	promoDrop atomic.Uint64
+	promoCh chan *promotion
+	// promoSlots is the queue's free-slot semaphore: enqueuePromotion
+	// reserves a slot *before* copying the object, so overflow drops cost
+	// nothing, and a successful reservation guarantees the channel send
+	// cannot block (slots never exceed the channel capacity).
+	promoSlots atomic.Int64
+	wakeMig    chan struct{}
+	wakeComp   chan struct{}
+	promoDrop  atomic.Uint64
 }
 
 // DB is the HyperDB engine.
@@ -50,6 +55,10 @@ type DB struct {
 	cache *cache.LRU
 	parts []*partition
 	seq   atomic.Uint64
+
+	// promoPool recycles promotion buffers between enqueue and drain,
+	// keeping steady-state promotions allocation-free on the read path.
+	promoPool sync.Pool
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -87,6 +96,9 @@ func Open(opts Options) (*DB, error) {
 			BatchSize:   opts.MigrationBatch,
 			HotCapacity: hotCap,
 			PageCache:   db.cache,
+			// A quarter of the DRAM budget, split across partitions, goes
+			// to the zone tier's per-key value cache.
+			ValueCacheBytes: opts.CacheBytes / int64(4*opts.Partitions),
 		})
 		if err != nil {
 			return nil, err
@@ -115,10 +127,11 @@ func Open(opts Options) (*DB, error) {
 			zones:    zm,
 			tree:     tree,
 			tracker:  hotness.NewTracker(opts.Tracker),
-			promoCh:  make(chan promotion, opts.PromoteQueue),
+			promoCh:  make(chan *promotion, opts.PromoteQueue),
 			wakeMig:  make(chan struct{}, 1),
 			wakeComp: make(chan struct{}, 1),
 		}
+		part.promoSlots.Store(int64(opts.PromoteQueue))
 		db.parts = append(db.parts, part)
 	}
 	if !opts.DisableBackground {
@@ -144,6 +157,10 @@ func (db *DB) Close() error {
 // partFor routes a key to its partition by key-range.
 func (db *DB) partFor(key []byte) *partition {
 	p := uint64(len(db.parts))
+	if p == 1 {
+		// MaxUint64/1+1 would wrap to zero width.
+		return db.parts[0]
+	}
 	width := math.MaxUint64/p + 1
 	i := zone.Key64(key) / width
 	if i >= p {
@@ -166,12 +183,15 @@ func (db *DB) Put(key, value []byte) error {
 	}
 	p := db.partFor(key)
 	hot := p.tracker.Record(key)
-	err := p.zones.Put(key, value, db.nextSeq(), hot, false)
+	// One sequence per logical write, even across stall retries, so the
+	// crash tests' seq-based uncertainty windows stay tight.
+	seq := db.nextSeq()
+	err := p.zones.Put(key, value, seq, hot, false)
 	if errors.Is(err, device.ErrNoSpace) {
 		// Background demotion lagged behind the write rate: migrate
 		// synchronously (the write-stall analogue) and retry.
 		err = db.putStalled(p, func() error {
-			return p.zones.Put(key, value, db.nextSeq(), hot, false)
+			return p.zones.Put(key, value, seq, hot, false)
 		})
 	}
 	if err != nil {
@@ -231,10 +251,11 @@ func (db *DB) Delete(key []byte) error {
 	}
 	p := db.partFor(key)
 	p.tracker.Record(key)
-	err := p.zones.Delete(key, db.nextSeq())
+	seq := db.nextSeq()
+	err := p.zones.Delete(key, seq)
 	if errors.Is(err, device.ErrNoSpace) {
 		err = db.putStalled(p, func() error {
-			return p.zones.Delete(key, db.nextSeq())
+			return p.zones.Delete(key, seq)
 		})
 	}
 	if err != nil {
@@ -279,18 +300,26 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 
 // enqueuePromotion hands a hot capacity-tier object to the partition's
 // object cache for asynchronous promotion. Best-effort: overflow drops.
+// The slot is reserved before the object is copied, so a drop costs two
+// atomic ops and no allocation, and the buffers come from a pool so
+// steady-state promotion enqueues allocate nothing.
 func (db *DB) enqueuePromotion(p *partition, key, value []byte) {
-	pr := promotion{
-		key:   append([]byte(nil), key...),
-		value: append([]byte(nil), value...),
-		seq:   db.nextSeq(),
-	}
-	select {
-	case p.promoCh <- pr:
-		db.wake(p.wakeMig)
-	default:
+	if p.promoSlots.Add(-1) < 0 {
+		p.promoSlots.Add(1)
 		p.promoDrop.Add(1)
+		return
 	}
+	pr, _ := db.promoPool.Get().(*promotion)
+	if pr == nil {
+		pr = &promotion{}
+	}
+	pr.key = append(pr.key[:0], key...)
+	pr.value = append(pr.value[:0], value...)
+	pr.seq = db.nextSeq()
+	// Cannot block: every send holds a reserved slot and the channel's
+	// capacity equals the slot count.
+	p.promoCh <- pr
+	db.wake(p.wakeMig)
 }
 
 func (db *DB) wake(ch chan struct{}) {

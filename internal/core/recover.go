@@ -48,6 +48,9 @@ func Recover(opts Options) (*DB, error) {
 			BatchSize:   opts.MigrationBatch,
 			HotCapacity: hotCap,
 			PageCache:   db.cache,
+			// A quarter of the DRAM budget, split across partitions, goes
+			// to the zone tier's per-key value cache.
+			ValueCacheBytes: opts.CacheBytes / int64(4*opts.Partitions),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("hyperdb: recover partition %d zones: %w", i, err)
@@ -83,10 +86,11 @@ func Recover(opts Options) (*DB, error) {
 			zones:    zm,
 			tree:     tree,
 			tracker:  hotness.NewTracker(opts.Tracker),
-			promoCh:  make(chan promotion, opts.PromoteQueue),
+			promoCh:  make(chan *promotion, opts.PromoteQueue),
 			wakeMig:  make(chan struct{}, 1),
 			wakeComp: make(chan struct{}, 1),
 		}
+		part.promoSlots.Store(int64(opts.PromoteQueue))
 		db.parts = append(db.parts, part)
 	}
 	db.seq.Store(maxSeq)

@@ -16,11 +16,6 @@ func kindOf(tombstone bool) keys.Kind {
 	return keys.KindSet
 }
 
-// newInternalKey builds an internal key that owns its user-key bytes.
-func newInternalKey(user []byte, seq uint64, kind keys.Kind) keys.InternalKey {
-	return keys.InternalKey{User: append([]byte(nil), user...), Seq: seq, Kind: kind}
-}
-
 // KV is one scan result.
 type KV struct {
 	Key   []byte

@@ -44,11 +44,15 @@ type Device struct {
 	counters stats.TrafficCounters
 	faults   atomic.Pointer[faultState]
 
-	mu        sync.Mutex
-	usedPages int64
+	// usedPages and closed are atomic so the capacity ledger and watermark
+	// checks (UsedFraction on every foreground write) never contend with
+	// namespace operations; mu guards only the files map.
+	usedPages atomic.Int64
 	maxPages  int64 // 0 = unbounded
-	files     map[string]*File
-	closed    bool
+	closed    atomic.Bool
+
+	mu    sync.Mutex
+	files map[string]*File
 }
 
 // New creates a device with the given profile.
@@ -85,11 +89,10 @@ func (d *Device) Counters() *stats.TrafficCounters { return &d.counters }
 // Capacity returns the configured capacity in bytes (0 = unbounded).
 func (d *Device) Capacity() int64 { return d.profile.Capacity }
 
-// Used returns the currently allocated bytes.
+// Used returns the currently allocated bytes. A single atomic load: safe on
+// the per-op watermark-check path.
 func (d *Device) Used() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.usedPages * int64(d.profile.PageSize)
+	return d.usedPages.Load() * int64(d.profile.PageSize)
 }
 
 // UsedFraction returns Used/Capacity, or 0 for unbounded devices.
@@ -114,31 +117,42 @@ func (d *Device) Utilization() float64 {
 // ResetUtilization restarts the utilisation measurement window.
 func (d *Device) ResetUtilization() { d.throttle.resetBusy() }
 
-// allocPages reserves n pages, failing with ErrNoSpace past capacity.
+// allocPages reserves n pages, failing with ErrNoSpace past capacity. The
+// bounded case is a CAS loop so concurrent allocations can never oversubscribe
+// the ledger.
 func (d *Device) allocPages(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("device: negative allocation %d", n)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
-	if d.maxPages > 0 && d.usedPages+n > d.maxPages {
-		return fmt.Errorf("%w (%s: %d used + %d requested of %d pages)",
-			ErrNoSpace, d.profile.Name, d.usedPages, n, d.maxPages)
+	if d.maxPages <= 0 {
+		d.usedPages.Add(n)
+		return nil
 	}
-	d.usedPages += n
-	return nil
+	for {
+		used := d.usedPages.Load()
+		if used+n > d.maxPages {
+			return fmt.Errorf("%w (%s: %d used + %d requested of %d pages)",
+				ErrNoSpace, d.profile.Name, used, n, d.maxPages)
+		}
+		if d.usedPages.CompareAndSwap(used, used+n) {
+			return nil
+		}
+	}
 }
 
 // freePages returns n pages to the ledger.
 func (d *Device) freePages(n int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.usedPages -= n
-	if d.usedPages < 0 {
-		d.usedPages = 0
+	if d.usedPages.Add(-n) < 0 {
+		// Clamp: double-free accounting bugs shouldn't manufacture capacity.
+		for {
+			used := d.usedPages.Load()
+			if used >= 0 || d.usedPages.CompareAndSwap(used, 0) {
+				return
+			}
+		}
 	}
 }
 
@@ -192,11 +206,11 @@ func max64(a, b int64) int64 {
 
 // Create makes a new empty file. It fails if the name exists.
 func (d *Device) Create(name string) (*File, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return nil, ErrClosed
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.files[name]; ok {
 		return nil, fmt.Errorf("device: file %q exists", name)
 	}
@@ -207,11 +221,11 @@ func (d *Device) Create(name string) (*File, error) {
 
 // Open returns an existing file by name.
 func (d *Device) Open(name string) (*File, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return nil, ErrClosed
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f, ok := d.files[name]
 	if !ok {
 		return nil, fmt.Errorf("device: file %q not found", name)
@@ -248,7 +262,5 @@ func (d *Device) List() []string {
 // Close marks the device closed. Outstanding files remain readable so that
 // shutdown paths can drain, but new allocation fails.
 func (d *Device) Close() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.closed = true
+	d.closed.Store(true)
 }

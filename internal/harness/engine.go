@@ -23,11 +23,25 @@ type KV struct {
 	Value []byte
 }
 
-// Engine is the uniform interface the runner drives.
+// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
+// set.
+type BatchOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Engine is the uniform interface the runner drives. Every engine also
+// implements the batch calls so figures comparing batched throughput stay
+// apples-to-apples.
 type Engine interface {
 	Put(key, value []byte) error
 	Get(key []byte) ([]byte, error)
 	Delete(key []byte) error
+	// WriteBatch applies ops in slice order (last-write-wins duplicates).
+	WriteBatch(ops []BatchOp) error
+	// MultiGet returns values aligned with keys; nil marks a miss.
+	MultiGet(keys [][]byte) ([][]byte, error)
 	Scan(start []byte, limit int) ([]KV, error)
 	Drain() error
 	Close() error
@@ -201,6 +215,16 @@ func (a *hyperAdapter) Get(k []byte) ([]byte, error) {
 	}
 	return v, err
 }
+func (a *hyperAdapter) WriteBatch(ops []BatchOp) error {
+	hops := make([]hyperdb.BatchOp, len(ops))
+	for i, op := range ops {
+		hops[i] = hyperdb.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	return a.db.WriteBatch(hops)
+}
+func (a *hyperAdapter) MultiGet(keys [][]byte) ([][]byte, error) {
+	return a.db.MultiGet(keys)
+}
 func (a *hyperAdapter) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := a.db.Scan(start, limit)
 	if err != nil {
@@ -236,6 +260,16 @@ func (a *rocksAdapter) Get(k []byte) ([]byte, error) {
 	}
 	return v, err
 }
+func (a *rocksAdapter) WriteBatch(ops []BatchOp) error {
+	rops := make([]rocksish.BatchOp, len(ops))
+	for i, op := range ops {
+		rops[i] = rocksish.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	return a.db.WriteBatch(rops)
+}
+func (a *rocksAdapter) MultiGet(keys [][]byte) ([][]byte, error) {
+	return a.db.MultiGet(keys)
+}
 func (a *rocksAdapter) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := a.db.Scan(start, limit)
 	if err != nil {
@@ -262,6 +296,16 @@ func (a *prismAdapter) Get(k []byte) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	return v, err
+}
+func (a *prismAdapter) WriteBatch(ops []BatchOp) error {
+	pops := make([]prismish.BatchOp, len(ops))
+	for i, op := range ops {
+		pops[i] = prismish.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	return a.db.WriteBatch(pops)
+}
+func (a *prismAdapter) MultiGet(keys [][]byte) ([][]byte, error) {
+	return a.db.MultiGet(keys)
 }
 func (a *prismAdapter) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := a.db.Scan(start, limit)

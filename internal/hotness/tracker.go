@@ -6,10 +6,18 @@
 // appears in at least HotThreshold *consecutive* sealed filters — i.e. its
 // access interval stayed below the window size for several windows in a row,
 // which (Fig. 6a) strongly predicts the next access will come soon as well.
+//
+// The tracker sits on the foreground path of every Put/Get/Delete, so it is
+// built to scale with concurrent clients: the open window is striped by key
+// hash (each stripe owns an independently locked bloom filter), sealed
+// windows are immutable and published through an atomic.Pointer snapshot,
+// and sealing is single-writer. Record touches exactly one stripe mutex;
+// IsHot and the hotness half of Record take no locks at all.
 package hotness
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hyperdb/internal/bloom"
 )
@@ -27,6 +35,10 @@ type Config struct {
 	// HotThreshold is the consecutive-window count that classifies a key as
 	// hot (paper: 3).
 	HotThreshold int
+	// Stripes overrides the open window's stripe count (0 = derive from
+	// WindowCapacity, capped at 16). Stripes trade a little per-stripe
+	// filter slack for contention-free concurrent Records.
+	Stripes int
 }
 
 // Fill applies the paper's defaults to unset fields.
@@ -46,57 +58,169 @@ func (c *Config) Fill() {
 	if c.HotThreshold > c.MaxFilters {
 		c.HotThreshold = c.MaxFilters
 	}
+	if c.Stripes <= 0 {
+		// Keep every stripe's expected share large enough that the per-stripe
+		// filter stays accurate under hash imbalance; tiny (test-sized)
+		// windows degenerate to a single stripe.
+		c.Stripes = c.WindowCapacity / 512
+		if c.Stripes > 16 {
+			c.Stripes = 16
+		}
+		if c.Stripes < 1 {
+			c.Stripes = 1
+		}
+	}
+}
+
+// stripe is one independently locked slice of the open window.
+type stripe struct {
+	mu   sync.Mutex
+	open *bloom.Filter
+	_    [40]byte // pad to a cache line; stripes sit in one slice
+}
+
+// window is one sealed discriminator window: the stripes' filters, frozen.
+// Windows are immutable after sealing, so readers need no locks.
+type window struct {
+	stripes []*bloom.Filter
+}
+
+// contains reports whether key (in stripe si) was recorded in the window.
+func (w *window) contains(si int, key []byte) bool {
+	return w.stripes[si].Contains(key)
 }
 
 // Tracker is one partition's cascading discriminator. Safe for concurrent
-// use.
+// use: Record takes one stripe mutex, IsHot takes none.
 type Tracker struct {
-	mu     sync.Mutex
-	cfg    Config
-	open   *bloom.Filter
-	sealed []*bloom.Filter // sealed[0] = oldest
-	seals  uint64
+	cfg       Config
+	stripeCap int   // distinct-key capacity of each stripe's filter
+	perWindow int64 // memory footprint of one window's filters
+
+	stripes  []stripe
+	inserted atomic.Int64 // distinct inserts into the open window
+	seals    atomic.Uint64
+
+	sealMu  sync.Mutex                // serialises window rotation
+	cascade atomic.Pointer[[]*window] // sealed windows, oldest first
 }
 
 // NewTracker returns a tracker with cfg (zero fields take paper defaults).
 func NewTracker(cfg Config) *Tracker {
 	cfg.Fill()
-	return &Tracker{
-		cfg:  cfg,
-		open: bloom.New(cfg.WindowCapacity, cfg.BitsPerKey),
+	// 25% slack absorbs hash imbalance across stripes without inflating the
+	// false-positive rate of the busier stripes.
+	per := (cfg.WindowCapacity + cfg.Stripes - 1) / cfg.Stripes
+	per += per / 4
+	t := &Tracker{
+		cfg:       cfg,
+		stripeCap: per,
+		stripes:   make([]stripe, cfg.Stripes),
 	}
+	for i := range t.stripes {
+		t.stripes[i].open = bloom.New(per, cfg.BitsPerKey)
+		t.perWindow += t.stripes[i].open.SizeBytes()
+	}
+	return t
+}
+
+// stripeFor hashes key to its stripe index (FNV-1a, mixed away from the
+// filter's own probe bits).
+func (t *Tracker) stripeFor(key []byte) int {
+	if len(t.stripes) == 1 {
+		return 0
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return int((h >> 17) % uint64(len(t.stripes)))
 }
 
 // Record notes one access to key and returns whether the key is now
 // classified hot. This is the single call sites make on every read/update.
 func (t *Tracker) Record(key []byte) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.open.Add(key)
-	if t.open.Full() {
-		t.sealed = append(t.sealed, t.open)
-		t.seals++
-		if len(t.sealed) > t.cfg.MaxFilters {
-			t.sealed = t.sealed[1:]
-		}
-		t.open = bloom.New(t.cfg.WindowCapacity, t.cfg.BitsPerKey)
+	si := t.stripeFor(key)
+	st := &t.stripes[si]
+	st.mu.Lock()
+	changed := st.open.Add(key)
+	st.mu.Unlock()
+	if changed && t.inserted.Add(1) >= int64(t.cfg.WindowCapacity) {
+		t.seal()
 	}
-	return t.isHotLocked(key)
+	return t.isHotIn(si, key)
 }
 
-// IsHot classifies key without recording an access.
+// RecordBatch records every key and fills hot[i] with key i's resulting
+// classification. One seal check covers the whole batch, and the distinct-key
+// counter is bumped once instead of per key.
+func (t *Tracker) RecordBatch(keys [][]byte, hot []bool) {
+	var added int64
+	for _, k := range keys {
+		st := &t.stripes[t.stripeFor(k)]
+		st.mu.Lock()
+		if st.open.Add(k) {
+			added++
+		}
+		st.mu.Unlock()
+	}
+	if added > 0 && t.inserted.Add(added) >= int64(t.cfg.WindowCapacity) {
+		t.seal()
+	}
+	for i, k := range keys {
+		hot[i] = t.isHotIn(t.stripeFor(k), k)
+	}
+}
+
+// seal rotates the open window onto the cascade. Single-writer: concurrent
+// callers queue on sealMu and all but the first observe the reset counter
+// and leave. Stripe filters collected under their own locks are immutable
+// from then on, which is what lets readers scan the cascade lock-free.
+func (t *Tracker) seal() {
+	t.sealMu.Lock()
+	defer t.sealMu.Unlock()
+	if t.inserted.Load() < int64(t.cfg.WindowCapacity) {
+		return // another sealer already rotated this window
+	}
+	w := &window{stripes: make([]*bloom.Filter, len(t.stripes))}
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		w.stripes[i] = st.open
+		st.open = bloom.New(t.stripeCap, t.cfg.BitsPerKey)
+		st.mu.Unlock()
+	}
+	t.inserted.Store(0)
+	var ws []*window
+	if old := t.cascade.Load(); old != nil {
+		ws = append(ws, *old...)
+	}
+	ws = append(ws, w)
+	if len(ws) > t.cfg.MaxFilters {
+		ws = ws[len(ws)-t.cfg.MaxFilters:]
+	}
+	t.cascade.Store(&ws)
+	t.seals.Add(1)
+}
+
+// IsHot classifies key without recording an access. Lock-free.
 func (t *Tracker) IsHot(key []byte) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.isHotLocked(key)
+	return t.isHotIn(t.stripeFor(key), key)
 }
 
-// isHotLocked scans the sealed cascade newest→oldest for a run of
-// consecutive hits of at least HotThreshold.
-func (t *Tracker) isHotLocked(key []byte) bool {
+// isHotIn scans the sealed cascade newest→oldest for a run of consecutive
+// hits of at least HotThreshold, against an atomic snapshot.
+func (t *Tracker) isHotIn(si int, key []byte) bool {
+	c := t.cascade.Load()
+	if c == nil {
+		return false
+	}
+	ws := *c
 	run := 0
-	for i := len(t.sealed) - 1; i >= 0; i-- {
-		if t.sealed[i].Contains(key) {
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i].contains(si, key) {
 			run++
 			if run >= t.cfg.HotThreshold {
 				return true
@@ -110,32 +234,33 @@ func (t *Tracker) isHotLocked(key []byte) bool {
 
 // SealedWindows returns how many filters have ever been sealed; experiments
 // use it to confirm window turnover.
-func (t *Tracker) SealedWindows() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.seals
-}
+func (t *Tracker) SealedWindows() uint64 { return t.seals.Load() }
 
-// CascadeDepth returns the current number of sealed filters (≤ MaxFilters).
+// CascadeDepth returns the current number of sealed windows (≤ MaxFilters).
 func (t *Tracker) CascadeDepth() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.sealed)
+	c := t.cascade.Load()
+	if c == nil {
+		return 0
+	}
+	return len(*c)
 }
 
 // MemoryBytes estimates the tracker's footprint, demonstrating the "low
-// memory overhead" claim: MaxFilters+1 filters × capacity × bits/key / 8.
+// memory overhead" claim: (sealed windows + the open one) × window size.
 func (t *Tracker) MemoryBytes() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	per := int64(t.cfg.WindowCapacity) * int64(t.cfg.BitsPerKey) / 8
-	return per * int64(len(t.sealed)+1)
+	return t.perWindow * int64(t.CascadeDepth()+1)
 }
 
 // Reset drops all state, reopening an empty window.
 func (t *Tracker) Reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.open = bloom.New(t.cfg.WindowCapacity, t.cfg.BitsPerKey)
-	t.sealed = nil
+	t.sealMu.Lock()
+	defer t.sealMu.Unlock()
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		st.open = bloom.New(t.stripeCap, t.cfg.BitsPerKey)
+		st.mu.Unlock()
+	}
+	t.inserted.Store(0)
+	t.cascade.Store(nil)
 }

@@ -2,6 +2,7 @@ package zone
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -47,11 +48,18 @@ type Config struct {
 	Classes []int
 	// PageCache, if set, caches slot pages for reads.
 	PageCache cache.BlockCache
+	// ValueCacheBytes budgets the per-partition value cache, which keeps
+	// the newest written value per key so point reads skip the page cache
+	// and device entirely. 0 picks a default; negative disables it.
+	ValueCacheBytes int64
 }
 
 func (c *Config) fill() {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 4 << 20
+	}
+	if c.ValueCacheBytes == 0 {
+		c.ValueCacheBytes = 8 << 20
 	}
 	if c.HotCapacity <= 0 {
 		c.HotCapacity = c.BatchSize * 4
@@ -93,6 +101,16 @@ type Manager struct {
 	hot       *Zone
 	nextZone  uint32
 
+	// vcache maps user key → newest written value, so point reads of
+	// recently written (or promoted) objects skip the page cache and the
+	// device. Entries are validated against the index entry's sequence on
+	// every read, which makes stale entries (relocations, migrations,
+	// racing writers) unservable rather than wrong. Writers mutate entries
+	// in place under mu, reusing value buffers, so readers must finish
+	// cloning before releasing mu.RLock.
+	vcache      map[string]*valueEnt
+	vcacheBytes int64
+
 	migrations         stats.Counter
 	migratedObjects    stats.Counter
 	migrationPageReads stats.Counter
@@ -110,6 +128,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		index:    btree.New[Location](),
 		zoneByID: make(map[uint32]*Zone),
 		nextZone: 1,
+		vcache:   make(map[string]*valueEnt),
 	}
 	for _, cls := range cfg.Classes {
 		sf, err := newSlotFile(cfg.Dev, fmt.Sprintf("p%d-slab%d", cfg.Partition, cls), cls)
@@ -263,8 +282,16 @@ func (m *Manager) dropLocation(loc Location) {
 	sf.bytes -= int64(loc.Size)
 }
 
+// cacheKey builds the page-cache key without fmt (it sits on every Get). The
+// leading 'Z' plus binary layout keeps zone keys disjoint from the printable
+// keys other cache users build.
 func (m *Manager) cacheKey(c int, page uint32) string {
-	return fmt.Sprintf("p%dc%d#%d", m.cfg.Partition, c, page)
+	var b [10]byte
+	b[0] = 'Z'
+	binary.LittleEndian.PutUint32(b[1:], uint32(m.cfg.Partition))
+	b[5] = byte(c)
+	binary.LittleEndian.PutUint32(b[6:], page)
+	return string(b[:])
 }
 
 func (m *Manager) invalidateCache(c int, page uint32) {
@@ -273,24 +300,83 @@ func (m *Manager) invalidateCache(c int, page uint32) {
 	}
 }
 
+// valueEnt is one value-cache entry. Writers overwrite seq and val in place
+// (holding mu), so the common same-size update costs one map probe, one
+// small copy, and no allocation.
+type valueEnt struct {
+	seq uint64
+	val []byte
+}
+
+// vcacheEntOverhead approximates per-entry bookkeeping (map cell, header).
+const vcacheEntOverhead = 64
+
+// vcacheStore publishes key's newest value. Caller holds mu. When over
+// budget it evicts map-iteration-order (pseudo-random) victims first; an
+// entry larger than the whole budget is simply not cached.
+func (m *Manager) vcacheStore(key []byte, seq uint64, value []byte) {
+	if m.cfg.ValueCacheBytes <= 0 {
+		return
+	}
+	if e, ok := m.vcache[string(key)]; ok {
+		if len(e.val) == len(value) {
+			e.seq = seq
+			copy(e.val, value)
+			return
+		}
+		m.vcacheBytes += int64(len(value)) - int64(len(e.val))
+		e.seq, e.val = seq, bytes.Clone(value)
+		return
+	}
+	need := int64(len(key)+len(value)) + vcacheEntOverhead
+	for m.vcacheBytes+need > m.cfg.ValueCacheBytes && len(m.vcache) > 0 {
+		for k, e := range m.vcache {
+			delete(m.vcache, k)
+			m.vcacheBytes -= int64(len(k)+len(e.val)) + vcacheEntOverhead
+			break
+		}
+	}
+	if m.vcacheBytes+need > m.cfg.ValueCacheBytes {
+		return
+	}
+	m.vcache[string(key)] = &valueEnt{seq: seq, val: bytes.Clone(value)}
+	m.vcacheBytes += need
+}
+
+// vcacheDelete drops key's entry. Caller holds mu. Sequence validation
+// already makes stale entries unservable; this just reclaims the budget.
+func (m *Manager) vcacheDelete(key []byte) {
+	if e, ok := m.vcache[string(key)]; ok {
+		delete(m.vcache, string(key))
+		m.vcacheBytes -= int64(len(key)+len(e.val)) + vcacheEntOverhead
+	}
+}
+
 // Put writes key=value at sequence seq. hot routes the object to the hot
 // zone (tracker-classified or promoted). promoted marks a copy of
 // capacity-tier data. Charges one random page write, plus a tombstone write
 // when the object relocates between slots (§3.2).
 func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.putLocked(key, value, seq, hot, promoted)
+}
+
+// putLocked is Put's body; the caller holds mu. ApplyBatch uses it to apply
+// a whole partition group under one lock acquisition.
+func (m *Manager) putLocked(key, value []byte, seq uint64, hot, promoted bool) error {
 	need := slotHeaderSize + len(key) + len(value)
 	c := classFor(m.cfg.Classes, need)
 	if c < 0 {
 		return ErrTooLarge
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	if old, ok := m.index.Get(key); ok {
+	if ref := m.index.Ref(key); ref != nil {
+		old := *ref
 		oldZone, zoneLive := m.zoneByID[old.ZoneID]
 		if zoneLive && int(old.Class) == c && !old.Tombstone {
-			// In-place update: same slot, one page write.
+			// In-place update: same slot, one page write. The index entry
+			// mutates through ref — no second descent, no key re-clone.
 			sf := m.slotFiles[c]
 			if err := sf.writeSlot(old.Page, old.Slot, seq, false, key, value, device.Fg); err != nil {
 				return err
@@ -299,8 +385,8 @@ func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
 			size := int32(need)
 			oldZone.bytes += int64(size) - int64(old.Size)
 			sf.bytes += int64(size) - int64(old.Size)
-			old.Seq, old.Size, old.Promoted = seq, size, false
-			m.index.Set(bytes.Clone(key), old)
+			ref.Seq, ref.Size, ref.Promoted = seq, size, false
+			m.vcacheStore(key, seq, value)
 			m.inPlaceUpdates.Inc()
 			return nil
 		}
@@ -308,6 +394,8 @@ func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
 		// then leave a tombstone at the old location (§3.2). Writing the
 		// value before the tombstone keeps recovery safe: a crash between
 		// the two leaves two versions and the newer one wins the scan.
+		// writeObject and Set below may restructure the tree, so only the
+		// copy in old is used from here on.
 		z := m.hot
 		if !hot {
 			k64 := Key64(key)
@@ -320,6 +408,7 @@ func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
 			return err
 		}
 		m.index.Set(bytes.Clone(key), loc)
+		m.vcacheStore(key, seq, value)
 		if zoneLive {
 			sf := m.slotFiles[old.Class]
 			if err := sf.writeSlot(old.Page, old.Slot, seq, true, key, nil, device.Fg); err != nil {
@@ -344,20 +433,28 @@ func (m *Manager) Put(key, value []byte, seq uint64, hot, promoted bool) error {
 		return err
 	}
 	m.index.Set(bytes.Clone(key), loc)
+	m.vcacheStore(key, seq, value)
 	return nil
 }
 
 // Delete writes a tombstone for key. The tombstone occupies a small slot and
 // migrates to the capacity tier like any object, deleting the key there.
 func (m *Manager) Delete(key []byte, seq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deleteLocked(key, seq)
+}
+
+// deleteLocked is Delete's body; the caller holds mu.
+func (m *Manager) deleteLocked(key []byte, seq uint64) error {
 	c := classFor(m.cfg.Classes, slotHeaderSize+len(key))
 	if c < 0 {
 		return ErrTooLarge
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 
-	if old, ok := m.index.Get(key); ok {
+	m.vcacheDelete(key)
+	if ref := m.index.Ref(key); ref != nil {
+		old := *ref
 		if z, live := m.zoneByID[old.ZoneID]; live {
 			// Overwrite the existing slot with the tombstone: cheaper than
 			// allocating, and mandatory for recovery — a released slot
@@ -372,8 +469,7 @@ func (m *Manager) Delete(key []byte, seq uint64) error {
 			size := int32(slotHeaderSize + len(key))
 			z.bytes += int64(size) - int64(old.Size)
 			sf.bytes += int64(size) - int64(old.Size)
-			old.Seq, old.Size, old.Tombstone, old.Promoted = seq, size, true, false
-			m.index.Set(bytes.Clone(key), old)
+			ref.Seq, ref.Size, ref.Tombstone, ref.Promoted = seq, size, true, false
 			return nil
 		}
 	}
@@ -404,6 +500,15 @@ func (m *Manager) Get(key []byte, op device.Op) (value []byte, seq uint64, tombs
 		m.mu.RUnlock()
 		return nil, loc.Seq, true, true, nil
 	}
+	// Value cache: one zero-allocation map probe while the read lock is
+	// already held. A hit whose sequence matches the index entry is the
+	// newest version by construction. Writers reuse value buffers in
+	// place, so the clone must complete before the lock is released.
+	if e, ok := m.vcache[string(key)]; ok && e.seq == loc.Seq {
+		v := bytes.Clone(e.val)
+		m.mu.RUnlock()
+		return v, loc.Seq, false, true, nil
+	}
 	z := m.zoneByID[loc.ZoneID]
 	sf := m.slotFiles[loc.Class]
 	ck := m.cacheKey(int(loc.Class), loc.Page)
@@ -431,9 +536,7 @@ func (m *Manager) Get(key []byte, op device.Op) (value []byte, seq uint64, tombs
 		m.cfg.PageCache.Put(ck, page)
 	}
 	if z != nil && !op.Background {
-		m.mu.Lock()
-		z.readIOs++
-		m.mu.Unlock()
+		z.readIOs.Add(1)
 	}
 	_, tomb, k, v, err := sf.decodeSlotInPage(page, loc.Slot)
 	if err != nil || !bytes.Equal(k, key) {
@@ -469,6 +572,7 @@ func (m *Manager) Promote(key, value []byte, seq uint64) error {
 		return err
 	}
 	m.index.Set(bytes.Clone(key), loc)
+	m.vcacheStore(key, seq, value)
 	return nil
 }
 

@@ -26,6 +26,7 @@ func Recover(cfg Config) (*Manager, uint64, error) {
 		cfg:      cfg,
 		zoneByID: make(map[uint32]*Zone),
 		nextZone: 1,
+		vcache:   make(map[string]*valueEnt),
 	}
 	m.index = btree.New[Location]()
 	for _, cls := range cfg.Classes {
@@ -47,6 +48,7 @@ func Recover(cfg Config) (*Manager, uint64, error) {
 		}
 		m.slotFiles = append(m.slotFiles, &slotFile{
 			f: f, slotSize: cls, pageSize: ps, slotsPerPage: spp,
+			scratch: make([]byte, cls),
 		})
 	}
 	m.hot = newZone(0, 0, ^uint64(0), true, len(cfg.Classes))

@@ -94,6 +94,9 @@ type slotFile struct {
 	slotsPerPage int
 	nextPage     uint32
 	freePages    []uint32
+	// scratch is the reusable writeSlot encode buffer. All writers hold the
+	// manager's write lock, and File.WriteAt copies before returning.
+	scratch []byte
 	// Aggregate fill statistics for Eq. 1 (average object size O_k).
 	objects int64
 	bytes   int64
@@ -109,7 +112,10 @@ func newSlotFile(dev *device.Device, name string, slotSize int) (*slotFile, erro
 	if spp < 1 {
 		spp = 1
 	}
-	return &slotFile{f: f, slotSize: slotSize, pageSize: ps, slotsPerPage: spp}, nil
+	return &slotFile{
+		f: f, slotSize: slotSize, pageSize: ps, slotsPerPage: spp,
+		scratch: make([]byte, slotSize),
+	}, nil
 }
 
 // allocPage returns a page index, reusing freed (hole-punched) pages first.
@@ -147,8 +153,13 @@ func (sf *slotFile) slotOffset(p uint32, s uint16) int64 {
 // writeSlot stores an encoded object into (page, slot), charging one random
 // page write.
 func (sf *slotFile) writeSlot(p uint32, s uint16, ts uint64, tombstone bool, k, v []byte, op device.Op) error {
-	buf := make([]byte, sf.slotSize)
+	buf := sf.scratch
 	encodeSlot(buf, ts, tombstone, k, v)
+	// Zero only the tail past the payload: the encode overwrote the head,
+	// and stale bytes from a previous (longer) occupant must not persist.
+	for i := slotHeaderSize + len(k) + len(v); i < len(buf); i++ {
+		buf[i] = 0
+	}
 	return sf.f.WriteAt(buf, sf.slotOffset(p, s), op)
 }
 

@@ -3,6 +3,7 @@ package zone
 import (
 	"encoding/binary"
 	"math"
+	"sync/atomic"
 )
 
 // Key64 maps a user key to its position in the 64-bit prefix keyspace used
@@ -44,7 +45,9 @@ type Zone struct {
 
 	objects int64
 	bytes   int64 // payload bytes stored (the demotion benefit)
-	readIOs int64 // foreground page reads since the last migration
+	// readIOs is atomic: Get bumps it after a cache miss without re-taking
+	// the manager lock, keeping the read path lock-free past the index lookup.
+	readIOs atomic.Int64 // foreground page reads since the last migration
 }
 
 func newZone(id uint32, lo, hi uint64, hot bool, nClasses int) *Zone {
@@ -87,7 +90,7 @@ func (z *Zone) Bytes() int64 { return z.bytes }
 func (z *Zone) Objects() int64 { return z.objects }
 
 // ReadIOs returns foreground page reads since the last migration reset.
-func (z *Zone) ReadIOs() int64 { return z.readIOs }
+func (z *Zone) ReadIOs() int64 { return z.readIOs.Load() }
 
 // ID returns the zone's identifier.
 func (z *Zone) ID() uint32 { return z.id }
@@ -99,7 +102,7 @@ func (z *Zone) Hot() bool { return z.hot }
 // migration costs, discounted by recent foreground reads so actively read
 // zones stay resident. Higher is a better demotion victim.
 func (z *Zone) Score() float64 {
-	cost := float64(z.PageCount()) + float64(z.readIOs)
+	cost := float64(z.PageCount()) + float64(z.readIOs.Load())
 	if cost == 0 {
 		return 0
 	}
