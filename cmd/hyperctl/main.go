@@ -3,13 +3,24 @@
 // engine's internal state — zones per partition, LSM level occupancy,
 // per-tier traffic, cache efficiency — the view an operator would use to
 // understand where data lives and what the background tasks are doing.
+// It also speaks the wire protocol to a running hyperd.
 //
-// Subcommands:
+// Local subcommands (in-process instance):
 //
 //	hyperctl demo    [-records N] [-ops N] [-skew T]   load + inspect
 //	hyperctl devices                                    print device profiles
 //	hyperctl trace   [-seconds S]                       bandwidth timeline
 //	hyperctl recover [-records N]                       crash + recovery demo
+//
+// Remote subcommands (against hyperd, all take -addr):
+//
+//	hyperctl ping
+//	hyperctl put  <key> <value>
+//	hyperctl get  <key>
+//	hyperctl del  <key>
+//	hyperctl scan [-limit N] [start]
+//	hyperctl stats
+//	hyperctl badframe      send deliberately malformed bytes (protocol test)
 package main
 
 import (
@@ -38,6 +49,8 @@ func main() {
 		trace(os.Args[2:])
 	case "recover":
 		recoverDemo(os.Args[2:])
+	case "ping", "put", "get", "del", "scan", "stats", "badframe":
+		remote(os.Args[1], os.Args[2:])
 	default:
 		usage()
 	}
@@ -99,7 +112,7 @@ func recoverDemo(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|del|scan|stats|badframe> [flags]")
 	os.Exit(2)
 }
 

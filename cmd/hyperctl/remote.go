@@ -1,0 +1,125 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"hyperdb/internal/client"
+)
+
+// remote runs one wire-protocol subcommand against a hyperd at -addr.
+func remote(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4980", "hyperd address")
+	limit := fs.Int("limit", 20, "scan: max pairs to return")
+	fs.Parse(args)
+	rest := fs.Args()
+
+	if cmd == "badframe" {
+		badframe(*addr)
+		return
+	}
+
+	c, err := client.Dial(client.Options{Addr: *addr, Conns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "ping":
+		t0 := time.Now()
+		if err := c.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PONG %v\n", time.Since(t0).Round(time.Microsecond))
+	case "put":
+		if len(rest) != 2 {
+			fatalf("usage: hyperctl put [-addr A] <key> <value>")
+		}
+		if err := c.Put([]byte(rest[0]), []byte(rest[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+	case "get":
+		if len(rest) != 1 {
+			fatalf("usage: hyperctl get [-addr A] <key>")
+		}
+		v, err := c.Get([]byte(rest[0]))
+		if errors.Is(err, client.ErrNotFound) {
+			fmt.Fprintln(os.Stderr, "(not found)")
+			os.Exit(1)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(v, '\n'))
+	case "del":
+		if len(rest) != 1 {
+			fatalf("usage: hyperctl del [-addr A] <key>")
+		}
+		if err := c.Delete([]byte(rest[0])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+	case "scan":
+		var start []byte
+		if len(rest) > 1 {
+			fatalf("usage: hyperctl scan [-addr A] [-limit N] [start]")
+		}
+		if len(rest) == 1 {
+			start = []byte(rest[0])
+		}
+		kvs, err := c.Scan(start, *limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%q %q\n", kv.Key, kv.Value)
+		}
+		fmt.Fprintf(os.Stderr, "(%d pairs)\n", len(kvs))
+	case "stats":
+		text, err := c.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	}
+}
+
+// badframe sends bytes that are not a valid frame (a plausible length
+// prefix followed by garbage that fails the CRC) and reports how the
+// server reacted. A healthy hyperd drops the connection without crashing;
+// the CI smoke test pings again afterwards to prove the daemon survived.
+func badframe(addr string) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer nc.Close()
+	garbage := []byte{0, 0, 0, 14, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if _, err := nc.Write(garbage); err != nil {
+		fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	n, err := nc.Read(buf)
+	if err == nil {
+		fatalf("server answered a malformed frame with %d bytes; expected a drop", n)
+	}
+	fmt.Println("OK: server dropped the malformed connection")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperctl:", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hyperctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,325 @@
+// Package client is the Go client for hyperd's wire protocol. A Client
+// multiplexes blocking calls from any number of goroutines over a small
+// pool of TCP connections; concurrent calls on one connection pipeline
+// naturally (each is tagged with a request id and matched to its response),
+// which is exactly the traffic shape the server's coalescing queue turns
+// into WriteBatch/MultiGet group commits.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperdb/internal/wire"
+)
+
+// ErrNotFound is returned by Get for missing or deleted keys.
+var ErrNotFound = errors.New("client: not found")
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// Options configures Dial.
+type Options struct {
+	// Addr is the hyperd TCP address. Required.
+	Addr string
+	// Conns is the pool size. Default 2.
+	Conns int
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// MaxFrame bounds response frames. Default wire.MaxFrame.
+	MaxFrame uint32
+}
+
+func (o *Options) fill() error {
+	if o.Addr == "" {
+		return errors.New("client: Options.Addr is required")
+	}
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxFrame == 0 || o.MaxFrame > wire.MaxFrame {
+		o.MaxFrame = wire.MaxFrame
+	}
+	return nil
+}
+
+// Client is a pooled, pipelining hyperd client. Safe for concurrent use.
+type Client struct {
+	opts   Options
+	next   atomic.Uint64
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns []*conn // nil slots dial lazily; errored slots redial
+}
+
+// Dial validates opts and connects the first pool slot eagerly so an
+// unreachable server fails fast. Remaining slots dial on first use.
+func Dial(opts Options) (*Client, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	c := &Client{opts: opts, conns: make([]*conn, opts.Conns)}
+	if _, err := c.conn(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down every pooled connection. In-flight calls fail.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cn := range c.conns {
+		if cn != nil {
+			cn.close(ErrClosed)
+			c.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+// conn returns pool slot i, dialing or redialing as needed.
+func (c *Client) conn(i int) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if cn := c.conns[i]; cn != nil && !cn.broken() {
+		return cn, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, err)
+	}
+	cn := newConn(nc, c.opts.MaxFrame)
+	c.conns[i] = cn
+	return cn, nil
+}
+
+// call runs one request→response exchange on a round-robin pool slot.
+func (c *Client) call(op wire.Op, payload []byte) (wire.Frame, error) {
+	if c.closed.Load() {
+		return wire.Frame{}, ErrClosed
+	}
+	slot := int(c.next.Add(1)-1) % c.opts.Conns
+	cn, err := c.conn(slot)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	resp, err := cn.roundTrip(op, payload)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return resp, nil
+}
+
+// callOK is call plus the common status handling for ops whose success
+// payload is all the caller needs.
+func (c *Client) callOK(op wire.Op, payload []byte) ([]byte, error) {
+	resp, err := c.call(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, statusErr(resp)
+	}
+	return resp.Payload, nil
+}
+
+func statusErr(f wire.Frame) error {
+	if f.Status == wire.StatusNotFound {
+		return ErrNotFound
+	}
+	return fmt.Errorf("client: %s: %s (%s)", f.Op, f.Status, f.Payload)
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.callOK(wire.OpPing, nil)
+	return err
+}
+
+// Put writes key=value; the write is durable on the server when Put returns.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.callOK(wire.OpPut, wire.AppendPutReq(nil, key, value))
+	return err
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	return c.callOK(wire.OpGet, wire.AppendKeyReq(nil, key))
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (c *Client) Delete(key []byte) error {
+	_, err := c.callOK(wire.OpDel, wire.AppendKeyReq(nil, key))
+	return err
+}
+
+// WriteBatch applies ops as one request; the server folds it — along with
+// any concurrently pipelined writes — into a single engine WriteBatch.
+func (c *Client) WriteBatch(ops []wire.BatchOp) error {
+	_, err := c.callOK(wire.OpBatch, wire.AppendBatchReq(nil, ops))
+	return err
+}
+
+// MultiGet returns values positionally aligned with keys; absent keys
+// yield nil entries.
+func (c *Client) MultiGet(keys [][]byte) ([][]byte, error) {
+	p, err := c.callOK(wire.OpMGet, wire.AppendMGetReq(nil, keys))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := wire.DecodeMGetResp(p)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad MGET response: %w", err)
+	}
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("client: MGET returned %d values for %d keys", len(vals), len(keys))
+	}
+	return vals, nil
+}
+
+// Scan returns up to limit pairs with key >= start in key order. The
+// server caps limit at its MaxScanLimit.
+func (c *Client) Scan(start []byte, limit int) ([]wire.KV, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	p, err := c.callOK(wire.OpScan, wire.AppendScanReq(nil, start, uint32(limit)))
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := wire.DecodeScanResp(p)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad SCAN response: %w", err)
+	}
+	return kvs, nil
+}
+
+// Stats returns the server's stats text: "key value" lines for the server
+// section, a blank line, then the engine's human-readable summary.
+func (c *Client) Stats() (string, error) {
+	p, err := c.callOK(wire.OpStats, nil)
+	return string(p), err
+}
+
+// conn is one pooled pipelined connection.
+type conn struct {
+	nc net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	err     error // sticky; set once the reader dies
+	nextID  uint64
+}
+
+type result struct {
+	frame wire.Frame
+	err   error
+}
+
+func newConn(nc net.Conn, maxFrame uint32) *conn {
+	cn := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan result),
+	}
+	go cn.readLoop(maxFrame)
+	return cn
+}
+
+func (cn *conn) broken() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err != nil
+}
+
+// close fails every pending call with err and closes the socket.
+func (cn *conn) close(err error) {
+	cn.mu.Lock()
+	if cn.err == nil {
+		cn.err = err
+	}
+	pend := cn.pending
+	cn.pending = make(map[uint64]chan result)
+	cn.mu.Unlock()
+	cn.nc.Close()
+	for _, ch := range pend {
+		ch <- result{err: err}
+	}
+}
+
+// readLoop dispatches response frames to their waiting callers by id.
+func (cn *conn) readLoop(maxFrame uint32) {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	for {
+		f, err := wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			cn.close(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[f.ID]
+		delete(cn.pending, f.ID)
+		cn.mu.Unlock()
+		if ok {
+			// Detach the payload from the reader's buffer before handing
+			// it to the caller's goroutine.
+			f.Payload = append([]byte(nil), f.Payload...)
+			ch <- result{frame: f}
+		}
+	}
+}
+
+// roundTrip registers a pending id, writes the request, and blocks for the
+// response. Concurrent callers interleave here — that is the pipelining.
+func (cn *conn) roundTrip(op wire.Op, payload []byte) (wire.Frame, error) {
+	ch := make(chan result, 1)
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	cn.nextID++
+	id := cn.nextID
+	cn.pending[id] = ch
+	cn.mu.Unlock()
+
+	buf := wire.AppendFrame(make([]byte, 0, wire.EncodedLen(len(payload))),
+		wire.Frame{Op: op, ID: id, Payload: payload})
+	cn.wmu.Lock()
+	_, werr := cn.bw.Write(buf)
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.mu.Lock()
+		delete(cn.pending, id)
+		cn.mu.Unlock()
+		cn.close(fmt.Errorf("client: write: %w", werr))
+		return wire.Frame{}, werr
+	}
+
+	r := <-ch
+	return r.frame, r.err
+}

@@ -1,0 +1,149 @@
+package client_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hyperdb"
+	"hyperdb/internal/client"
+	"hyperdb/internal/server"
+	"hyperdb/internal/wire"
+)
+
+func startServer(t *testing.T) (addr string, srv *server.Server) {
+	t.Helper()
+	db, err := hyperdb.Open(hyperdb.Options{
+		Unthrottled:  true,
+		NVMeCapacity: 32 << 20,
+		SATACapacity: 1 << 30,
+		Partitions:   2,
+		CacheBytes:   2 << 20,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	srv, err = server.New(server.Config{DB: db, OwnDB: true})
+	if err != nil {
+		db.Close()
+		t.Fatalf("server.New: %v", err)
+	}
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Shutdown() })
+	return a.String(), srv
+}
+
+func TestDialFailsFast(t *testing.T) {
+	if _, err := client.Dial(client.Options{Addr: "127.0.0.1:1", DialTimeout: 1}); err == nil {
+		t.Fatal("dial to a dead port succeeded")
+	}
+	if _, err := client.Dial(client.Options{}); err == nil {
+		t.Fatal("dial with no addr succeeded")
+	}
+}
+
+func TestConcurrentPipelining(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(client.Options{Addr: addr, Conns: 3})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := []byte(fmt.Sprintf("g%02d-k%03d", g, i))
+				v := []byte(fmt.Sprintf("g%02d-v%03d", g, i))
+				if err := c.Put(k, v); err != nil {
+					errCh <- err
+					return
+				}
+				got, err := c.Get(k)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, v) {
+					errCh <- fmt.Errorf("get %s = %q, want %q", k, got, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Mixed batch + mget through the same pool.
+	if err := c.WriteBatch([]wire.BatchOp{
+		{Key: []byte("wb-a"), Value: []byte("1")},
+		{Key: []byte("wb-b"), Value: []byte("2")},
+	}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	vals, err := c.MultiGet([][]byte{[]byte("wb-a"), []byte("wb-b"), []byte("wb-c")})
+	if err != nil {
+		t.Fatalf("mget: %v", err)
+	}
+	if string(vals[0]) != "1" || string(vals[1]) != "2" || vals[2] != nil {
+		t.Fatalf("mget: %q", vals)
+	}
+}
+
+func TestClientCloseFailsCalls(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(client.Options{Addr: addr})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	c.Close()
+	if err := c.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("ping after close: %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestClientRedialsAfterServerShutdownDial(t *testing.T) {
+	addr, srv := startServer(t)
+	c, err := client.Dial(client.Options{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The pooled conn is dead and the listener gone: calls now error
+	// (first the broken-conn error, then redial failures), never hang.
+	var sawErr bool
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("pings kept succeeding after server shutdown")
+	}
+}

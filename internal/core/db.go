@@ -60,9 +60,10 @@ type DB struct {
 	// keeping steady-state promotions allocation-free on the read path.
 	promoPool sync.Pool
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
-	stop   chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	stop      chan struct{}
 }
 
 // Open assembles a DB over the two devices.
@@ -144,13 +145,17 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Close stops the background workers and waits for them.
+// Close stops the background workers and waits for them. It is idempotent
+// and safe for concurrent callers: every caller — first or not — returns
+// only after the workers have fully stopped, so a signal handler racing a
+// deferred Close (the hyperd shutdown shape) cannot observe a half-closed
+// engine.
 func (db *DB) Close() error {
-	if db.closed.Swap(true) {
-		return nil
-	}
-	close(db.stop)
-	db.wg.Wait()
+	db.closeOnce.Do(func() {
+		db.closed.Store(true)
+		close(db.stop)
+		db.wg.Wait()
+	})
 	return nil
 }
 

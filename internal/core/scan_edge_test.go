@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+)
+
+func TestScanStartPastLastKey(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	for i := uint64(0); i < 100; i++ {
+		if err := db.Put(k8(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Start strictly above every written key, in the last partition.
+	kvs, err := db.Scan(k8(^uint64(0)), 10)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(kvs) != 0 {
+		t.Fatalf("scan past last key returned %d pairs", len(kvs))
+	}
+	// Start in the gap after the data but inside the first partition.
+	kvs, err = db.Scan(k8(100), 10)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(kvs) != 0 {
+		t.Fatalf("scan from gap returned %d pairs: first=%x", len(kvs), kvs[0].Key)
+	}
+}
+
+func TestScanLimitExceedsDataset(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	const n = 64
+	// Spread keys across all four partitions.
+	for i := uint64(0); i < n; i++ {
+		if err := db.Put(k8(i<<56), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := db.Scan(nil, 100000)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("scan returned %d pairs, want %d", len(kvs), n)
+	}
+	for i := 1; i < len(kvs); i++ {
+		if bytes.Compare(kvs[i-1].Key, kvs[i].Key) >= 0 {
+			t.Fatalf("scan out of order at %d: %x >= %x", i, kvs[i-1].Key, kvs[i].Key)
+		}
+	}
+}
+
+// TestScanTombstoneShadowsLSMAtPartitionBoundary pins the trickiest merge
+// case: a key demoted to the capacity tier, then deleted — so the zone
+// tier holds an authoritative tombstone while the LSM still has the value —
+// sitting exactly on the first key of a partition. A scan that crosses the
+// boundary must suppress the key and keep everything around it.
+func TestScanTombstoneShadowsLSMAtPartitionBoundary(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	boundary := uint64(1) << 62 // first key of partition 1 (4 partitions)
+	if got := db.partFor(k8(boundary)).id; got != 1 {
+		t.Fatalf("boundary key routed to partition %d, want 1", got)
+	}
+	if got := db.partFor(k8(boundary - 1)).id; got != 0 {
+		t.Fatalf("boundary-1 key routed to partition %d, want 0", got)
+	}
+
+	put := func(i uint64, v string) {
+		t.Helper()
+		if err := db.Put(k8(i), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(boundary-1, "left")    // partition 0, stays in the zone tier
+	put(boundary, "doomed")    // partition 1, will demote then die
+	put(boundary+1, "stale")   // partition 1, will demote then be overwritten
+	put(boundary+2, "lsmOnly") // partition 1, will demote and stay
+
+	// Demote every key-range zone of partition 1 into its LSM.
+	p := db.parts[1]
+	for {
+		z := p.zones.PickDemotionVictim()
+		if z == nil {
+			break
+		}
+		if err := db.demoteZone(p, z); err != nil {
+			t.Fatalf("demote: %v", err)
+		}
+	}
+	if _, _, found, err := p.tree.Get(k8(boundary), keys.MaxSeq, device.Fg); err != nil || !found {
+		t.Fatalf("boundary key not in LSM after demotion (found=%v err=%v)", found, err)
+	}
+	if p.zones.Has(k8(boundary)) {
+		t.Fatal("boundary key still in the zone tier after demotion")
+	}
+
+	// Zone-tier tombstone now shadows the LSM value at the boundary, and a
+	// fresh zone-tier write shadows the stale LSM value one key later.
+	if err := db.Delete(k8(boundary)); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	put(boundary+1, "fresh")
+
+	if _, err := db.Get(k8(boundary)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get tombstoned key: %v, want ErrNotFound", err)
+	}
+
+	kvs, err := db.Scan(k8(boundary-1), 10)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	want := []struct {
+		k uint64
+		v string
+	}{
+		{boundary - 1, "left"},
+		{boundary + 1, "fresh"},
+		{boundary + 2, "lsmOnly"},
+	}
+	if len(kvs) != len(want) {
+		var got []string
+		for _, kv := range kvs {
+			got = append(got, fmt.Sprintf("%x=%q", kv.Key, kv.Value))
+		}
+		t.Fatalf("scan across boundary returned %d pairs %v, want %d", len(kvs), got, len(want))
+	}
+	for i, w := range want {
+		if !bytes.Equal(kvs[i].Key, k8(w.k)) || string(kvs[i].Value) != w.v {
+			t.Fatalf("scan[%d] = %x=%q, want %x=%q", i, kvs[i].Key, kvs[i].Value, k8(w.k), w.v)
+		}
+	}
+}

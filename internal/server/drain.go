@@ -1,0 +1,192 @@
+package server
+
+import (
+	"strings"
+	"time"
+
+	"hyperdb"
+	"hyperdb/internal/wire"
+)
+
+// drainLoop is the engine-owning goroutine: it blocks for one request,
+// sweeps everything else already queued into the same cycle, and processes
+// the cycle with writes grouped into one DB.WriteBatch and point reads into
+// one DB.MultiGet. Coalescing needs no timer to appear — while one cycle is
+// inside the engine, pipelined requests pile up behind it, so the next
+// cycle drains a batch. CoalesceWait adds an optional bounded linger for
+// latency-insensitive deployments that want fatter batches at low load.
+func (s *Server) drainLoop() {
+	defer s.drainWG.Done()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.process(s.collect(first))
+	}
+}
+
+// collect sweeps the queue without blocking (plus at most one CoalesceWait
+// linger when the cycle would otherwise hold a single request).
+func (s *Server) collect(first *request) []*request {
+	batch := append(make([]*request, 0, 64), first)
+	lingered := s.cfg.CoalesceWait <= 0
+	for len(batch) < s.cfg.QueueDepth {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			if !lingered && len(batch) < 2 {
+				lingered = true
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						return batch
+					}
+					batch = append(batch, r)
+					continue
+				case <-time.After(s.cfg.CoalesceWait):
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// process answers one drained cycle. Writes run before reads so a
+// connection that pipelines PUT k then GET k observes its own write even
+// when both land in the same cycle.
+func (s *Server) process(batch []*request) {
+	s.stats.Drains.Inc()
+	s.stats.DrainedRequests.Add(uint64(len(batch)))
+
+	// Phase 1: group every write op in queue order into one WriteBatch.
+	var wops []hyperdb.BatchOp
+	var wreqs []*request
+	for _, r := range batch {
+		switch r.op {
+		case wire.OpPut:
+			wops = append(wops, hyperdb.BatchOp{Key: r.key, Value: r.value})
+			wreqs = append(wreqs, r)
+		case wire.OpDel:
+			wops = append(wops, hyperdb.BatchOp{Key: r.key, Delete: true})
+			wreqs = append(wreqs, r)
+		case wire.OpBatch:
+			for _, b := range r.batch {
+				wops = append(wops, hyperdb.BatchOp{Key: b.Key, Value: b.Value, Delete: b.Delete})
+			}
+			wreqs = append(wreqs, r)
+		}
+	}
+	if len(wops) > 0 {
+		err := s.cfg.DB.WriteBatch(wops)
+		s.stats.WriteBatches.Inc()
+		s.stats.WriteOps.Add(uint64(len(wops)))
+		for _, r := range wreqs {
+			s.stats.countOp(r.op)
+			if err != nil {
+				// WriteBatch may have applied a prefix; every write in the
+				// cycle reports the failure rather than guessing which
+				// side of the prefix it landed on.
+				r.fail(err)
+			} else {
+				r.reply(wire.StatusOK, nil)
+			}
+		}
+	}
+
+	// Phase 2: group every point read into one MultiGet.
+	var keys [][]byte
+	var rreqs []*request
+	for _, r := range batch {
+		switch r.op {
+		case wire.OpGet:
+			keys = append(keys, r.key)
+			rreqs = append(rreqs, r)
+		case wire.OpMGet:
+			keys = append(keys, r.keys...)
+			rreqs = append(rreqs, r)
+		}
+	}
+	if len(keys) > 0 {
+		vals, err := s.cfg.DB.MultiGet(keys)
+		s.stats.ReadBatches.Inc()
+		s.stats.ReadOps.Add(uint64(len(keys)))
+		off := 0
+		for _, r := range rreqs {
+			s.stats.countOp(r.op)
+			switch {
+			case err != nil:
+				r.fail(err)
+				if r.op == wire.OpMGet {
+					off += len(r.keys)
+				} else {
+					off++
+				}
+			case r.op == wire.OpGet:
+				v := vals[off]
+				off++
+				if v == nil {
+					r.reply(wire.StatusNotFound, nil)
+				} else {
+					r.reply(wire.StatusOK, v)
+				}
+			default: // OpMGet
+				sub := vals[off : off+len(r.keys)]
+				off += len(r.keys)
+				r.reply(wire.StatusOK, wire.AppendMGetResp(nil, sub))
+			}
+		}
+	}
+
+	// Phase 3: the rest, one by one.
+	for _, r := range batch {
+		switch r.op {
+		case wire.OpPing:
+			s.stats.countOp(r.op)
+			r.reply(wire.StatusOK, r.echo)
+		case wire.OpScan:
+			s.stats.countOp(r.op)
+			kvs, err := s.cfg.DB.Scan(r.key, r.limit)
+			if err != nil {
+				r.fail(err)
+				continue
+			}
+			out := make([]wire.KV, len(kvs))
+			for i, kv := range kvs {
+				out[i] = wire.KV{Key: kv.Key, Value: kv.Value}
+			}
+			r.reply(wire.StatusOK, wire.AppendScanResp(nil, out))
+		case wire.OpStats:
+			s.stats.countOp(r.op)
+			r.reply(wire.StatusOK, []byte(s.statsText()))
+		}
+	}
+}
+
+// statsText renders the STATS payload: the server's counters followed by a
+// blank line and the engine's multi-line summary.
+func (s *Server) statsText() string {
+	var b strings.Builder
+	b.WriteString(s.stats.String())
+	b.WriteString("\n")
+	b.WriteString(s.cfg.DB.Stats().String())
+	return b.String()
+}
+
+// reply answers the request and releases its backpressure slot. The
+// response is enqueued before the slot frees, which keeps the writer
+// channel's capacity invariant (see conn.out).
+func (r *request) reply(st wire.Status, payload []byte) {
+	r.c.send(wire.AppendFrame(nil, wire.Frame{Op: r.op, Status: st, ID: r.id, Payload: payload}))
+	<-r.c.inflight
+}
+
+// fail answers with StatusError and the engine's message.
+func (r *request) fail(err error) {
+	r.reply(wire.StatusError, []byte(err.Error()))
+}

@@ -1,0 +1,500 @@
+// Package server is hyperd's network front door: a TCP listener that
+// decodes wire-protocol frames and feeds them to a HyperDB instance through
+// a coalescing queue. Pipelined writes from any number of connections group
+// into one DB.WriteBatch per drain cycle and pipelined point reads into one
+// DB.MultiGet, so the engine's batch hot path — not per-request locking —
+// carries the served load.
+//
+// Concurrency layout: every connection owns a reader goroutine (decode →
+// submit) and a writer goroutine (response → socket); one drainer goroutine
+// owns the engine. Per-connection backpressure is an in-flight semaphore:
+// a reader blocks once MaxInflight of its requests are unanswered, which
+// bounds the coalescing queue at conns × MaxInflight entries.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperdb"
+	"hyperdb/internal/wire"
+)
+
+// Config parameterises a Server. The zero value of every field gets a sane
+// default from fill.
+type Config struct {
+	// DB is the engine to serve. Required.
+	DB *hyperdb.DB
+	// OwnDB makes Shutdown finish the engine too: DrainBackground then
+	// Close. hyperd sets it; tests that reuse the DB leave it false.
+	OwnDB bool
+	// MaxConns caps concurrently served connections; further accepts are
+	// closed immediately. Default 256.
+	MaxConns int
+	// MaxInflight is the per-connection pipelining window: the number of
+	// submitted-but-unanswered requests a connection may hold before its
+	// reader stops consuming from the socket. Default 128.
+	MaxInflight int
+	// MaxFrame bounds accepted frame bodies. Default wire.MaxFrame.
+	MaxFrame uint32
+	// QueueDepth is the coalescing queue's capacity. Default 4096.
+	QueueDepth int
+	// CoalesceWait, when positive, lets a drain cycle that found fewer
+	// than two requests wait once for more to arrive before hitting the
+	// engine. Zero (the default) drains whatever is immediately pending.
+	CoalesceWait time.Duration
+	// MaxScanLimit caps the limit a SCAN request may ask for. Default 4096.
+	MaxScanLimit int
+	// Logf receives connection-level diagnostics. Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.DB == nil {
+		return errors.New("server: Config.DB is required")
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.MaxFrame == 0 || c.MaxFrame > wire.MaxFrame {
+		c.MaxFrame = wire.MaxFrame
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.MaxScanLimit <= 0 {
+		c.MaxScanLimit = 4096
+	}
+	return nil
+}
+
+// Server serves one DB over one listener.
+type Server struct {
+	cfg Config
+
+	ln    net.Listener
+	queue chan *request
+	stats Stats
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool // guarded by mu: no new conns once set
+
+	closing  atomic.Bool
+	acceptWG sync.WaitGroup
+	readerWG sync.WaitGroup
+	writerWG sync.WaitGroup
+	drainWG  sync.WaitGroup
+
+	// flushed is closed after the drainer exits, telling idle writers the
+	// last response they will ever receive has been enqueued.
+	flushed chan struct{}
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a Server and starts its drainer. Call Serve to accept.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *request, cfg.QueueDepth),
+		conns:   make(map[*conn]struct{}),
+		flushed: make(chan struct{}),
+	}
+	s.drainWG.Add(1)
+	go s.drainLoop()
+	return s, nil
+}
+
+// Listen is a convenience: net.Listen("tcp", addr) + Serve in a goroutine.
+// It returns once the listener is bound, so the address is connectable.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns the
+// terminal accept error (nil after a clean Shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn admits nc or closes it when the server is full or closing.
+func (s *Server) startConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		full := !s.closed
+		s.mu.Unlock()
+		if full {
+			s.stats.ConnsRejected.Inc()
+			s.logf("conn %s rejected: at MaxConns=%d", nc.RemoteAddr(), s.cfg.MaxConns)
+		}
+		nc.Close()
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	s.stats.ConnsAccepted.Inc()
+	s.stats.connsActive.Add(1)
+	s.readerWG.Add(1)
+	s.writerWG.Add(1)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// removeConn drops c from the registry once its reader is done.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.stats.connsActive.Add(-1)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Stats returns the server's counters (live; fields are atomic).
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Shutdown performs the graceful stop sequence: stop accepting, interrupt
+// connection readers (pipelined requests already received stay in flight),
+// drain the coalescing queue so every in-flight request gets its response,
+// flush and close all connections, and — when the server owns the DB —
+// DrainBackground and Close the engine. Safe to call more than once and
+// from concurrent goroutines; every caller observes completion.
+func (s *Server) Shutdown() error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdown() })
+	// Once guarantees all callers block until the first finishes.
+	return s.shutdownErr
+}
+
+func (s *Server) shutdown() error {
+	s.closing.Store(true)
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		// Wake readers blocked in Read; they observe closing and exit.
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWG.Wait()
+
+	// Readers exit after submitting every frame they had fully received;
+	// their deferred drain of the in-flight semaphore means readerWG.Wait
+	// also waits for the drainer to answer those requests.
+	s.readerWG.Wait()
+
+	// No submitters remain: close the queue, let the drainer finish the
+	// tail, then release writers that are idle.
+	close(s.queue)
+	s.drainWG.Wait()
+	close(s.flushed)
+	s.writerWG.Wait()
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.cfg.OwnDB {
+		if err := s.cfg.DB.DrainBackground(); err != nil {
+			s.cfg.DB.Close()
+			return fmt.Errorf("server: drain background: %w", err)
+		}
+		if err := s.cfg.DB.Close(); err != nil {
+			return fmt.Errorf("server: close db: %w", err)
+		}
+	}
+	return nil
+}
+
+// request is one decoded, admitted client request waiting in the
+// coalescing queue. Exactly one respond* call answers it.
+type request struct {
+	c  *conn
+	id uint64
+	op wire.Op
+
+	key   []byte         // GET/DEL/SCAN start
+	value []byte         // PUT
+	batch []wire.BatchOp // BATCH
+	keys  [][]byte       // MGET
+	limit int            // SCAN
+	echo  []byte         // PING
+}
+
+// bufferedReader sizes the per-connection read buffer.
+const readBufSize = 64 << 10
+
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	// out carries encoded responses to the writer. Capacity MaxInflight+2
+	// exceeds the most responses that can be outstanding at once (at most
+	// MaxInflight semaphore-holding requests plus the reader's own single
+	// synchronous error reply), so enqueues never block in steady state.
+	out chan []byte
+	// inflight is the per-connection backpressure semaphore.
+	inflight chan struct{}
+	// dead is closed when the writer abandons the socket; responders then
+	// drop instead of blocking.
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:      s,
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, readBufSize),
+		bw:       bufio.NewWriterSize(nc, readBufSize),
+		out:      make(chan []byte, s.cfg.MaxInflight+2),
+		inflight: make(chan struct{}, s.cfg.MaxInflight),
+		dead:     make(chan struct{}),
+	}
+}
+
+func (c *conn) kill() { c.deadOnce.Do(func() { close(c.dead) }) }
+
+// readLoop decodes frames and submits requests until the peer disconnects,
+// the stream turns malformed, or Shutdown interrupts it. On exit it waits
+// for every submitted request to be answered, then lets the writer finish.
+func (c *conn) readLoop() {
+	defer c.srv.readerWG.Done()
+	defer c.finishReads()
+	for {
+		f, err := wire.ReadFrame(c.br, c.srv.cfg.MaxFrame)
+		if err != nil {
+			if !isClientGone(err) && !c.srv.closing.Load() {
+				// Malformed stream (bad CRC, oversized frame, garbage
+				// length): the frame boundary is lost, so drop the
+				// connection rather than guess.
+				c.srv.stats.BadFrames.Inc()
+				c.srv.logf("conn %s: dropping on malformed stream: %v", c.nc.RemoteAddr(), err)
+				c.kill()
+			}
+			return
+		}
+		if c.srv.closing.Load() {
+			// Shutdown raced the read: refuse rather than admit new work.
+			c.respondError(f.ID, f.Op, wire.StatusShuttingDown, "server shutting down")
+			return
+		}
+		req, perr := c.decode(f)
+		if perr != nil {
+			c.srv.stats.BadRequests.Inc()
+			c.respondError(f.ID, f.Op, wire.StatusBadRequest, perr.Error())
+			continue
+		}
+		c.inflight <- struct{}{} // backpressure: blocks at MaxInflight
+		c.srv.queue <- req
+	}
+}
+
+// finishReads runs after the read loop: once the in-flight semaphore fully
+// refills (every submitted request has enqueued its response), the writer
+// may stop after flushing.
+func (c *conn) finishReads() {
+	for i := 0; i < cap(c.inflight); i++ {
+		c.inflight <- struct{}{}
+	}
+	c.srv.removeConn(c)
+	c.kill()
+}
+
+// decode turns a frame into a queued request. Slices are copied out of the
+// frame's buffer because the request outlives this read iteration.
+func (c *conn) decode(f wire.Frame) (*request, error) {
+	if !f.Op.Valid() {
+		return nil, fmt.Errorf("unknown op %d", uint8(f.Op))
+	}
+	req := &request{c: c, id: f.ID, op: f.Op}
+	switch f.Op {
+	case wire.OpPing:
+		req.echo = append([]byte(nil), f.Payload...)
+	case wire.OpPut:
+		k, v, err := wire.DecodePutReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.value = append([]byte(nil), v...)
+	case wire.OpGet, wire.OpDel:
+		k, err := wire.DecodeKeyReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+	case wire.OpBatch:
+		ops, err := wire.DecodeBatchReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ops {
+			ops[i].Key = append([]byte(nil), ops[i].Key...)
+			ops[i].Value = append([]byte(nil), ops[i].Value...)
+		}
+		req.batch = ops
+	case wire.OpMGet:
+		ks, err := wire.DecodeMGetReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ks {
+			ks[i] = append([]byte(nil), ks[i]...)
+		}
+		req.keys = ks
+	case wire.OpScan:
+		start, limit, err := wire.DecodeScanReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), start...)
+		req.limit = int(limit)
+		if req.limit > c.srv.cfg.MaxScanLimit {
+			req.limit = c.srv.cfg.MaxScanLimit
+		}
+	case wire.OpStats:
+		if len(f.Payload) != 0 {
+			return nil, errors.New("stats takes no payload")
+		}
+	}
+	return req, nil
+}
+
+// send enqueues an encoded response frame, dropping it if the writer died.
+func (c *conn) send(frame []byte) {
+	select {
+	case c.out <- frame:
+	case <-c.dead:
+	}
+}
+
+// respondError answers a request that never entered the queue.
+func (c *conn) respondError(id uint64, op wire.Op, st wire.Status, msg string) {
+	c.send(wire.AppendFrame(nil, wire.Frame{Op: op, Status: st, ID: id, Payload: []byte(msg)}))
+}
+
+// writeLoop flushes encoded responses to the socket, batching frames that
+// are already queued into one flush.
+func (c *conn) writeLoop() {
+	defer c.srv.writerWG.Done()
+	defer c.nc.Close()
+	for {
+		var frame []byte
+		select {
+		case frame = <-c.out:
+		default:
+			// Nothing pending: flush what we have, then sleep until the
+			// next response, writer death, or end-of-world.
+			if err := c.bw.Flush(); err != nil {
+				c.kill()
+				return
+			}
+			select {
+			case frame = <-c.out:
+			case <-c.dead:
+				// Reader finished and all responses are enqueued; drain
+				// the channel remnant, flush, and exit.
+				if !c.drainOut() {
+					return
+				}
+				continue
+			case <-c.srv.flushed:
+				if !c.drainOut() {
+					return
+				}
+				continue
+			}
+		}
+		if _, err := c.bw.Write(frame); err != nil {
+			c.kill()
+			return
+		}
+	}
+}
+
+// drainOut writes any still-queued responses. It returns false when the
+// channel is empty (caller exits after the final flush).
+func (c *conn) drainOut() bool {
+	wrote := false
+	for {
+		select {
+		case frame := <-c.out:
+			if _, err := c.bw.Write(frame); err != nil {
+				c.kill()
+				return false
+			}
+			wrote = true
+		default:
+			c.bw.Flush()
+			return wrote
+		}
+	}
+}
+
+// isClientGone reports whether err is a disconnect or a shutdown deadline,
+// as opposed to a protocol violation on a live stream.
+func isClientGone(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true // SetReadDeadline(now) during Shutdown
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"hyperdb/internal/stats"
+	"hyperdb/internal/wire"
+)
+
+// Stats is the server's observable state, built on the stats package's
+// atomic counters so the coalescing claim is measurable, not asserted.
+// All fields are safe to read while the server runs.
+type Stats struct {
+	ConnsAccepted stats.Counter
+	ConnsRejected stats.Counter
+	connsActive   atomic.Int64
+
+	// BadFrames counts connections dropped for an undecodable stream;
+	// BadRequests counts well-framed requests with malformed payloads
+	// (answered with StatusBadRequest, connection kept).
+	BadFrames   stats.Counter
+	BadRequests stats.Counter
+
+	// ops counts completed requests per op code (indexed by wire.Op).
+	ops [16]stats.Counter
+
+	// Coalescing accounting. Drains counts drain cycles; DrainedRequests
+	// sums the requests each cycle collected (their ratio is the mean
+	// queue backlog per cycle). WriteBatches/WriteOps measure how many
+	// wire-level write ops each DB.WriteBatch carried; ReadBatches/ReadOps
+	// the same for DB.MultiGet.
+	Drains          stats.Counter
+	DrainedRequests stats.Counter
+	WriteBatches    stats.Counter
+	WriteOps        stats.Counter
+	ReadBatches     stats.Counter
+	ReadOps         stats.Counter
+}
+
+// ActiveConns returns the number of currently served connections.
+func (s *Stats) ActiveConns() int64 { return s.connsActive.Load() }
+
+// OpCount returns completed requests for one op.
+func (s *Stats) OpCount(op wire.Op) uint64 {
+	if int(op) >= len(s.ops) {
+		return 0
+	}
+	return s.ops[op].Load()
+}
+
+func (s *Stats) countOp(op wire.Op) {
+	if int(op) < len(s.ops) {
+		s.ops[op].Inc()
+	}
+}
+
+// MeanWriteBatch is the mean wire write-ops per drained DB.WriteBatch —
+// the end-to-end group-commit factor. >1 means pipelined writes coalesced.
+func (s *Stats) MeanWriteBatch() float64 {
+	return mean(s.WriteOps.Load(), s.WriteBatches.Load())
+}
+
+// MeanReadBatch is the mean point lookups per drained DB.MultiGet.
+func (s *Stats) MeanReadBatch() float64 {
+	return mean(s.ReadOps.Load(), s.ReadBatches.Load())
+}
+
+// MeanDrainDepth is the mean queue backlog consumed per drain cycle.
+func (s *Stats) MeanDrainDepth() float64 {
+	return mean(s.DrainedRequests.Load(), s.Drains.Load())
+}
+
+func mean(sum, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// String renders the server section of a STATS response: one "key value"
+// per line, machine-parseable and stable.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "server.conns_accepted %d\n", s.ConnsAccepted.Load())
+	fmt.Fprintf(&b, "server.conns_rejected %d\n", s.ConnsRejected.Load())
+	fmt.Fprintf(&b, "server.conns_active %d\n", s.ActiveConns())
+	fmt.Fprintf(&b, "server.bad_frames %d\n", s.BadFrames.Load())
+	fmt.Fprintf(&b, "server.bad_requests %d\n", s.BadRequests.Load())
+	for _, op := range []wire.Op{wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats} {
+		fmt.Fprintf(&b, "server.ops.%s %d\n", strings.ToLower(op.String()), s.OpCount(op))
+	}
+	fmt.Fprintf(&b, "server.drains %d\n", s.Drains.Load())
+	fmt.Fprintf(&b, "server.drained_requests %d\n", s.DrainedRequests.Load())
+	fmt.Fprintf(&b, "server.mean_drain_depth %.3f\n", s.MeanDrainDepth())
+	fmt.Fprintf(&b, "server.write_batches %d\n", s.WriteBatches.Load())
+	fmt.Fprintf(&b, "server.write_ops %d\n", s.WriteOps.Load())
+	fmt.Fprintf(&b, "server.mean_write_batch %.3f\n", s.MeanWriteBatch())
+	fmt.Fprintf(&b, "server.read_batches %d\n", s.ReadBatches.Load())
+	fmt.Fprintf(&b, "server.read_ops %d\n", s.ReadOps.Load())
+	fmt.Fprintf(&b, "server.mean_read_batch %.3f\n", s.MeanReadBatch())
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes through the frame decoder and, when
+// a frame survives the CRC, through every payload decoder. The contract:
+// malformed input returns an error — no panics, and no allocation larger
+// than the bounds-checked frame length (enforced here by capping the fuzz
+// decoder at 1 MiB so an over-allocation would OOM the fuzz engine's
+// malloc limit rather than pass silently).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 14})
+	f.Add(AppendFrame(nil, Frame{Op: OpPing, ID: 1}))
+	f.Add(AppendFrame(nil, Frame{Op: OpPut, ID: 2, Payload: AppendPutReq(nil, []byte("k"), []byte("v"))}))
+	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 3, Payload: AppendBatchReq(nil, []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Delete: true},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpMGet, ID: 4, Payload: AppendMGetReq(nil, [][]byte{[]byte("x")})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpScan, ID: 5, Payload: AppendScanReq(nil, []byte("s"), 10)}))
+	// A valid frame with a corrupted interior byte.
+	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
+	corrupt[len(corrupt)/2] ^= 0x5a
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 20
+		fr, n, err := DecodeFrame(data, maxFrame)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < 4+minBody || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// A decoded frame must re-encode to the exact bytes consumed.
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
+		}
+		// Payload decoders must not panic either; aliasing is fine here.
+		switch fr.Op {
+		case OpPut:
+			DecodePutReq(fr.Payload)
+		case OpGet, OpDel:
+			DecodeKeyReq(fr.Payload)
+		case OpBatch:
+			DecodeBatchReq(fr.Payload)
+		case OpMGet:
+			DecodeMGetReq(fr.Payload)
+			DecodeMGetResp(fr.Payload)
+		case OpScan:
+			DecodeScanReq(fr.Payload)
+			DecodeScanResp(fr.Payload)
+		}
+		// The stream reader must agree with the buffer decoder.
+		sf, serr := ReadFrame(bytes.NewReader(data[:n]), maxFrame)
+		if serr != nil {
+			t.Fatalf("ReadFrame disagreed: %v", serr)
+		}
+		if sf.Op != fr.Op || sf.Status != fr.Status || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload) {
+			t.Fatalf("ReadFrame mismatch: %+v vs %+v", sf, fr)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package wire implements hyperd's framed binary protocol.
+//
+// Every message — request or response — travels as one frame:
+//
+//	uint32   length   big-endian, bytes that follow (body), 14 ≤ length ≤ MaxFrame
+//	uint8    op       request op code (echoed in responses)
+//	uint8    status   0 in requests; a Status code in responses
+//	uint64   id       big-endian request id, chosen by the client, echoed back
+//	[]byte   payload  op-specific encoding (see the Append*/Decode* pairs)
+//	uint32   crc      big-endian CRC-32 (IEEE) over op..payload
+//
+// Integers inside payloads are unsigned varints (encoding/binary); byte
+// strings are varint-length-prefixed. The codec never panics on malformed
+// input and never allocates more than the declared (and bounds-checked)
+// frame length, so arbitrary bytes from the network are safe to feed in —
+// see FuzzDecodeFrame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Request op codes. Zero is reserved so an all-zero frame is invalid.
+const (
+	OpPing Op = iota + 1
+	OpPut
+	OpGet
+	OpDel
+	OpBatch
+	OpMGet
+	OpScan
+	OpStats
+	opMax
+)
+
+// Valid reports whether o is a known op code.
+func (o Op) Valid() bool { return o >= OpPing && o < opMax }
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDel:
+		return "DEL"
+	case OpBatch:
+		return "BATCH"
+	case OpMGet:
+		return "MGET"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is a response outcome code, carried in the frame's status byte.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusBadRequest   // payload decodes but the request is invalid
+	StatusError        // engine error; payload is the message text
+	StatusShuttingDown // server is shutting down and refused the request
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not found"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusError:
+		return "error"
+	case StatusShuttingDown:
+		return "shutting down"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+const (
+	// MaxFrame bounds the body length a peer may declare. Decoders reject
+	// larger claims before allocating, so a hostile 4-byte prefix cannot
+	// force a large allocation.
+	MaxFrame = 16 << 20
+
+	// minBody is op(1)+status(1)+id(8)+crc(4) with an empty payload.
+	minBody   = 14
+	headerLen = 10 // op+status+id, before the payload
+)
+
+// Protocol errors. ErrTruncated means more bytes may complete the frame;
+// every other decode error is terminal for the stream.
+var (
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds max size")
+	ErrFrameTooSmall = errors.New("wire: frame below minimum size")
+	ErrBadCRC        = errors.New("wire: frame CRC mismatch")
+	ErrBadPayload    = errors.New("wire: malformed payload")
+)
+
+// Frame is one decoded protocol frame. Payload aliases the decode buffer.
+type Frame struct {
+	Op      Op
+	Status  Status
+	ID      uint64
+	Payload []byte
+}
+
+// EncodedLen returns the full on-wire size of a frame with payloadLen
+// payload bytes.
+func EncodedLen(payloadLen int) int { return 4 + minBody + payloadLen }
+
+// AppendFrame appends the encoded frame to dst and returns the result.
+func AppendFrame(dst []byte, f Frame) []byte {
+	body := headerLen + len(f.Payload) + 4
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	crcFrom := len(dst)
+	dst = append(dst, byte(f.Op), byte(f.Status))
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	dst = append(dst, f.Payload...)
+	crc := crc32.ChecksumIEEE(dst[crcFrom:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// DecodeFrame parses one frame from the start of buf, returning the frame
+// and the number of bytes consumed. The returned payload aliases buf. It
+// never panics and never allocates, whatever buf holds.
+func DecodeFrame(buf []byte, maxFrame uint32) (Frame, int, error) {
+	if maxFrame == 0 || maxFrame > MaxFrame {
+		maxFrame = MaxFrame
+	}
+	if len(buf) < 4 {
+		return Frame{}, 0, ErrTruncated
+	}
+	body := binary.BigEndian.Uint32(buf)
+	if body < minBody {
+		return Frame{}, 0, ErrFrameTooSmall
+	}
+	if body > maxFrame {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	total := 4 + int(body)
+	if len(buf) < total {
+		return Frame{}, 0, ErrTruncated
+	}
+	b := buf[4:total]
+	want := binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != want {
+		return Frame{}, 0, ErrBadCRC
+	}
+	f := Frame{
+		Op:      Op(b[0]),
+		Status:  Status(b[1]),
+		ID:      binary.BigEndian.Uint64(b[2:10]),
+		Payload: b[headerLen : len(b)-4],
+	}
+	return f, total, nil
+}
+
+// ReadFrame reads exactly one frame from r. The allocation for the body is
+// bounded by maxFrame (MaxFrame when zero). io.EOF is returned only on a
+// clean boundary; a partial frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxFrame uint32) (Frame, error) {
+	if maxFrame == 0 || maxFrame > MaxFrame {
+		maxFrame = MaxFrame
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err // io.EOF on a clean frame boundary
+	}
+	body := binary.BigEndian.Uint32(lenBuf[:])
+	if body < minBody {
+		return Frame{}, ErrFrameTooSmall
+	}
+	if body > maxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	b := make([]byte, body)
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	want := binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != want {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{
+		Op:      Op(b[0]),
+		Status:  Status(b[1]),
+		ID:      binary.BigEndian.Uint64(b[2:10]),
+		Payload: b[headerLen : len(b)-4],
+	}, nil
+}
+
+// WriteFrame encodes f and writes it to w in one call.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, EncodedLen(len(f.Payload))), f)
+	_, err := w.Write(buf)
+	return err
+}

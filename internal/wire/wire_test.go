@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpPing, ID: 1},
+		{Op: OpPut, ID: 42, Payload: AppendPutReq(nil, []byte("k"), []byte("v"))},
+		{Op: OpGet, Status: StatusNotFound, ID: 1 << 60},
+		{Op: OpStats, ID: 7, Payload: bytes.Repeat([]byte("x"), 4096)},
+	}
+	for _, f := range frames {
+		buf := AppendFrame(nil, f)
+		if len(buf) != EncodedLen(len(f.Payload)) {
+			t.Fatalf("EncodedLen(%d) = %d, encoded %d bytes", len(f.Payload), EncodedLen(len(f.Payload)), len(buf))
+		}
+		got, n, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if got.Op != f.Op || got.Status != f.Status || got.ID != f.ID || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+		}
+		// And through the stream reader.
+		rf, err := ReadFrame(bytes.NewReader(buf), 0)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if rf.ID != f.ID || !bytes.Equal(rf.Payload, f.Payload) {
+			t.Fatalf("ReadFrame mismatch")
+		}
+	}
+}
+
+func TestDecodeFrameMultiple(t *testing.T) {
+	buf := AppendFrame(nil, Frame{Op: OpPing, ID: 1})
+	buf = AppendFrame(buf, Frame{Op: OpPing, ID: 2})
+	f1, n1, err := DecodeFrame(buf, 0)
+	if err != nil || f1.ID != 1 {
+		t.Fatalf("first: %v %+v", err, f1)
+	}
+	f2, n2, err := DecodeFrame(buf[n1:], 0)
+	if err != nil || f2.ID != 2 {
+		t.Fatalf("second: %v %+v", err, f2)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d, want %d", n1+n2, len(buf))
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	good := AppendFrame(nil, Frame{Op: OpPut, ID: 9, Payload: []byte("payload")})
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short prefix", good[:3], ErrTruncated},
+		{"truncated body", good[:len(good)-2], ErrTruncated},
+		{"tiny declared length", binary.BigEndian.AppendUint32(nil, 5), ErrFrameTooSmall},
+		{"huge declared length", binary.BigEndian.AppendUint32(nil, MaxFrame+1), ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.buf, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Flipped payload bit fails the CRC.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-6] ^= 0x40
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("corrupt payload: got %v, want ErrBadCRC", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("ReadFrame corrupt payload: got %v, want ErrBadCRC", err)
+	}
+
+	// A caller-supplied cap below the frame size rejects before allocating.
+	if _, _, err := DecodeFrame(good, 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("small cap: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// Stream EOF semantics: clean boundary vs mid-frame.
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:7]), 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-frame EOF: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	k, v := []byte("key"), []byte("value bytes")
+	if gk, gv, err := DecodePutReq(AppendPutReq(nil, k, v)); err != nil || !bytes.Equal(gk, k) || !bytes.Equal(gv, v) {
+		t.Fatalf("put: %v %q %q", err, gk, gv)
+	}
+	if gk, err := DecodeKeyReq(AppendKeyReq(nil, k)); err != nil || !bytes.Equal(gk, k) {
+		t.Fatalf("key: %v %q", err, gk)
+	}
+
+	ops := []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Delete: true},
+		{Key: []byte("c"), Value: nil},
+	}
+	got, err := DecodeBatchReq(AppendBatchReq(nil, ops))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("batch count %d, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !bytes.Equal(got[i].Key, ops[i].Key) || got[i].Delete != ops[i].Delete || !bytes.Equal(got[i].Value, ops[i].Value) {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+
+	keys := [][]byte{[]byte("k1"), []byte("k2")}
+	gk, err := DecodeMGetReq(AppendMGetReq(nil, keys))
+	if err != nil || len(gk) != 2 || !bytes.Equal(gk[0], keys[0]) || !bytes.Equal(gk[1], keys[1]) {
+		t.Fatalf("mget req: %v %q", err, gk)
+	}
+
+	vals := [][]byte{[]byte("v1"), nil, {}}
+	gv, err := DecodeMGetResp(AppendMGetResp(nil, vals))
+	if err != nil || len(gv) != 3 {
+		t.Fatalf("mget resp: %v %d", err, len(gv))
+	}
+	if !bytes.Equal(gv[0], vals[0]) || gv[1] != nil || gv[2] == nil || len(gv[2]) != 0 {
+		t.Fatalf("mget resp values: %q", gv)
+	}
+
+	start, limit, err := DecodeScanReq(AppendScanReq(nil, []byte("s"), 77))
+	if err != nil || !bytes.Equal(start, []byte("s")) || limit != 77 {
+		t.Fatalf("scan req: %v %q %d", err, start, limit)
+	}
+	if start, limit, err = DecodeScanReq(AppendScanReq(nil, nil, 0)); err != nil || len(start) != 0 || limit != 0 {
+		t.Fatalf("scan req empty start: %v %q %d", err, start, limit)
+	}
+
+	kvs := []KV{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Value: nil}}
+	gkv, err := DecodeScanResp(AppendScanResp(nil, kvs))
+	if err != nil || len(gkv) != 2 || !bytes.Equal(gkv[0].Key, kvs[0].Key) || !bytes.Equal(gkv[1].Key, kvs[1].Key) {
+		t.Fatalf("scan resp: %v %+v", err, gkv)
+	}
+}
+
+func TestPayloadMalformed(t *testing.T) {
+	// Empty keys are rejected everywhere a key is required.
+	if _, _, err := DecodePutReq(AppendPutReq(nil, nil, []byte("v"))); err == nil {
+		t.Error("put with empty key decoded")
+	}
+	if _, err := DecodeKeyReq(AppendKeyReq(nil, nil)); err == nil {
+		t.Error("get with empty key decoded")
+	}
+	// Trailing bytes are rejected.
+	if _, err := DecodeKeyReq(append(AppendKeyReq(nil, []byte("k")), 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A declared count far beyond the payload errors instead of allocating.
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, err := DecodeBatchReq(huge); err == nil {
+		t.Error("huge batch count decoded")
+	}
+	if _, err := DecodeMGetReq(huge); err == nil {
+		t.Error("huge mget count decoded")
+	}
+	// Key length beyond MaxKeyLen is rejected without reading the key.
+	big := binary.AppendUvarint(nil, MaxKeyLen+1)
+	if _, err := DecodeKeyReq(big); err == nil {
+		t.Error("oversized key length decoded")
+	}
+}
