@@ -20,6 +20,7 @@
 //	hyperctl del  <key>
 //	hyperctl scan [-limit N] [start]
 //	hyperctl stats
+//	hyperctl repl status   replication role, log window, per-follower lag
 //	hyperctl badframe      send deliberately malformed bytes (protocol test)
 package main
 
@@ -51,6 +52,8 @@ func main() {
 		recoverDemo(os.Args[2:])
 	case "ping", "put", "get", "del", "scan", "stats", "badframe":
 		remote(os.Args[1], os.Args[2:])
+	case "repl":
+		replCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -112,7 +115,7 @@ func recoverDemo(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|del|scan|stats|badframe> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|del|scan|stats|repl|badframe> [flags]")
 	os.Exit(2)
 }
 

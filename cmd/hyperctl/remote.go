@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"hyperdb/internal/client"
@@ -88,6 +89,74 @@ func remote(cmd string, args []string) {
 			fatal(err)
 		}
 		fmt.Print(text)
+	}
+}
+
+// replCmd implements `hyperctl repl status`: fetch the server's stats text
+// and render the replication section — the node's role, its log window, and
+// each attached follower's acknowledged sequence and lag.
+func replCmd(args []string) {
+	// Accept both `repl status -addr A` and `repl -addr A status`.
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub = args[0]
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("repl status", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4980", "hyperd address")
+	fs.Parse(args)
+	if sub == "" && fs.NArg() == 1 {
+		sub = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		fatalf("usage: hyperctl repl status [-addr A]")
+	}
+	if sub != "status" {
+		fatalf("usage: hyperctl repl status [-addr A]")
+	}
+
+	c, err := client.Dial(client.Options{Addr: *addr, Conns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	text, err := c.Stats()
+	if err != nil {
+		fatal(err)
+	}
+
+	vals := map[string]string{}
+	var followers [][]string
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "repl.") {
+			continue
+		}
+		if fields[0] == "repl.follower" {
+			followers = append(followers, fields[1:])
+			continue
+		}
+		vals[fields[0]] = fields[1]
+	}
+	role, ok := vals["repl.role"]
+	if !ok {
+		fatalf("server at %s reports no replication section (old hyperd?)", *addr)
+	}
+	fmt.Printf("role: %s\n", role)
+	if a, ok := vals["repl.applied"]; ok {
+		fmt.Printf("applied: %s\n", a)
+	}
+	if h, ok := vals["repl.log_head"]; ok {
+		fmt.Printf("log: head=%s floor=%s entries=%s pending=%s\n",
+			h, vals["repl.log_floor"], vals["repl.log_entries"], vals["repl.log_pending"])
+		fmt.Printf("followers: %s\n", vals["repl.followers"])
+		for _, f := range followers {
+			// fields: NAME acked N lag M
+			if len(f) == 5 {
+				fmt.Printf("  %-24s acked=%-10s lag=%s\n", f[0], f[2], f[4])
+			}
+		}
+	} else {
+		fmt.Println("replication: disabled (no log; start hyperd with -role)")
 	}
 }
 

@@ -9,6 +9,16 @@
 //
 //	hyperd -addr :4980 -partitions 8 -nvme 268435456 -sata 8589934592
 //
+// Replication: -role=primary ships a sequence-tagged op log to followers
+// that attach with REPL_HELLO; -role=follower dials -upstream, applies the
+// stream (bootstrapping via snapshot when it has fallen off the retained
+// window), rejects foreground writes, and re-ships its own log so further
+// replicas can chain off it. SIGHUP promotes a follower to primary: the
+// applier stops and the node starts accepting writes.
+//
+//	hyperd -addr :4980 -role primary -repl-sync
+//	hyperd -addr :4981 -role follower -upstream 127.0.0.1:4980
+//
 // SIGINT/SIGTERM trigger the graceful sequence: stop accepting, drain
 // in-flight requests, flush responses, DrainBackground, Close. Exit code 0
 // means every acknowledged write reached the engine before exit.
@@ -18,12 +28,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"hyperdb"
+	"hyperdb/internal/client"
+	"hyperdb/internal/repl"
 	"hyperdb/internal/server"
 )
 
@@ -40,20 +54,44 @@ func main() {
 		linger      = flag.Duration("coalesce-wait", 0, "optional drain linger for fatter batches")
 		maxScan     = flag.Int("max-scan", 4096, "cap on per-request scan limits")
 		quiet       = flag.Bool("quiet", false, "suppress connection logging")
+		role        = flag.String("role", "", "replication role: empty (standalone), primary, or follower")
+		upstream    = flag.String("upstream", "", "primary address to replicate from (follower role)")
+		replSync    = flag.Bool("repl-sync", false, "writes wait for every attached follower's ack")
+		replEntries = flag.Int("repl-log-entries", 0, "retained replication log entries (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "hyperd: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
+	switch *role {
+	case "", "primary", "follower":
+	default:
+		fmt.Fprintf(os.Stderr, "hyperd: -role must be primary or follower, got %q\n", *role)
+		os.Exit(2)
+	}
+	if *role == "follower" && *upstream == "" {
+		fmt.Fprintln(os.Stderr, "hyperd: -role follower requires -upstream")
+		os.Exit(2)
+	}
 
-	db, err := hyperdb.Open(hyperdb.Options{
+	opts := hyperdb.Options{
 		Partitions:   *partitions,
 		NVMeCapacity: *nvme,
 		SATACapacity: *sata,
 		CacheBytes:   *cacheBytes,
 		Unthrottled:  *unthrottled,
-	})
+		Follower:     *role == "follower",
+	}
+	// Any replicating role ships a log: a primary feeds its followers, and
+	// a follower re-ships what it applies so replicas can chain — and so it
+	// has a live log the moment it is promoted.
+	var rlog *repl.Log
+	if *role != "" {
+		rlog = repl.NewLog(repl.LogConfig{MaxEntries: *replEntries, SyncAck: *replSync})
+		opts.Tee = rlog
+	}
+	db, err := hyperdb.Open(opts)
 	if err != nil {
 		log.Fatalf("hyperd: open engine: %v", err)
 	}
@@ -62,7 +100,7 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DB:           db,
 		OwnDB:        true, // Shutdown drains background work and closes the DB
 		MaxConns:     *maxConns,
@@ -70,7 +108,11 @@ func main() {
 		CoalesceWait: *linger,
 		MaxScanLimit: *maxScan,
 		Logf:         logf,
-	})
+	}
+	if rlog != nil {
+		cfg.Repl = &repl.Primary{DB: db, Log: rlog}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		db.Close()
 		log.Fatalf("hyperd: %v", err)
@@ -81,13 +123,47 @@ func main() {
 		db.Close()
 		log.Fatalf("hyperd: listen: %v", err)
 	}
-	log.Printf("hyperd: serving on %s (%d partitions, NVMe %d MiB, SATA %d MiB)",
-		bound, *partitions, *nvme>>20, *sata>>20)
+	roleDesc := "standalone"
+	if *role != "" {
+		roleDesc = *role
+	}
+	log.Printf("hyperd: serving on %s as %s (%d partitions, NVMe %d MiB, SATA %d MiB)",
+		bound, roleDesc, *partitions, *nvme>>20, *sata>>20)
+
+	// The follower applier: dial the upstream, attach, apply the stream;
+	// redial with capped backoff when the upstream goes away.
+	applierStop := make(chan struct{})
+	applierDone := make(chan struct{})
+	var stopApplier = func() {}
+	if *role == "follower" {
+		go runApplier(db, rlog, *upstream, applierStop, applierDone)
+		var once sync.Once
+		stopApplier = func() {
+			once.Do(func() {
+				close(applierStop)
+				<-applierDone
+			})
+		}
+	}
 
 	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	sig := <-sigCh
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	var sig os.Signal
+	for {
+		sig = <-sigCh
+		if sig != syscall.SIGHUP {
+			break
+		}
+		if !db.IsFollower() {
+			log.Printf("hyperd: SIGHUP ignored (not a follower)")
+			continue
+		}
+		stopApplier()
+		db.Promote()
+		log.Printf("hyperd: promoted to primary (applier stopped, accepting writes)")
+	}
 	log.Printf("hyperd: %s received, draining...", sig)
+	stopApplier()
 	// A second signal while draining force-exits; the deferred Close race
 	// this used to create is why DB.Close is concurrency-safe.
 	go func() {
@@ -106,4 +182,51 @@ func main() {
 	log.Printf("hyperd: drained in %v (%d conns served, %d write batches, mean %0.2f ops/batch)",
 		time.Since(t0).Round(time.Millisecond), st.ConnsAccepted.Load(),
 		st.WriteBatches.Load(), st.MeanWriteBatch())
+}
+
+// runApplier keeps a follower attached to its upstream: dial, REPL_HELLO at
+// the node's applied sequence, apply the stream until it breaks, then redial
+// with capped exponential backoff. Each reattach resumes from CommitSeq, so
+// a follower that fell off the retained window during an outage bootstraps
+// again via snapshot automatically.
+func runApplier(db *hyperdb.DB, rlog *repl.Log, upstream string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	fol := &repl.Follower{DB: db, Log: rlog}
+	var bo client.Backoff
+	wait := func() bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(bo.Next()):
+			return true
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		nc, err := net.DialTimeout("tcp", upstream, 5*time.Second)
+		if err != nil {
+			log.Printf("hyperd: dial upstream %s: %v", upstream, err)
+			if !wait() {
+				return
+			}
+			continue
+		}
+		bo.Reset()
+		log.Printf("hyperd: attached to upstream %s at seq %d", upstream, db.CommitSeq())
+		if err := fol.Run(nc, stop); err != nil {
+			log.Printf("hyperd: replication stream: %v", err)
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !wait() {
+			return
+		}
+	}
 }

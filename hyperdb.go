@@ -41,6 +41,9 @@ var ErrNotFound = core.ErrNotFound
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = core.ErrClosed
 
+// ErrFollower is returned by foreground writes on a follower-mode DB.
+var ErrFollower = core.ErrFollower
+
 // DB is a HyperDB instance over a pair of simulated devices.
 type DB struct {
 	inner *core.DB
@@ -141,6 +144,30 @@ func (db *DB) MigrationStep(partition int) error { return db.inner.MigrationStep
 // CompactionStep runs at most one compaction for a partition.
 func (db *DB) CompactionStep(partition int) (bool, error) {
 	return db.inner.CompactionStep(partition)
+}
+
+// IsFollower reports whether the DB is in follower (replica) mode.
+func (db *DB) IsFollower() bool { return db.inner.IsFollower() }
+
+// Promote flips a follower to primary. The caller must have stopped the
+// replication applier first; promoting a primary is a no-op.
+func (db *DB) Promote() { db.inner.Promote() }
+
+// CommitSeq returns the highest sequence number the DB has allocated (or,
+// on a follower, applied).
+func (db *DB) CommitSeq() uint64 { return db.inner.CommitSeq() }
+
+// ApplyReplicated applies one shipped replication log entry on a follower;
+// op i carries sequence base+i. Entries must arrive in increasing base
+// order.
+func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
+	return db.inner.ApplyReplicated(ops, base)
+}
+
+// ApplySnapshotChunk applies one streamed bootstrap chunk on a follower,
+// tagging every pair with the snapshot's pinned sequence.
+func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
+	return db.inner.ApplySnapshotChunk(ops, seq)
 }
 
 // Engine exposes the underlying core engine for advanced instrumentation.

@@ -1,0 +1,51 @@
+package client
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces capped exponential delays with jitter for redial loops.
+// Each Next doubles the base delay up to Max and returns a uniformly random
+// duration in [base/2, base], so a fleet of clients reconnecting to the
+// same reborn server spreads out instead of stampeding. The zero value is
+// unusable; fill Initial and Max (Reset applies defaults of 50ms and 2s).
+// Not safe for concurrent use; each dial loop owns its own Backoff.
+type Backoff struct {
+	// Initial is the first delay. Default 50ms.
+	Initial time.Duration
+	// Max caps the exponential growth. Default 2s.
+	Max time.Duration
+
+	base time.Duration
+}
+
+// Next returns the delay to sleep before the upcoming attempt.
+func (b *Backoff) Next() time.Duration {
+	if b.base == 0 {
+		b.Reset()
+		b.base = b.Initial
+	} else {
+		b.base *= 2
+		if b.base > b.Max {
+			b.base = b.Max
+		}
+	}
+	half := b.base / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Reset restores the initial delay after a successful connection, and
+// fills zero fields with defaults.
+func (b *Backoff) Reset() {
+	if b.Initial <= 0 {
+		b.Initial = 50 * time.Millisecond
+	}
+	if b.Max < b.Initial {
+		b.Max = 2 * time.Second
+		if b.Max < b.Initial {
+			b.Max = b.Initial
+		}
+	}
+	b.base = 0
+}

@@ -34,6 +34,17 @@ type Options struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds response frames. Default wire.MaxFrame.
 	MaxFrame uint32
+	// RedialAttempts caps connection attempts per call; failed attempts
+	// are retried after a capped exponential backoff with jitter (see
+	// Backoff). Default 3. Set to 1 to fail on the first refusal.
+	RedialAttempts int
+	// RedialBackoff is the first retry delay; RedialBackoffMax caps the
+	// exponential growth. Defaults 50ms and 2s.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// DialFunc overrides the transport dialer (tests, proxies). Default is
+	// a DialTimeout-bounded net.DialTimeout.
+	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o *Options) fill() error {
@@ -48,6 +59,14 @@ func (o *Options) fill() error {
 	}
 	if o.MaxFrame == 0 || o.MaxFrame > wire.MaxFrame {
 		o.MaxFrame = wire.MaxFrame
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 3
+	}
+	if o.DialFunc == nil {
+		o.DialFunc = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
 	}
 	return nil
 }
@@ -91,23 +110,51 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn returns pool slot i, dialing or redialing as needed.
+// conn returns pool slot i, dialing or redialing as needed. A refused
+// dial retries up to RedialAttempts times with capped exponential backoff
+// plus jitter; the mutex is released across dials and sleeps so other pool
+// slots keep serving while one slot waits out a dead server.
 func (c *Client) conn(i int) (*conn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
-	if cn := c.conns[i]; cn != nil && !cn.broken() {
+	bo := Backoff{Initial: c.opts.RedialBackoff, Max: c.opts.RedialBackoffMax}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.RedialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Next())
+		}
+		c.mu.Lock()
+		if c.closed.Load() {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if cn := c.conns[i]; cn != nil && !cn.broken() {
+			c.mu.Unlock()
+			return cn, nil
+		}
+		c.mu.Unlock()
+
+		nc, err := c.opts.DialFunc(c.opts.Addr, c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		if c.closed.Load() {
+			c.mu.Unlock()
+			nc.Close()
+			return nil, ErrClosed
+		}
+		if cn := c.conns[i]; cn != nil && !cn.broken() {
+			// A concurrent caller won the redial race; keep its conn.
+			c.mu.Unlock()
+			nc.Close()
+			return cn, nil
+		}
+		cn := newConn(nc, c.opts.MaxFrame)
+		c.conns[i] = cn
+		c.mu.Unlock()
 		return cn, nil
 	}
-	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, err)
-	}
-	cn := newConn(nc, c.opts.MaxFrame)
-	c.conns[i] = cn
-	return cn, nil
+	return nil, fmt.Errorf("client: dial %s: %w", c.opts.Addr, lastErr)
 }
 
 // call runs one request→response exchange on a round-robin pool slot.

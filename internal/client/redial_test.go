@@ -1,0 +1,136 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// refusedAddr returns an address that actively refuses connections: bind a
+// listener to grab a free port, then close it before anyone dials.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDialRetriesWithBackoffAgainstRefusingListener(t *testing.T) {
+	addr := refusedAddr(t)
+	var attempts atomic.Int64
+	t0 := time.Now()
+	_, err := Dial(Options{
+		Addr:           addr,
+		RedialAttempts: 3,
+		RedialBackoff:  10 * time.Millisecond,
+		DialFunc: func(a string, timeout time.Duration) (net.Conn, error) {
+			attempts.Add(1)
+			return net.DialTimeout("tcp", a, timeout)
+		},
+	})
+	if err == nil {
+		t.Fatal("dial against refusing listener succeeded")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("dial attempts = %d, want 3", got)
+	}
+	// Two backoff sleeps precede attempts 2 and 3: at least 10/2 + 20/2 ms.
+	if elapsed := time.Since(t0); elapsed < 15*time.Millisecond {
+		t.Fatalf("dial returned after %v; backoff sleeps were skipped", elapsed)
+	}
+}
+
+func TestDialSingleAttemptFailsFast(t *testing.T) {
+	addr := refusedAddr(t)
+	var attempts atomic.Int64
+	_, err := Dial(Options{
+		Addr:           addr,
+		RedialAttempts: 1,
+		DialFunc: func(a string, timeout time.Duration) (net.Conn, error) {
+			attempts.Add(1)
+			return net.DialTimeout("tcp", a, timeout)
+		},
+	})
+	if err == nil {
+		t.Fatal("dial against refusing listener succeeded")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("dial attempts = %d, want 1", got)
+	}
+}
+
+func TestRedialRecoversWhenServerReturns(t *testing.T) {
+	// First attempt refused, second accepted: the backoff loop inside one
+	// conn() call must recover without surfacing an error to the caller.
+	addr := refusedAddr(t)
+	var attempts atomic.Int64
+	fail := errors.New("synthetic refusal")
+	var ln net.Listener
+	c, err := Dial(Options{
+		Addr:           addr,
+		RedialAttempts: 4,
+		RedialBackoff:  5 * time.Millisecond,
+		DialFunc: func(a string, timeout time.Duration) (net.Conn, error) {
+			if attempts.Add(1) == 1 {
+				return nil, fail
+			}
+			if ln == nil {
+				var lerr error
+				if ln, lerr = net.Listen("tcp", "127.0.0.1:0"); lerr != nil {
+					return nil, lerr
+				}
+				go func() {
+					// Absorb the connection; Dial only needs the TCP accept.
+					nc, aerr := ln.Accept()
+					if aerr == nil {
+						defer nc.Close()
+						time.Sleep(100 * time.Millisecond)
+					}
+				}()
+			}
+			return net.DialTimeout("tcp", ln.Addr().String(), timeout)
+		},
+	})
+	if err != nil {
+		t.Fatalf("dial did not recover: %v", err)
+	}
+	defer c.Close()
+	if ln != nil {
+		defer ln.Close()
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("dial attempts = %d, want 2", got)
+	}
+}
+
+func TestBackoffCapsAndJitters(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	prevBase := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		base := 10 * time.Millisecond << i
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, base/2, base)
+		}
+		if base == 80*time.Millisecond && prevBase == base {
+			// Capped: stays within the cap window forever.
+			if d > 80*time.Millisecond {
+				t.Fatalf("delay %v exceeds cap", d)
+			}
+		}
+		prevBase = base
+	}
+	b.Reset()
+	if d := b.Next(); d > 10*time.Millisecond {
+		t.Fatalf("post-reset delay %v did not restart at Initial", d)
+	}
+}

@@ -23,9 +23,16 @@ type BatchOp struct {
 // duplicate keys resolve last-write-wins. The batch is not atomic across
 // partitions (each partition group is its own lock scope), matching the
 // paper's shared-nothing design; an error may leave a prefix applied.
+//
+// When a replication tee is installed the batch is also appended to the
+// tee's log before the apply and committed after it; Commit may block until
+// followers acknowledge when synchronous replication is on.
 func (db *DB) WriteBatch(ops []BatchOp) error {
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if db.follower.Load() {
+		return ErrFollower
 	}
 	if len(ops) == 0 {
 		return nil
@@ -39,10 +46,32 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 	}
 
 	// One sequence block for the batch; op i carries base+i so slice order
-	// is sequence order and duplicates resolve last-write-wins.
+	// is sequence order and duplicates resolve last-write-wins. With a tee
+	// the allocation and the log append share a critical section so the
+	// shipped log's base order matches sequence order.
 	n := uint64(len(ops))
-	base := db.seq.Add(n) - n + 1
+	var base, tok uint64
+	tee := db.opts.Tee
+	if tee != nil {
+		db.replMu.Lock()
+		base = db.seq.Add(n) - n + 1
+		tok = tee.Append(base, ops)
+		db.replMu.Unlock()
+	} else {
+		base = db.seq.Add(n) - n + 1
+	}
 
+	err := db.applyAt(ops, func(i int) uint64 { return base + uint64(i) })
+	if tee != nil {
+		tee.Commit(tok, err == nil)
+	}
+	return err
+}
+
+// applyAt applies ops grouped per partition, tagging op i with seqOf(i).
+// Shared by the foreground WriteBatch path and the replication appliers, so
+// replicated writes exercise the identical tracker/zone/stall machinery.
+func (db *DB) applyAt(ops []BatchOp, seqOf func(int) uint64) error {
 	// Group op indices per partition, preserving slice order within a group.
 	groups := make(map[*partition][]int, len(db.parts))
 	for i := range ops {
@@ -63,7 +92,7 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 			zops[gi] = zone.BatchOp{
 				Key:    ops[i].Key,
 				Value:  ops[i].Value,
-				Seq:    base + uint64(i),
+				Seq:    seqOf(i),
 				Hot:    hot[gi],
 				Delete: ops[i].Delete,
 			}
@@ -86,6 +115,79 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 		db.maybeTriggerMigration(p)
 	}
 	return nil
+}
+
+// advanceSeqTo lifts the sequence counter to at least s, so sequences the
+// node mints after a promotion stay above everything it applied.
+func (db *DB) advanceSeqTo(s uint64) {
+	for {
+		cur := db.seq.Load()
+		if cur >= s || db.seq.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// ApplyReplicated applies one shipped log entry on a follower: op i carries
+// sequence base+i, exactly as the primary committed it. Entries must be
+// applied in increasing base order (the single-applier contract) so that
+// per-key sequence order matches apply order. The entry is re-teed when a
+// tee is installed, which lets a follower feed its own downstream replicas.
+func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if !db.follower.Load() {
+		return fmt.Errorf("hyperdb: ApplyReplicated on a primary")
+	}
+	if len(ops) == 0 || base == 0 {
+		return fmt.Errorf("hyperdb: malformed replicated entry (base=%d, %d ops)", base, len(ops))
+	}
+	for i := range ops {
+		if len(ops[i].Key) == 0 {
+			return fmt.Errorf("hyperdb: empty key at replicated index %d", i)
+		}
+	}
+	db.advanceSeqTo(base + uint64(len(ops)) - 1)
+
+	var tok uint64
+	tee := db.opts.Tee
+	if tee != nil {
+		db.replMu.Lock()
+		tok = tee.Append(base, ops)
+		db.replMu.Unlock()
+	}
+	err := db.applyAt(ops, func(i int) uint64 { return base + uint64(i) })
+	if tee != nil {
+		tee.Commit(tok, err == nil)
+	}
+	return err
+}
+
+// ApplySnapshotChunk applies one streamed bootstrap chunk on a follower.
+// Every pair is tagged with the snapshot's pinned sequence seq: snapshot
+// values reflect primary state no newer than the log tail that follows, so
+// a uniform tag below the tail keeps per-key sequence order intact — both
+// live (the tail re-applies any racing write) and across a follower crash
+// (recovery picks the highest sequence per key). Chunks are not teed; a
+// follower that chains further replicas must floor its own log at seq.
+func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if !db.follower.Load() {
+		return fmt.Errorf("hyperdb: ApplySnapshotChunk on a primary")
+	}
+	for i := range ops {
+		if len(ops[i].Key) == 0 {
+			return fmt.Errorf("hyperdb: empty key at snapshot index %d", i)
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	db.advanceSeqTo(seq)
+	return db.applyAt(ops, func(int) uint64 { return seq })
 }
 
 // MultiGet looks up every key and returns positionally aligned values; a

@@ -21,6 +21,11 @@ var ErrClosed = errors.New("hyperdb: closed")
 // ErrNotFound is returned by Get for missing or deleted keys.
 var ErrNotFound = errors.New("hyperdb: not found")
 
+// ErrFollower is returned by foreground writes on a DB opened in follower
+// mode: replicas accept writes only through the replication apply path
+// until Promote makes them primary.
+var ErrFollower = errors.New("hyperdb: follower is read-only")
+
 // promotion is one pending hot-object copy into the performance tier.
 type promotion struct {
 	key   []byte
@@ -60,6 +65,13 @@ type DB struct {
 	// keeping steady-state promotions allocation-free on the read path.
 	promoPool sync.Pool
 
+	// follower marks replica mode (see Options.Follower); Promote clears it.
+	follower atomic.Bool
+	// replMu orders sequence-block allocation and the replication tee's
+	// Append so the shipped log is strictly base-ordered. Only taken when a
+	// tee is installed — the unreplicated hot path stays lock-free.
+	replMu sync.Mutex
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -77,6 +89,7 @@ func Open(opts Options) (*DB, error) {
 		cache: cache.NewLRU(opts.CacheBytes, nil),
 		stop:  make(chan struct{}),
 	}
+	db.follower.Store(opts.Follower)
 
 	p := uint64(opts.Partitions)
 	width := math.MaxUint64/p + 1
@@ -183,8 +196,16 @@ func (db *DB) Put(key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.follower.Load() {
+		return ErrFollower
+	}
 	if len(key) == 0 {
 		return fmt.Errorf("hyperdb: empty key")
+	}
+	if db.opts.Tee != nil {
+		// Replicated deployments route every write through the batch path so
+		// the tee sees one committed, seq-tagged entry per logical write.
+		return db.WriteBatch([]BatchOp{{Key: key, Value: value}})
 	}
 	p := db.partFor(key)
 	hot := p.tracker.Record(key)
@@ -254,6 +275,15 @@ func (db *DB) Delete(key []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.follower.Load() {
+		return ErrFollower
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("hyperdb: empty key")
+	}
+	if db.opts.Tee != nil {
+		return db.WriteBatch([]BatchOp{{Key: key, Delete: true}})
+	}
 	p := db.partFor(key)
 	p.tracker.Record(key)
 	seq := db.nextSeq()
@@ -309,6 +339,13 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 // atomic ops and no allocation, and the buffers come from a pool so
 // steady-state promotion enqueues allocate nothing.
 func (db *DB) enqueuePromotion(p *partition, key, value []byte) {
+	if db.follower.Load() {
+		// A promotion mints a fresh local sequence; on a follower that could
+		// collide with a sequence the primary has yet to ship, leaving two
+		// different versions of a key tagged identically after a crash.
+		// Replicas therefore serve capacity-tier hits without promoting.
+		return
+	}
 	if p.promoSlots.Add(-1) < 0 {
 		p.promoSlots.Add(1)
 		p.promoDrop.Add(1)
@@ -341,6 +378,20 @@ func (db *DB) maybeTriggerMigration(p *partition) {
 		db.wake(p.wakeMig)
 	}
 }
+
+// IsFollower reports whether the DB is currently in replica mode.
+func (db *DB) IsFollower() bool { return db.follower.Load() }
+
+// Promote flips a follower to primary: foreground writes are accepted and
+// reads may promote again. The caller must have stopped the replication
+// applier first — a replicated apply racing a promotion would interleave
+// primary-minted and upstream sequences. Idempotent.
+func (db *DB) Promote() { db.follower.Store(false) }
+
+// CommitSeq returns the highest sequence the engine has issued (primary) or
+// applied (follower). On a primary with a replication tee this is also the
+// upper bound of the shipped log.
+func (db *DB) CommitSeq() uint64 { return db.seq.Load() }
 
 // Partitions returns the partition count (for harness introspection).
 func (db *DB) Partitions() int { return len(db.parts) }

@@ -15,6 +15,18 @@ import (
 	"hyperdb/internal/hotness"
 )
 
+// Tee observes every committed foreground write for replication. Append is
+// called under the engine's replication mutex immediately after the batch's
+// sequence block is allocated — so calls arrive in strictly increasing base
+// order — and before the batch is applied. Commit resolves the entry once
+// the apply finishes; with ok=true it may block until downstream followers
+// acknowledge (synchronous replication), with ok=false the entry is dropped
+// (the batch failed and was never acknowledged to the client).
+type Tee interface {
+	Append(base uint64, ops []BatchOp) (token uint64)
+	Commit(token uint64, ok bool)
+}
+
 // Options configures a DB.
 type Options struct {
 	// NVMe is the performance-tier device (required).
@@ -69,6 +81,15 @@ type Options struct {
 	// reproduces the paper's "no improvement" result; the ablation measures
 	// what it buys.
 	ScanPrefetch bool
+	// Follower opens the DB in replica mode: foreground writes are rejected
+	// with ErrFollower and reads never enqueue promotions (promotion would
+	// mint local sequences that could collide with the primary's). Writes
+	// arrive only through ApplyReplicated/ApplySnapshotChunk until Promote
+	// flips the node to primary.
+	Follower bool
+	// Tee, when non-nil, receives every committed foreground write (and, on
+	// followers, every replicated apply) for log shipping to replicas.
+	Tee Tee
 }
 
 func (o *Options) fill() {

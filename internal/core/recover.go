@@ -27,6 +27,7 @@ func Recover(opts Options) (*DB, error) {
 		cache: cache.NewLRU(opts.CacheBytes, nil),
 		stop:  make(chan struct{}),
 	}
+	db.follower.Store(opts.Follower)
 
 	p := uint64(opts.Partitions)
 	width := math.MaxUint64/p + 1

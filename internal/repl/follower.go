@@ -1,0 +1,168 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/wire"
+)
+
+// Follower drives the replica side of one upstream connection: announce the
+// last applied sequence, bootstrap from a snapshot when the primary says
+// so, then apply tailed entries and acknowledge each one. The store must be
+// open in follower mode; every apply goes through the engine's normal batch
+// machinery so zone placement, hotness, and compaction behave exactly as
+// they would on the primary.
+type Follower struct {
+	DB DB
+	// Log, when non-nil, is this node's own replication log (the engine's
+	// Tee). A snapshot bootstrap floors it at the snapshot sequence so that,
+	// after a promotion, downstream followers can't silently tail across
+	// history this node never logged.
+	Log *Log
+}
+
+// Run replicates from the upstream connection until it fails or stop
+// closes. It returns nil on stop, the transport or apply error otherwise;
+// the caller owns redial policy. Run closes nc.
+func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
+	defer nc.Close()
+	// Translate stop into a socket close so blocking reads abort promptly.
+	finished := make(chan struct{})
+	defer close(finished)
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				nc.Close()
+			case <-finished:
+			}
+		}()
+	}
+	isStop := func() bool {
+		if stop == nil {
+			return false
+		}
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	lastApplied := f.DB.CommitSeq()
+	err := writeFrame(bw, wire.Frame{
+		Op:      wire.OpReplHello,
+		Payload: wire.AppendReplHelloReq(nil, lastApplied),
+	})
+	if err != nil {
+		if isStop() {
+			return nil
+		}
+		return err
+	}
+
+	hello, err := wire.ReadFrame(br, wire.MaxFrame)
+	if err != nil {
+		if isStop() {
+			return nil
+		}
+		return err
+	}
+	if hello.Op != wire.OpReplHello || hello.Status != wire.StatusOK {
+		return fmt.Errorf("repl: upstream rejected hello: op=%s status=%d %q", hello.Op, hello.Status, hello.Payload)
+	}
+	mode, startSeq, err := wire.DecodeReplHelloResp(hello.Payload)
+	if err != nil {
+		return err
+	}
+
+	if mode == wire.ReplModeSnapshot {
+		if err := f.bootstrap(br, startSeq); err != nil {
+			if isStop() {
+				return nil
+			}
+			return err
+		}
+	}
+
+	for {
+		fr, err := wire.ReadFrame(br, wire.MaxFrame)
+		if err != nil {
+			if isStop() {
+				return nil
+			}
+			return err
+		}
+		if fr.Op != wire.OpReplFrame {
+			return fmt.Errorf("repl: unexpected op %s while tailing", fr.Op)
+		}
+		base, wops, err := wire.DecodeReplFrame(fr.Payload)
+		if err != nil {
+			return err
+		}
+		if err := f.DB.ApplyReplicated(fromWireOps(wops), base); err != nil {
+			return fmt.Errorf("repl: apply entry at %d: %w", base, err)
+		}
+		last := base + uint64(len(wops)) - 1
+		err = writeFrame(bw, wire.Frame{
+			Op: wire.OpReplAck, Status: wire.StatusOK, ID: fr.ID,
+			Payload: wire.AppendReplAck(nil, last),
+		})
+		if err != nil {
+			if isStop() {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// bootstrap consumes the snapshot stream, applying every chunk at the
+// pinned sequence, and floors this node's own log when it has one.
+func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
+	for {
+		fr, err := wire.ReadFrame(br, wire.MaxFrame)
+		if err != nil {
+			return err
+		}
+		if fr.Op != wire.OpReplSnapshot {
+			return fmt.Errorf("repl: unexpected op %s during snapshot", fr.Op)
+		}
+		seq, kvs, done, err := wire.DecodeReplSnapshot(fr.Payload)
+		if err != nil {
+			return err
+		}
+		if seq != snapSeq {
+			return fmt.Errorf("repl: snapshot seq changed mid-stream: %d then %d", snapSeq, seq)
+		}
+		if len(kvs) > 0 {
+			if err := f.DB.ApplySnapshotChunk(kvsToBatch(kvs), snapSeq); err != nil {
+				return fmt.Errorf("repl: apply snapshot chunk: %w", err)
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if f.Log != nil {
+		f.Log.SetFloor(snapSeq)
+	}
+	return nil
+}
+
+func kvsToBatch(kvs []wire.KV) []core.BatchOp {
+	ops := make([]core.BatchOp, len(kvs))
+	for i, kv := range kvs {
+		ops[i] = core.BatchOp{
+			Key:   append([]byte(nil), kv.Key...),
+			Value: append([]byte(nil), kv.Value...),
+		}
+	}
+	return ops
+}

@@ -1,0 +1,533 @@
+// Package repl implements primary→follower replication: the primary tees
+// every committed WriteBatch into a bounded, sequence-tagged in-memory log
+// and ships it to subscribed followers over the wire protocol; a follower
+// that has fallen off the retained window bootstraps from a streamed
+// snapshot before tailing. Synchronous mode holds each write's commit until
+// every connected follower acknowledges it, which is what makes failover
+// lossless for acknowledged writes.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/wal"
+	"hyperdb/internal/wire"
+)
+
+// ErrOverrun reports a cursor that needs entries already truncated from the
+// log; the follower must re-bootstrap via snapshot.
+var ErrOverrun = errors.New("repl: cursor fell off the retained log window")
+
+// ErrStopped reports a blocking log wait cancelled by its stop channel.
+var ErrStopped = errors.New("repl: stopped")
+
+// LogConfig parameterises a replication log.
+type LogConfig struct {
+	// MaxEntries bounds the retained window (entry count). Default 1024.
+	MaxEntries int
+	// SyncAck holds Commit(ok) until every currently registered follower
+	// has acknowledged the entry. With no followers connected, commits
+	// proceed immediately.
+	SyncAck bool
+}
+
+func (c *LogConfig) fill() {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1024
+	}
+}
+
+const (
+	statePending = iota
+	stateCommitted
+	stateAborted
+)
+
+type entry struct {
+	base  uint64
+	last  uint64
+	ops   []core.BatchOp // deep-copied at Append
+	state uint8
+}
+
+// Log is the primary-side replication log. It implements core.Tee: the
+// engine appends each batch under its replication mutex right after the
+// batch's sequence block is allocated, so entries arrive in strictly
+// increasing base order; they resolve (commit or abort) out of order and
+// ship only across the resolved prefix, preserving base order on the wire.
+//
+// Sequence gaps between entries are expected: promotions mint sequences
+// that never reach the log (they relocate a value without changing it), and
+// aborted batches occupy sequences that are never shipped.
+type Log struct {
+	mu       sync.Mutex
+	cfg      LogConfig
+	entries  []*entry
+	resolved int    // entries[:resolved] are all committed or aborted
+	floor    uint64 // highest seq no longer available (dropped or never held)
+	head     uint64 // highest seq covered by any appended entry
+	pins     map[uint64]int
+	peers    map[*Peer]struct{}
+	// change is the broadcast primitive: closed and replaced whenever ship
+	// or ack progress is possible, so waiters can select on it.
+	change chan struct{}
+}
+
+// NewLog builds an empty log. A primary reopened over existing data must
+// SetFloor(db.CommitSeq()) so stale followers are forced through a
+// snapshot rather than silently missing the pre-log history.
+func NewLog(cfg LogConfig) *Log {
+	cfg.fill()
+	return &Log{
+		cfg:    cfg,
+		pins:   make(map[uint64]int),
+		peers:  make(map[*Peer]struct{}),
+		change: make(chan struct{}),
+	}
+}
+
+// broadcast wakes every waiter. Callers hold l.mu.
+func (l *Log) broadcast() {
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// Append records a pending entry covering [base, base+len(ops)-1]. Ops are
+// deep-copied: the caller's buffers are reused after its batch returns,
+// while the log outlives it. The returned token (the base itself — bases
+// are unique) resolves the entry in Commit. Implements core.Tee.
+func (l *Log) Append(base uint64, ops []core.BatchOp) uint64 {
+	e := &entry{base: base, last: base + uint64(len(ops)) - 1, ops: cloneOps(ops)}
+	l.mu.Lock()
+	if n := len(l.entries); n > 0 && base <= l.entries[n-1].last {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("repl: out-of-order append: base %d after %d", base, l.entries[n-1].last))
+	}
+	l.entries = append(l.entries, e)
+	if e.last > l.head {
+		l.head = e.last
+	}
+	l.truncateLocked()
+	l.mu.Unlock()
+	return base
+}
+
+// Commit resolves the entry appended under tok. ok=false (the batch failed
+// and was never acknowledged) drops it from shipping. With SyncAck and
+// ok=true, Commit blocks until every follower registered at this moment has
+// acknowledged the entry's last sequence — or has disconnected. Implements
+// core.Tee.
+func (l *Log) Commit(tok uint64, ok bool) {
+	l.mu.Lock()
+	e := l.findLocked(tok)
+	if e == nil || e.state != statePending {
+		l.mu.Unlock()
+		return
+	}
+	if ok {
+		e.state = stateCommitted
+	} else {
+		e.state = stateAborted
+	}
+	for l.resolved < len(l.entries) && l.entries[l.resolved].state != statePending {
+		l.resolved++
+	}
+	l.truncateLocked()
+	l.broadcast()
+
+	if !ok || !l.cfg.SyncAck || len(l.peers) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	// Wait for the followers connected right now; ones that join later
+	// start past this entry anyway, ones that drop out stop counting.
+	waitOn := make([]*Peer, 0, len(l.peers))
+	for p := range l.peers {
+		waitOn = append(waitOn, p)
+	}
+	target := e.last
+	for {
+		pending := false
+		for _, p := range waitOn {
+			if _, live := l.peers[p]; live && p.acked.Load() < target {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			l.mu.Unlock()
+			return
+		}
+		ch := l.change
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+	}
+}
+
+// findLocked locates the entry with the given base by binary search.
+func (l *Log) findLocked(base uint64) *entry {
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].base >= base })
+	if i < len(l.entries) && l.entries[i].base == base {
+		return l.entries[i]
+	}
+	return nil
+}
+
+// truncateLocked drops resolved prefix entries beyond the retained window,
+// never crossing a pin. Only committed entries raise the floor: aborted
+// ones are never shipped, so dropping them makes nothing unavailable.
+func (l *Log) truncateLocked() {
+	minPin := uint64(math.MaxUint64)
+	for s := range l.pins {
+		if s < minPin {
+			minPin = s
+		}
+	}
+	for len(l.entries) > l.cfg.MaxEntries && l.resolved > 0 {
+		e := l.entries[0]
+		if e.last > minPin {
+			return
+		}
+		l.entries = l.entries[1:]
+		l.resolved--
+		if e.state == stateCommitted && e.last > l.floor {
+			l.floor = e.last
+		}
+	}
+}
+
+// SetFloor raises the log's availability floor: followers at or below it
+// must bootstrap via snapshot. Used when a log fronts a store that already
+// holds history the log never saw (a recovered primary, or a follower that
+// itself bootstrapped from a snapshot).
+func (l *Log) SetFloor(seq uint64) {
+	l.mu.Lock()
+	if seq > l.floor {
+		l.floor = seq
+	}
+	if seq > l.head {
+		l.head = seq
+	}
+	l.mu.Unlock()
+}
+
+// Floor returns the highest unavailable sequence.
+func (l *Log) Floor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.floor
+}
+
+// Head returns the highest sequence any appended entry covers.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// PinHead pins the resolved head — the highest sequence S such that every
+// logged entry at or below S has resolved and, if committed, is applied and
+// visible to reads — and returns it. While pinned, entries above S are kept
+// shippable, so a snapshot taken at S can always hand off to a tail
+// subscription from S. Release with Unpin.
+func (l *Log) PinHead() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.floor
+	if l.resolved > 0 {
+		if last := l.entries[l.resolved-1].last; last > s {
+			s = last
+		}
+	}
+	l.pins[s]++
+	return s
+}
+
+// Unpin releases one PinHead reference on seq.
+func (l *Log) Unpin(seq uint64) {
+	l.mu.Lock()
+	if l.pins[seq]--; l.pins[seq] <= 0 {
+		delete(l.pins, seq)
+	}
+	l.truncateLocked()
+	l.mu.Unlock()
+}
+
+// Subscribe opens a ship cursor for a follower whose last applied sequence
+// is lastApplied. ok=false means the follower fell below the retained
+// window and must bootstrap via snapshot first.
+func (l *Log) Subscribe(lastApplied uint64) (*Cursor, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lastApplied < l.floor {
+		return nil, false
+	}
+	return &Cursor{log: l, next: lastApplied + 1}, true
+}
+
+// Cursor walks committed entries in base order for one follower.
+type Cursor struct {
+	log  *Log
+	next uint64
+}
+
+// Next blocks until the next committed entry at or above the cursor is
+// shippable, the cursor falls off the retained window (ErrOverrun — the
+// follower must re-bootstrap), or stop closes (ErrStopped).
+func (c *Cursor) Next(stop <-chan struct{}) (base uint64, ops []core.BatchOp, err error) {
+	l := c.log
+	l.mu.Lock()
+	for {
+		if c.next <= l.floor {
+			l.mu.Unlock()
+			return 0, nil, ErrOverrun
+		}
+		for i := 0; i < l.resolved; i++ {
+			e := l.entries[i]
+			if e.last < c.next || e.state != stateCommitted {
+				continue
+			}
+			c.next = e.last + 1
+			l.mu.Unlock()
+			return e.base, e.ops, nil
+		}
+		ch := l.change
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-stop:
+			return 0, nil, ErrStopped
+		}
+		l.mu.Lock()
+	}
+}
+
+// Peer tracks one connected follower's acknowledgement progress.
+type Peer struct {
+	log   *Log
+	name  string
+	acked atomic.Uint64
+}
+
+// Register adds a follower that has everything through acked.
+func (l *Log) Register(name string, acked uint64) *Peer {
+	p := &Peer{log: l, name: name}
+	p.acked.Store(acked)
+	l.mu.Lock()
+	l.peers[p] = struct{}{}
+	l.broadcast()
+	l.mu.Unlock()
+	return p
+}
+
+// Unregister removes a follower; synchronous commits stop waiting on it.
+func (l *Log) Unregister(p *Peer) {
+	l.mu.Lock()
+	delete(l.peers, p)
+	l.broadcast()
+	l.mu.Unlock()
+}
+
+// Ack records that the follower has durably applied everything through seq.
+func (p *Peer) Ack(seq uint64) {
+	for {
+		cur := p.acked.Load()
+		if seq <= cur {
+			return
+		}
+		if p.acked.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	p.log.mu.Lock()
+	p.log.broadcast()
+	p.log.mu.Unlock()
+}
+
+// Acked returns the follower's acknowledged sequence.
+func (p *Peer) Acked() uint64 { return p.acked.Load() }
+
+// PeerStatus is one follower's view in Status.
+type PeerStatus struct {
+	Name  string
+	Acked uint64
+	Lag   uint64 // log head minus acked
+}
+
+// LogStatus snapshots the log for stats reporting.
+type LogStatus struct {
+	Head    uint64
+	Floor   uint64
+	Entries int
+	Pending int
+	Peers   []PeerStatus
+}
+
+// Status snapshots head/floor/occupancy and per-follower lag. Lag measures
+// against the log head, not the engine's sequence counter: promotions mint
+// sequences that never ship, and counting them would show phantom lag.
+func (l *Log) Status() LogStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LogStatus{
+		Head:    l.head,
+		Floor:   l.floor,
+		Entries: len(l.entries),
+		Pending: len(l.entries) - l.resolved,
+	}
+	for p := range l.peers {
+		acked := p.acked.Load()
+		var lag uint64
+		if l.head > acked {
+			lag = l.head - acked
+		}
+		st.Peers = append(st.Peers, PeerStatus{Name: p.name, Acked: acked, Lag: lag})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].Name < st.Peers[j].Name })
+	return st
+}
+
+func cloneOps(ops []core.BatchOp) []core.BatchOp {
+	out := make([]core.BatchOp, len(ops))
+	for i, op := range ops {
+		out[i] = core.BatchOp{
+			Key:    append([]byte(nil), op.Key...),
+			Value:  append([]byte(nil), op.Value...),
+			Delete: op.Delete,
+		}
+	}
+	return out
+}
+
+// Log persistence: the retained window survives a *clean* shutdown only.
+// Records written mid-flight cannot be trusted after a crash — a torn tail
+// or an entry synced before its apply would desynchronise the log from the
+// recovered store, silently diverging followers that tail from it — so
+// SaveTo stamps a terminal clean-shutdown marker and RecoverLog discards
+// everything unless that marker is the final record. After a crash the
+// primary starts an empty log floored at its recovered CommitSeq, forcing
+// followers through a snapshot, which is always safe.
+const (
+	recEntry = 1
+	recClean = 2
+)
+
+// SaveTo writes the retained committed window and the clean marker to w,
+// then syncs once (records stage through the unsynced append path).
+func (l *Log) SaveTo(w *wal.WAL) error {
+	l.mu.Lock()
+	if l.resolved != len(l.entries) {
+		l.mu.Unlock()
+		return errors.New("repl: SaveTo with unresolved entries")
+	}
+	floor := l.floor
+	var recs [][]byte
+	for _, e := range l.entries {
+		if e.state != stateCommitted {
+			continue
+		}
+		rec := append([]byte{recEntry}, wire.AppendReplFrame(nil, e.base, toWireOps(e.ops))...)
+		recs = append(recs, rec)
+	}
+	l.mu.Unlock()
+
+	for _, rec := range recs {
+		if err := w.AppendNoSync(rec); err != nil {
+			return err
+		}
+	}
+	marker := append([]byte{recClean}, binary.AppendUvarint(nil, floor)...)
+	if err := w.AppendNoSync(marker); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// RecoverLog rebuilds a log from w. With a clean marker as the final record
+// the saved window is restored (and the WAL reset for the new instance);
+// anything else — empty log, torn tail, marker missing — yields a fresh log
+// floored at fallbackFloor.
+func RecoverLog(w *wal.WAL, cfg LogConfig, fallbackFloor uint64) (*Log, error) {
+	l := NewLog(cfg)
+	var entries []*entry
+	clean := false
+	err := w.Replay(func(rec []byte) error {
+		clean = false
+		if len(rec) == 0 {
+			return fmt.Errorf("repl: empty log record")
+		}
+		switch rec[0] {
+		case recEntry:
+			base, wops, err := wire.DecodeReplFrame(rec[1:])
+			if err != nil {
+				return fmt.Errorf("repl: bad log entry: %w", err)
+			}
+			e := &entry{base: base, last: base + uint64(len(wops)) - 1, ops: fromWireOps(wops), state: stateCommitted}
+			if n := len(entries); n > 0 && e.base <= entries[n-1].last {
+				return fmt.Errorf("repl: out-of-order saved entry at base %d", base)
+			}
+			entries = append(entries, e)
+		case recClean:
+			floor, n := binary.Uvarint(rec[1:])
+			if n <= 0 {
+				return fmt.Errorf("repl: bad clean marker")
+			}
+			l.floor = floor
+			clean = true
+		default:
+			return fmt.Errorf("repl: unknown log record kind %d", rec[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !clean {
+		fresh := NewLog(cfg)
+		fresh.floor = fallbackFloor
+		fresh.head = fallbackFloor
+		if err := w.Reset(); err != nil {
+			return nil, err
+		}
+		return fresh, nil
+	}
+	l.entries = entries
+	l.resolved = len(entries)
+	l.head = l.floor
+	if n := len(entries); n > 0 {
+		l.head = entries[n-1].last
+	}
+	// The marker is spent: a later crash must not replay into this window.
+	if err := w.Reset(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func toWireOps(ops []core.BatchOp) []wire.BatchOp {
+	out := make([]wire.BatchOp, len(ops))
+	for i, op := range ops {
+		out[i] = wire.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	return out
+}
+
+func fromWireOps(ops []wire.BatchOp) []core.BatchOp {
+	out := make([]core.BatchOp, len(ops))
+	for i, op := range ops {
+		out[i] = core.BatchOp{
+			Key:    append([]byte(nil), op.Key...),
+			Value:  append([]byte(nil), op.Value...),
+			Delete: op.Delete,
+		}
+	}
+	return out
+}

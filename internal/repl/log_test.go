@@ -1,0 +1,307 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/device"
+	"hyperdb/internal/wal"
+)
+
+func op(k, v string) core.BatchOp {
+	return core.BatchOp{Key: []byte(k), Value: []byte(v)}
+}
+
+// collect drains n entries from a cursor with a timeout guard.
+func collect(t *testing.T, c *Cursor, n int) []uint64 {
+	t.Helper()
+	stop := make(chan struct{})
+	timer := time.AfterFunc(5*time.Second, func() { close(stop) })
+	defer timer.Stop()
+	var bases []uint64
+	for i := 0; i < n; i++ {
+		base, _, err := c.Next(stop)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		bases = append(bases, base)
+	}
+	return bases
+}
+
+func TestLogShipsResolvedPrefixInBaseOrder(t *testing.T) {
+	l := NewLog(LogConfig{})
+	t1 := l.Append(1, []core.BatchOp{op("a", "1"), op("b", "1")}) // 1..2
+	t2 := l.Append(3, []core.BatchOp{op("c", "1")})               // 3
+	t3 := l.Append(4, []core.BatchOp{op("d", "1")})               // 4
+
+	cur, ok := l.Subscribe(0)
+	if !ok {
+		t.Fatal("subscribe at 0 refused on empty-floor log")
+	}
+
+	// Resolve out of order: 3 commits first, then 1; nothing ships past the
+	// pending entry 1 until it resolves.
+	l.Commit(t2, true)
+	stop := make(chan struct{})
+	close(stop)
+	if _, _, err := cur.Next(stop); !errors.Is(err, ErrStopped) {
+		t.Fatalf("shipped past a pending entry: %v", err)
+	}
+	l.Commit(t1, true)
+	if got := collect(t, cur, 2); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("bases %v, want [1 3]", got)
+	}
+	// Aborted entries never ship: after aborting 4, the cursor stays dry.
+	l.Commit(t3, false)
+	stop2 := make(chan struct{})
+	close(stop2)
+	if _, _, err := cur.Next(stop2); !errors.Is(err, ErrStopped) {
+		t.Fatalf("aborted entry shipped: %v", err)
+	}
+	if l.Head() != 4 {
+		t.Fatalf("head %d, want 4", l.Head())
+	}
+}
+
+func TestLogTruncationFloorAndOverrun(t *testing.T) {
+	l := NewLog(LogConfig{MaxEntries: 2})
+	seq := uint64(1)
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			tok := l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), "v")})
+			l.Commit(tok, true)
+			seq++
+		}
+	}
+	appendN(6)
+	if l.Floor() != 4 {
+		t.Fatalf("floor %d, want 4 (entries 1-4 truncated)", l.Floor())
+	}
+	// A follower below the floor must snapshot.
+	if _, ok := l.Subscribe(3); ok {
+		t.Fatal("subscribe below floor accepted")
+	}
+	// At or above the floor it can tail.
+	cur, ok := l.Subscribe(4)
+	if !ok {
+		t.Fatal("subscribe at floor refused")
+	}
+	if got := collect(t, cur, 2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("bases %v, want [5 6]", got)
+	}
+	// A slow cursor that falls off the window overruns.
+	slow, ok := l.Subscribe(4)
+	if !ok {
+		t.Fatal("subscribe refused")
+	}
+	appendN(4)
+	stop := make(chan struct{})
+	close(stop)
+	if _, _, err := slow.Next(stop); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("want ErrOverrun, got %v", err)
+	}
+}
+
+func TestLogPinHoldsWindow(t *testing.T) {
+	l := NewLog(LogConfig{MaxEntries: 2})
+	for seq := uint64(1); seq <= 3; seq++ {
+		l.Commit(l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), "v")}), true)
+	}
+	pin := l.PinHead()
+	if pin != 3 {
+		t.Fatalf("pin %d, want 3", pin)
+	}
+	// With seq 3 pinned, entries above it must survive any overflow.
+	for seq := uint64(4); seq <= 10; seq++ {
+		l.Commit(l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), "v")}), true)
+	}
+	cur, ok := l.Subscribe(pin)
+	if !ok {
+		t.Fatal("tail from pinned seq refused")
+	}
+	if got := collect(t, cur, 7); got[0] != 4 || got[6] != 10 {
+		t.Fatalf("bases %v, want 4..10", got)
+	}
+	// Unpinning releases the window.
+	l.Unpin(pin)
+	if l.Floor() <= pin {
+		t.Fatalf("floor %d did not advance past unpinned %d", l.Floor(), pin)
+	}
+}
+
+func TestLogSyncAckWaits(t *testing.T) {
+	l := NewLog(LogConfig{SyncAck: true})
+
+	// No followers: commits return immediately.
+	tok := l.Append(1, []core.BatchOp{op("a", "1")})
+	done := make(chan struct{})
+	go func() { l.Commit(tok, true); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit with no peers blocked")
+	}
+
+	p := l.Register("f1", 1)
+	tok = l.Append(2, []core.BatchOp{op("b", "1"), op("c", "1")}) // 2..3
+	done = make(chan struct{})
+	go func() { l.Commit(tok, true); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("sync commit returned before ack")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Ack(2) // partial: entry ends at 3
+	select {
+	case <-done:
+		t.Fatal("sync commit returned on partial ack")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Ack(3)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync commit never returned after full ack")
+	}
+
+	// A follower that disconnects stops gating commits.
+	tok = l.Append(4, []core.BatchOp{op("d", "1")})
+	done = make(chan struct{})
+	go func() { l.Commit(tok, true); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("sync commit returned before ack or disconnect")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.Unregister(p)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync commit never returned after peer left")
+	}
+
+	st := l.Status()
+	if len(st.Peers) != 0 || st.Head != 4 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestLogStatusLag(t *testing.T) {
+	l := NewLog(LogConfig{})
+	p := l.Register("f1", 0)
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Commit(l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), "v")}), true)
+	}
+	st := l.Status()
+	if len(st.Peers) != 1 || st.Peers[0].Lag != 5 {
+		t.Fatalf("status %+v, want lag 5", st)
+	}
+	p.Ack(5)
+	if st = l.Status(); st.Peers[0].Lag != 0 {
+		t.Fatalf("lag %d after full ack", st.Peers[0].Lag)
+	}
+}
+
+func TestLogSaveRecover(t *testing.T) {
+	dev := device.New(device.UnthrottledProfile("t", 0))
+	w, err := wal.Open(dev, "repl-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog(LogConfig{MaxEntries: 4})
+	for seq := uint64(1); seq <= 6; seq++ {
+		l.Commit(l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), fmt.Sprintf("v%d", seq))}), true)
+	}
+	wantFloor := l.Floor()
+	if err := l.SaveTo(w); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean path: window and floor restored.
+	w2, err := wal.Open(dev, "repl-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverLog(w2, LogConfig{MaxEntries: 4}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Floor() != wantFloor || r.Head() != 6 {
+		t.Fatalf("recovered floor=%d head=%d, want floor=%d head=6", r.Floor(), r.Head(), wantFloor)
+	}
+	cur, ok := r.Subscribe(wantFloor)
+	if !ok {
+		t.Fatal("tail from recovered floor refused")
+	}
+	bases := collect(t, cur, int(6-wantFloor))
+	if bases[0] != wantFloor+1 || bases[len(bases)-1] != 6 {
+		t.Fatalf("recovered bases %v", bases)
+	}
+
+	// The marker is single-use: recovering again (same WAL, now reset)
+	// yields a fresh log at the fallback floor.
+	w3, err := wal.Open(dev, "repl-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RecoverLog(w3, LogConfig{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Floor() != 42 {
+		t.Fatalf("second recovery floor %d, want fallback 42", r2.Floor())
+	}
+
+	// Crash path: a save without sync (simulated by a power cut right
+	// after SaveTo's records would have been written unsynced) must not be
+	// trusted. Write a fresh save, cut power before it syncs via a torn
+	// plan... simplest honest check: a WAL whose tail lacks the marker.
+	w4, err := wal.Open(dev, "repl-log-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveTo(w4); err != nil {
+		t.Fatal(err)
+	}
+	// Append a trailing entry record after the marker: marker no longer
+	// terminal, so the log must be discarded.
+	if err := w4.Append([]byte{recEntry, 0}); err != nil {
+		t.Fatal(err)
+	}
+	w5, err := wal.Open(dev, "repl-log-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverLog(w5, LogConfig{}, 7); err == nil {
+		t.Fatal("corrupt trailing entry accepted")
+	}
+}
+
+func TestLogRecoverDiscardsUnsyncedSave(t *testing.T) {
+	// A save whose final sync never happened (power cut mid-save) leaves an
+	// unsynced marker; recovery must fall back to a fresh floored log.
+	dev := device.New(device.UnthrottledProfile("t", 0))
+	w, err := wal.Open(dev, "repl-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendNoSync([]byte{recClean, 0}); err != nil {
+		t.Fatal(err)
+	}
+	dev.PowerCut()
+	w2, err := wal.Open(dev, "repl-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverLog(w2, LogConfig{}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Floor() != 17 {
+		t.Fatalf("unsynced save survived a power cut: floor %d", r.Floor())
+	}
+}

@@ -1,0 +1,229 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/wire"
+)
+
+// DB is the engine surface replication needs. Both *core.DB and the public
+// *hyperdb.DB satisfy it.
+type DB interface {
+	CommitSeq() uint64
+	Scan(start []byte, limit int) ([]core.KV, error)
+	ApplyReplicated(ops []core.BatchOp, base uint64) error
+	ApplySnapshotChunk(ops []core.BatchOp, seq uint64) error
+	IsFollower() bool
+	Promote()
+}
+
+// Primary ships the replication log to followers. One ServeConn call owns
+// one follower connection for its lifetime; the serving layer (or a test
+// harness over net.Pipe) hands the socket over after reading the follower's
+// REPL_HELLO.
+type Primary struct {
+	DB  DB
+	Log *Log
+	// SnapshotPairs bounds pairs per snapshot scan page. Default 256.
+	SnapshotPairs int
+	// SnapshotChunkBytes splits scan pages into frames no bigger than
+	// roughly this payload size. Default 512 KiB.
+	SnapshotChunkBytes int
+}
+
+func (p *Primary) snapshotPairs() int {
+	if p.SnapshotPairs > 0 {
+		return p.SnapshotPairs
+	}
+	return 256
+}
+
+func (p *Primary) chunkBytes() int {
+	if p.SnapshotChunkBytes > 0 {
+		return p.SnapshotChunkBytes
+	}
+	return 512 << 10
+}
+
+// Serve reads the follower's REPL_HELLO from a raw connection and delegates
+// to ServeConn. The serving layer reads the hello inside its own frame loop
+// and calls ServeConn directly; harnesses over net.Pipe use Serve.
+func (p *Primary) Serve(nc net.Conn) error {
+	br := bufio.NewReader(nc)
+	f, err := wire.ReadFrame(br, wire.MaxFrame)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if f.Op != wire.OpReplHello {
+		nc.Close()
+		return fmt.Errorf("repl: expected REPL_HELLO, got %s", f.Op)
+	}
+	lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	return p.ServeConn(nc, br, lastApplied)
+}
+
+// ServeConn drives the primary side of one follower connection: subscribe
+// the follower at lastApplied (already decoded from its REPL_HELLO),
+// bootstrap it via streamed snapshot when it has fallen off the retained
+// window, then tail-ship committed entries and consume acks until the
+// connection dies or the cursor overruns. br carries any bytes already
+// buffered past the hello; nil wraps nc directly. ServeConn closes nc.
+func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, lastApplied uint64) error {
+	defer nc.Close()
+	if br == nil {
+		br = bufio.NewReader(nc)
+	}
+	bw := bufio.NewWriter(nc)
+	name := "follower"
+	if addr := nc.RemoteAddr(); addr != nil {
+		name = addr.String()
+	}
+
+	cur, ok := p.Log.Subscribe(lastApplied)
+	start := lastApplied
+	if ok {
+		if err := writeFrame(bw, wire.Frame{
+			Op: wire.OpReplHello, Status: wire.StatusOK,
+			Payload: wire.AppendReplHelloResp(nil, wire.ReplModeTail, start),
+		}); err != nil {
+			return err
+		}
+	} else {
+		snapSeq, err := p.streamSnapshot(bw)
+		if err != nil {
+			return err
+		}
+		cur, ok = p.Log.Subscribe(snapSeq)
+		if !ok {
+			return fmt.Errorf("repl: snapshot seq %d below floor %d despite pin", snapSeq, p.Log.Floor())
+		}
+		start = snapSeq
+	}
+
+	peer := p.Log.Register(name, start)
+	defer p.Log.Unregister(peer)
+
+	// The ack reader is the only goroutine reading the socket; its exit
+	// (peer gone, protocol violation, or a shutdown read-deadline) closes
+	// done and the socket, which unblocks the ship loop below.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer nc.Close()
+		for {
+			f, err := wire.ReadFrame(br, wire.MaxFrame)
+			if err != nil {
+				return
+			}
+			if f.Op != wire.OpReplAck {
+				return
+			}
+			seq, err := wire.DecodeReplAck(f.Payload)
+			if err != nil {
+				return
+			}
+			peer.Ack(seq)
+		}
+	}()
+
+	for {
+		base, ops, err := cur.Next(done)
+		if err != nil {
+			nc.Close()
+			<-done
+			if errors.Is(err, ErrStopped) {
+				return nil
+			}
+			return err
+		}
+		err = writeFrame(bw, wire.Frame{
+			Op: wire.OpReplFrame, Status: wire.StatusOK, ID: base,
+			Payload: wire.AppendReplFrame(nil, base, toWireOps(ops)),
+		})
+		if err != nil {
+			<-done
+			return err
+		}
+	}
+}
+
+// streamSnapshot pins the log's resolved head, sends the snapshot-mode
+// hello, streams the store's live pairs in key order (every pair tagged
+// with the pinned sequence), and finishes with the done chunk. The pin
+// guarantees the tail from snapSeq is still retained when streaming ends.
+func (p *Primary) streamSnapshot(bw *bufio.Writer) (snapSeq uint64, err error) {
+	snapSeq = p.Log.PinHead()
+	defer p.Log.Unpin(snapSeq)
+	err = writeFrame(bw, wire.Frame{
+		Op: wire.OpReplHello, Status: wire.StatusOK,
+		Payload: wire.AppendReplHelloResp(nil, wire.ReplModeSnapshot, snapSeq),
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	var pageStart []byte
+	for {
+		kvs, err := p.DB.Scan(pageStart, p.snapshotPairs())
+		if err != nil {
+			return 0, fmt.Errorf("repl: snapshot scan: %w", err)
+		}
+		if len(kvs) == 0 {
+			break
+		}
+		fullPage := len(kvs) == p.snapshotPairs()
+		pageStart = keys.Successor(kvs[len(kvs)-1].Key)
+		// Split the page into byte-bounded chunks so one frame never
+		// approaches the wire's frame cap.
+		for len(kvs) > 0 {
+			n, size := 0, 0
+			for n < len(kvs) && (n == 0 || size < p.chunkBytes()) {
+				size += len(kvs[n].Key) + len(kvs[n].Value)
+				n++
+			}
+			chunk := make([]wire.KV, n)
+			for i := 0; i < n; i++ {
+				chunk[i] = wire.KV{Key: kvs[i].Key, Value: kvs[i].Value}
+			}
+			err = writeFrame(bw, wire.Frame{
+				Op: wire.OpReplSnapshot, Status: wire.StatusOK,
+				Payload: wire.AppendReplSnapshot(nil, snapSeq, chunk, false),
+			})
+			if err != nil {
+				return 0, err
+			}
+			kvs = kvs[n:]
+		}
+		if !fullPage {
+			break
+		}
+	}
+	err = writeFrame(bw, wire.Frame{
+		Op: wire.OpReplSnapshot, Status: wire.StatusOK,
+		Payload: wire.AppendReplSnapshot(nil, snapSeq, nil, true),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return snapSeq, nil
+}
+
+// Status reports the log's view for stats rendering.
+func (p *Primary) Status() LogStatus { return p.Log.Status() }
+
+func writeFrame(bw *bufio.Writer, f wire.Frame) error {
+	if _, err := bw.Write(wire.AppendFrame(nil, f)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

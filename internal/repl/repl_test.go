@@ -1,0 +1,266 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"hyperdb/internal/core"
+	"hyperdb/internal/device"
+	"hyperdb/internal/hotness"
+)
+
+func openStore(t testing.TB, follower bool, tee core.Tee) *core.DB {
+	t.Helper()
+	db, err := core.Open(core.Options{
+		NVMe:              device.New(device.UnthrottledProfile("nvme", 64<<20)),
+		SATA:              device.New(device.UnthrottledProfile("sata", 1<<30)),
+		Partitions:        2,
+		CacheBytes:        2 << 20,
+		MigrationBatch:    128 << 10,
+		DisableBackground: true,
+		Tracker:           hotness.Config{WindowCapacity: 512},
+		Follower:          follower,
+		Tee:               tee,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// startPair wires a primary and follower over net.Pipe and returns the
+// follower stop channel plus completion channels for both sides.
+func startPair(prim *Primary, fol *Follower) (stop chan struct{}, pdone, fdone chan error) {
+	pc, fc := net.Pipe()
+	stop = make(chan struct{})
+	pdone = make(chan error, 1)
+	fdone = make(chan error, 1)
+	go func() { pdone <- prim.Serve(pc) }()
+	go func() { fdone <- fol.Run(fc, stop) }()
+	return stop, pdone, fdone
+}
+
+func TestTailReplicationSyncAck(t *testing.T) {
+	log := NewLog(LogConfig{SyncAck: true})
+	pdb := openStore(t, false, log)
+	fdb := openStore(t, true, nil)
+	prim := &Primary{DB: pdb, Log: log}
+	fol := &Follower{DB: fdb}
+	stop, pdone, fdone := startPair(prim, fol)
+
+	// Wait for registration so the sync-ack gate covers every write below.
+	waitFor(t, "follower registration", func() bool { return len(log.Status().Peers) == 1 })
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+	for i := 0; i < 100; i++ {
+		if err := pdb.Put(key(i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Synchronous mode: a returned Put is already applied on the follower.
+	for _, i := range []int{0, 37, 99} {
+		v, err := fdb.Get(key(i))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("follower key %d: %q %v", i, v, err)
+		}
+	}
+
+	// Batches and deletes replicate through the same path.
+	if err := pdb.WriteBatch([]core.BatchOp{
+		{Key: key(0), Value: []byte("rewritten")},
+		{Key: key(1), Delete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Delete(key(2)); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fdb.Get(key(0)); err != nil || string(v) != "rewritten" {
+		t.Fatalf("follower rewrite: %q %v", v, err)
+	}
+	for _, i := range []int{1, 2} {
+		if _, err := fdb.Get(key(i)); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("follower delete %d: %v", i, err)
+		}
+	}
+
+	// Sequences agree and lag is zero the moment writes stop.
+	if ps, fs := pdb.CommitSeq(), fdb.CommitSeq(); ps != fs {
+		t.Fatalf("seq mismatch: primary %d follower %d", ps, fs)
+	}
+	st := log.Status()
+	if len(st.Peers) != 1 || st.Peers[0].Lag != 0 {
+		t.Fatalf("status %+v, want zero lag", st)
+	}
+
+	close(stop)
+	if err := <-fdone; err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+	if err := <-pdone; err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+}
+
+func TestLagConvergesToZeroAsync(t *testing.T) {
+	log := NewLog(LogConfig{})
+	pdb := openStore(t, false, log)
+	fdb := openStore(t, true, nil)
+	prim := &Primary{DB: pdb, Log: log}
+	fol := &Follower{DB: fdb}
+	stop, _, fdone := startPair(prim, fol)
+	defer func() { close(stop); <-fdone }()
+
+	waitFor(t, "follower registration", func() bool { return len(log.Status().Peers) == 1 })
+	key := func(i int) []byte { return []byte(fmt.Sprintf("async-%04d", i)) }
+	for i := 0; i < 300; i++ {
+		if err := pdb.Put(key(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Load has stopped; the follower must drain to zero lag.
+	waitFor(t, "lag to converge to 0", func() bool {
+		st := log.Status()
+		return len(st.Peers) == 1 && st.Peers[0].Lag == 0
+	})
+	for _, i := range []int{0, 150, 299} {
+		v, err := fdb.Get(key(i))
+		if err != nil || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("follower key %d: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestSnapshotBootstrapPastWindow(t *testing.T) {
+	// A tiny retained window plus a big pre-load guarantees a fresh
+	// follower (lastApplied 0) is below the floor and must bootstrap via
+	// snapshot before tailing.
+	log := NewLog(LogConfig{MaxEntries: 8})
+	pdb := openStore(t, false, log)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("snap-%04d", i)) }
+	for i := 0; i < 400; i++ {
+		if err := pdb.Put(key(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pdb.Delete(key(3)); err != nil {
+		t.Fatal(err)
+	}
+	if log.Floor() == 0 {
+		t.Fatal("pre-load did not truncate the log; test is vacuous")
+	}
+
+	flog := NewLog(LogConfig{})
+	fdb := openStore(t, true, flog)
+	prim := &Primary{DB: pdb, Log: log, SnapshotPairs: 64}
+	fol := &Follower{DB: fdb, Log: flog}
+	stop, _, fdone := startPair(prim, fol)
+	defer func() { close(stop); <-fdone }()
+
+	waitFor(t, "follower registration", func() bool { return len(log.Status().Peers) == 1 })
+	// Post-snapshot writes arrive via the tail.
+	if err := pdb.Put(key(0), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "lag to converge to 0", func() bool {
+		st := log.Status()
+		return len(st.Peers) == 1 && st.Peers[0].Lag == 0
+	})
+
+	for _, i := range []int{1, 2, 100, 399} {
+		v, err := fdb.Get(key(i))
+		if err != nil || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("follower key %d: %q %v", i, v, err)
+		}
+	}
+	if v, err := fdb.Get(key(0)); err != nil || string(v) != "updated" {
+		t.Fatalf("tailed update: %q %v", v, err)
+	}
+	if _, err := fdb.Get(key(3)); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("deleted key resurrected on follower: %v", err)
+	}
+	// The follower's own log was floored at the snapshot sequence, so a
+	// stale downstream replica cannot silently tail across the bootstrap.
+	if flog.Floor() == 0 {
+		t.Fatal("follower log floor not set after snapshot bootstrap")
+	}
+
+	// Full-state equivalence via scan.
+	want, err := pdb.Scan(nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fdb.Scan(nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("scan size mismatch: primary %d follower %d", len(want), len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].Key, got[i].Key) || !bytes.Equal(want[i].Value, got[i].Value) {
+			t.Fatalf("scan divergence at %d: %q vs %q", i, want[i].Key, got[i].Key)
+		}
+	}
+}
+
+func TestFailoverPromoteServesWrites(t *testing.T) {
+	log := NewLog(LogConfig{SyncAck: true})
+	pdb := openStore(t, false, log)
+	flog := NewLog(LogConfig{})
+	fdb := openStore(t, true, flog)
+	prim := &Primary{DB: pdb, Log: log}
+	fol := &Follower{DB: fdb, Log: flog}
+	stop, _, fdone := startPair(prim, fol)
+
+	waitFor(t, "follower registration", func() bool { return len(log.Status().Peers) == 1 })
+	for i := 0; i < 50; i++ {
+		if err := pdb.Put([]byte(fmt.Sprintf("fo-%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Kill" the primary: stop the applier, promote the follower.
+	close(stop)
+	if err := <-fdone; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	fdb.Promote()
+	if fdb.IsFollower() {
+		t.Fatal("still follower")
+	}
+	// Every synchronously acked write survived.
+	for i := 0; i < 50; i++ {
+		if _, err := fdb.Get([]byte(fmt.Sprintf("fo-%03d", i))); err != nil {
+			t.Fatalf("acked write lost: %d %v", i, err)
+		}
+	}
+	// New writes mint sequences above everything applied and tee into the
+	// promoted node's own log, so it can serve its own followers.
+	before := fdb.CommitSeq()
+	if err := fdb.Put([]byte("post-promote"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if fdb.CommitSeq() <= before {
+		t.Fatal("sequence did not advance past replicated history")
+	}
+	if flog.Head() <= before {
+		t.Fatalf("promoted node's log head %d did not record the new write", flog.Head())
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"strings"
 	"time"
 
@@ -168,13 +169,40 @@ func (s *Server) process(batch []*request) {
 	}
 }
 
-// statsText renders the STATS payload: the server's counters followed by a
-// blank line and the engine's multi-line summary.
+// statsText renders the STATS payload: the server's counters, the
+// replication section, then a blank line and the engine's multi-line
+// summary.
 func (s *Server) statsText() string {
 	var b strings.Builder
 	b.WriteString(s.stats.String())
+	b.WriteString(s.replText())
 	b.WriteString("\n")
 	b.WriteString(s.cfg.DB.Stats().String())
+	return b.String()
+}
+
+// replText renders the "repl.*" stats lines: the node's role, a follower's
+// applied position, and — when this node ships a log — per-follower ack and
+// lag. hyperctl's `repl status` parses these.
+func (s *Server) replText() string {
+	var b strings.Builder
+	if s.cfg.DB.IsFollower() {
+		fmt.Fprintf(&b, "repl.role follower\n")
+		fmt.Fprintf(&b, "repl.applied %d\n", s.cfg.DB.CommitSeq())
+	} else {
+		fmt.Fprintf(&b, "repl.role primary\n")
+	}
+	if s.cfg.Repl != nil {
+		st := s.cfg.Repl.Status()
+		fmt.Fprintf(&b, "repl.log_head %d\n", st.Head)
+		fmt.Fprintf(&b, "repl.log_floor %d\n", st.Floor)
+		fmt.Fprintf(&b, "repl.log_entries %d\n", st.Entries)
+		fmt.Fprintf(&b, "repl.log_pending %d\n", st.Pending)
+		fmt.Fprintf(&b, "repl.followers %d\n", len(st.Peers))
+		for _, p := range st.Peers {
+			fmt.Fprintf(&b, "repl.follower %s acked %d lag %d\n", p.Name, p.Acked, p.Lag)
+		}
+	}
 	return b.String()
 }
 

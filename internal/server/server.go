@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hyperdb"
+	"hyperdb/internal/repl"
 	"hyperdb/internal/wire"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	CoalesceWait time.Duration
 	// MaxScanLimit caps the limit a SCAN request may ask for. Default 4096.
 	MaxScanLimit int
+	// Repl, when non-nil, serves replication followers: a connection whose
+	// first frame is REPL_HELLO detaches from the request/response machinery
+	// and is handed to Repl.ServeConn for log shipping. Nil rejects the
+	// handshake. A follower-mode node may also set it (with its own log as
+	// the engine tee) to serve downstream replicas after promotion.
+	Repl *repl.Primary
 	// Logf receives connection-level diagnostics. Nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -292,6 +299,12 @@ type conn struct {
 	// drop instead of blocking.
 	dead     chan struct{}
 	deadOnce sync.Once
+	// wdone is closed when the writer goroutine exits; the replication
+	// handoff waits on it before taking over the socket.
+	wdone chan struct{}
+	// detached marks a connection surrendered to the replication stream:
+	// the exiting writer must leave the socket open for it.
+	detached atomic.Bool
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -303,6 +316,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		out:      make(chan []byte, s.cfg.MaxInflight+2),
 		inflight: make(chan struct{}, s.cfg.MaxInflight),
 		dead:     make(chan struct{}),
+		wdone:    make(chan struct{}),
 	}
 }
 
@@ -314,6 +328,7 @@ func (c *conn) kill() { c.deadOnce.Do(func() { close(c.dead) }) }
 func (c *conn) readLoop() {
 	defer c.srv.readerWG.Done()
 	defer c.finishReads()
+	first := true
 	for {
 		f, err := wire.ReadFrame(c.br, c.srv.cfg.MaxFrame)
 		if err != nil {
@@ -332,6 +347,14 @@ func (c *conn) readLoop() {
 			c.respondError(f.ID, f.Op, wire.StatusShuttingDown, "server shutting down")
 			return
 		}
+		if f.Op == wire.OpReplHello {
+			// A replication subscription claims the whole connection; it
+			// must be the very first frame so no request/response traffic
+			// is interleaved with the push stream.
+			c.serveRepl(f, first)
+			return
+		}
+		first = false
 		req, perr := c.decode(f)
 		if perr != nil {
 			c.srv.stats.BadRequests.Inc()
@@ -340,6 +363,45 @@ func (c *conn) readLoop() {
 		}
 		c.inflight <- struct{}{} // backpressure: blocks at MaxInflight
 		c.srv.queue <- req
+	}
+}
+
+// serveRepl hands the connection to the replication subsystem. The writer
+// goroutine is evicted first — it drains any queued frames, leaves the
+// socket open (detached), and exits — so the repl stream is the socket's
+// single writer. The call runs on the reader goroutine, keeping the
+// connection inside readerWG: Shutdown's read deadline still interrupts the
+// stream's ack reader, which unwinds ServeConn.
+func (c *conn) serveRepl(f wire.Frame, first bool) {
+	srv := c.srv
+	if srv.cfg.Repl == nil {
+		srv.stats.BadRequests.Inc()
+		c.respondError(f.ID, f.Op, wire.StatusBadRequest, "replication not enabled")
+		c.kill()
+		return
+	}
+	if !first {
+		srv.stats.BadRequests.Inc()
+		c.respondError(f.ID, f.Op, wire.StatusBadRequest, "REPL_HELLO must be the first frame")
+		c.kill()
+		return
+	}
+	lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
+	if err != nil {
+		srv.stats.BadRequests.Inc()
+		c.respondError(f.ID, f.Op, wire.StatusBadRequest, err.Error())
+		c.kill()
+		return
+	}
+	c.detached.Store(true)
+	c.kill()
+	<-c.wdone
+	srv.stats.ReplConns.Inc()
+	srv.stats.replActive.Add(1)
+	defer srv.stats.replActive.Add(-1)
+	srv.logf("conn %s: replication follower attached at seq %d", c.nc.RemoteAddr(), lastApplied)
+	if err := srv.cfg.Repl.ServeConn(c.nc, c.br, lastApplied); err != nil && !srv.closing.Load() {
+		srv.logf("conn %s: replication stream ended: %v", c.nc.RemoteAddr(), err)
 	}
 }
 
@@ -410,6 +472,10 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		if len(f.Payload) != 0 {
 			return nil, errors.New("stats takes no payload")
 		}
+	case wire.OpReplFrame, wire.OpReplAck, wire.OpReplSnapshot:
+		// Push-stream ops are only meaningful after a REPL_HELLO handoff;
+		// as requests they have no response protocol.
+		return nil, fmt.Errorf("%s outside a replication stream", f.Op)
 	}
 	return req, nil
 }
@@ -431,7 +497,14 @@ func (c *conn) respondError(id uint64, op wire.Op, st wire.Status, msg string) {
 // are already queued into one flush.
 func (c *conn) writeLoop() {
 	defer c.srv.writerWG.Done()
-	defer c.nc.Close()
+	defer close(c.wdone)
+	defer func() {
+		// A detached connection belongs to the replication stream now;
+		// closing it here would cut the stream off mid-handoff.
+		if !c.detached.Load() {
+			c.nc.Close()
+		}
+	}()
 	for {
 		var frame []byte
 		select {

@@ -23,6 +23,11 @@ type Stats struct {
 	BadFrames   stats.Counter
 	BadRequests stats.Counter
 
+	// ReplConns counts accepted replication handoffs; replActive tracks
+	// currently attached follower streams.
+	ReplConns  stats.Counter
+	replActive atomic.Int64
+
 	// ops counts completed requests per op code (indexed by wire.Op).
 	ops [16]stats.Counter
 
@@ -41,6 +46,9 @@ type Stats struct {
 
 // ActiveConns returns the number of currently served connections.
 func (s *Stats) ActiveConns() int64 { return s.connsActive.Load() }
+
+// ActiveReplConns returns the number of attached follower streams.
+func (s *Stats) ActiveReplConns() int64 { return s.replActive.Load() }
 
 // OpCount returns completed requests for one op.
 func (s *Stats) OpCount(op wire.Op) uint64 {
@@ -88,6 +96,8 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "server.conns_active %d\n", s.ActiveConns())
 	fmt.Fprintf(&b, "server.bad_frames %d\n", s.BadFrames.Load())
 	fmt.Fprintf(&b, "server.bad_requests %d\n", s.BadRequests.Load())
+	fmt.Fprintf(&b, "server.repl_conns %d\n", s.ReplConns.Load())
+	fmt.Fprintf(&b, "server.repl_active %d\n", s.ActiveReplConns())
 	for _, op := range []wire.Op{wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats} {
 		fmt.Fprintf(&b, "server.ops.%s %d\n", strings.ToLower(op.String()), s.OpCount(op))
 	}

@@ -64,9 +64,16 @@ func (w *WAL) Append(payload []byte) error {
 	}
 	w.tail += int64(headerSize + len(payload))
 	myOffset := w.tail
+	err := w.syncToLocked(myOffset)
+	w.mu.Unlock()
+	return err
+}
 
-	// Group commit: wait for an in-flight sync to finish, then either ride
-	// on it (our data got included) or lead the next sync ourselves.
+// syncToLocked runs the group-commit protocol until at least myOffset bytes
+// are durable: wait for an in-flight sync to finish, then either ride on it
+// (our data got included) or lead the next sync ourselves. Called — and
+// returns — with w.mu held.
+func (w *WAL) syncToLocked(myOffset int64) error {
 	for w.synced < myOffset {
 		if w.syncing {
 			w.syncDone.Wait()
@@ -80,7 +87,6 @@ func (w *WAL) Append(payload []byte) error {
 		w.syncing = false
 		if err != nil {
 			w.syncDone.Broadcast()
-			w.mu.Unlock()
 			return err
 		}
 		if target > w.synced {
@@ -88,8 +94,35 @@ func (w *WAL) Append(payload []byte) error {
 		}
 		w.syncDone.Broadcast()
 	}
-	w.mu.Unlock()
 	return nil
+}
+
+// AppendNoSync writes one record without waiting for durability. The record
+// is on the device's write path but survives a crash only after a later
+// Append or Sync covers it. The replication log uses this to persist shipped
+// entries off the foreground latency path, syncing in batches.
+func (w *WAL) AppendNoSync(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendBuf = w.appendBuf[:0]
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	w.appendBuf = append(w.appendBuf, hdr[:]...)
+	w.appendBuf = append(w.appendBuf, payload...)
+	if _, err := w.file.Append(w.appendBuf); err != nil {
+		return err
+	}
+	w.tail += int64(headerSize + len(payload))
+	return nil
+}
+
+// Sync makes every record appended so far durable, sharing in-flight group
+// commits exactly like Append.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncToLocked(w.tail)
 }
 
 // Name returns the log file's name on its device.

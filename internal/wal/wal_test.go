@@ -248,3 +248,85 @@ func TestReplayAfterInjectedCrash(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendNoSyncThenSync(t *testing.T) {
+	// Unsynced records vanish at a power cut; once Sync returns they survive.
+	dev := newDev()
+	w, err := Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.AppendNoSync([]byte(fmt.Sprintf("lost-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.PowerCut()
+	w, err = Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := w.Replay(func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d unsynced records survived a power cut", n)
+	}
+
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("kept-%d", i))
+		want = append(want, p)
+		if err := w.AppendNoSync(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Idle Sync with nothing new appended must not error.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	dev.PowerCut()
+	w, err = Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	if err := w.Replay(func(p []byte) error {
+		got = append(got, bytes.Clone(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	// Mixing with durable Append keeps the unsynced prefix ordered: Append's
+	// group commit covers the earlier AppendNoSync tail too.
+	if err := w.AppendNoSync([]byte("tail-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("tail-2")); err != nil {
+		t.Fatal(err)
+	}
+	dev.PowerCut()
+	w, err = Open(dev, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	if err := w.Replay(func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want)+2 {
+		t.Fatalf("replayed %d records, want %d", n, len(want)+2)
+	}
+}

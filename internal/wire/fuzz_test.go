@@ -21,6 +21,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpMGet, ID: 4, Payload: AppendMGetReq(nil, [][]byte{[]byte("x")})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpScan, ID: 5, Payload: AppendScanReq(nil, []byte("s"), 10)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, ID: 7, Payload: AppendReplHelloReq(nil, 12)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, Status: StatusOK, ID: 7, Payload: AppendReplHelloResp(nil, ReplModeSnapshot, 12)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame, ID: 8, Payload: AppendReplFrame(nil, 9, []BatchOp{
+		{Key: []byte("r"), Value: []byte("1")}, {Key: []byte("s"), Delete: true},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplAck, ID: 9, Payload: AppendReplAck(nil, 33)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplSnapshot, ID: 10, Payload: AppendReplSnapshot(nil, 5, []KV{
+		{Key: []byte("k"), Value: []byte("v")},
+	}, true)}))
 	// A valid frame with a corrupted interior byte.
 	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
 	corrupt[len(corrupt)/2] ^= 0x5a
@@ -57,6 +66,15 @@ func FuzzDecodeFrame(f *testing.F) {
 		case OpScan:
 			DecodeScanReq(fr.Payload)
 			DecodeScanResp(fr.Payload)
+		case OpReplHello:
+			DecodeReplHelloReq(fr.Payload)
+			DecodeReplHelloResp(fr.Payload)
+		case OpReplFrame:
+			DecodeReplFrame(fr.Payload)
+		case OpReplAck:
+			DecodeReplAck(fr.Payload)
+		case OpReplSnapshot:
+			DecodeReplSnapshot(fr.Payload)
 		}
 		// The stream reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data[:n]), maxFrame)

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication payloads. The stream is: follower sends REPL_HELLO as the
+// first frame of its connection; the primary answers with a hello response
+// choosing tail or snapshot mode; REPL_SNAPSHOT and REPL_FRAME frames are
+// then pushed primary→follower, while the follower reports progress with
+// REPL_ACK frames flowing the other way on the same connection.
+
+// ReplProtoVersion is the replication stream version carried in HELLO.
+const ReplProtoVersion = 1
+
+// Snapshot modes carried in the hello response.
+const (
+	ReplModeTail     = 0 // log retains everything past lastApplied: tail it
+	ReplModeSnapshot = 1 // fell off the window: full snapshot, then tail
+)
+
+// --- REPL_HELLO request: version | lastApplied ---
+
+// AppendReplHelloReq encodes a follower's subscription request. lastApplied
+// is the highest sequence the follower has durably applied (0 for a fresh
+// follower).
+func AppendReplHelloReq(dst []byte, lastApplied uint64) []byte {
+	dst = append(dst, ReplProtoVersion)
+	return binary.AppendUvarint(dst, lastApplied)
+}
+
+// DecodeReplHelloReq decodes a REPL_HELLO request payload.
+func DecodeReplHelloReq(p []byte) (lastApplied uint64, err error) {
+	if len(p) == 0 {
+		return 0, fmt.Errorf("%w: empty hello", ErrBadPayload)
+	}
+	if p[0] != ReplProtoVersion {
+		return 0, fmt.Errorf("%w: repl proto version %d", ErrBadPayload, p[0])
+	}
+	lastApplied, rest, err := getUvarint(p[1:])
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return lastApplied, nil
+}
+
+// --- REPL_HELLO response: mode | startSeq ---
+
+// AppendReplHelloResp encodes the primary's answer. In tail mode startSeq is
+// the follower's lastApplied echoed back (frames with base > startSeq
+// follow); in snapshot mode it is the pinned snapshot sequence the streamed
+// entries are tagged with, and tailing resumes past it.
+func AppendReplHelloResp(dst []byte, mode uint8, startSeq uint64) []byte {
+	dst = append(dst, mode)
+	return binary.AppendUvarint(dst, startSeq)
+}
+
+// DecodeReplHelloResp decodes a hello response payload.
+func DecodeReplHelloResp(p []byte) (mode uint8, startSeq uint64, err error) {
+	if len(p) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty hello response", ErrBadPayload)
+	}
+	mode = p[0]
+	if mode != ReplModeTail && mode != ReplModeSnapshot {
+		return 0, 0, fmt.Errorf("%w: repl mode %d", ErrBadPayload, mode)
+	}
+	startSeq, rest, err := getUvarint(p[1:])
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return mode, startSeq, nil
+}
+
+// --- REPL_FRAME push: base | count | per op: kind | klen | key | [vlen | value] ---
+//
+// One frame carries one committed batch; op i holds sequence base+i, so the
+// frame is self-describing for apply-at-seq on the follower.
+
+// AppendReplFrame encodes one shipped log entry.
+func AppendReplFrame(dst []byte, base uint64, ops []BatchOp) []byte {
+	dst = binary.AppendUvarint(dst, base)
+	return AppendBatchReq(dst, ops)
+}
+
+// DecodeReplFrame decodes a REPL_FRAME payload; op slices alias p.
+func DecodeReplFrame(p []byte) (base uint64, ops []BatchOp, err error) {
+	base, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if base == 0 {
+		return 0, nil, fmt.Errorf("%w: repl frame base 0", ErrBadPayload)
+	}
+	ops, err = DecodeBatchReq(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(ops) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty repl frame", ErrBadPayload)
+	}
+	return base, ops, nil
+}
+
+// --- REPL_ACK: appliedSeq ---
+
+// AppendReplAck encodes a follower progress report.
+func AppendReplAck(dst []byte, appliedSeq uint64) []byte {
+	return binary.AppendUvarint(dst, appliedSeq)
+}
+
+// DecodeReplAck decodes a REPL_ACK payload.
+func DecodeReplAck(p []byte) (appliedSeq uint64, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return appliedSeq, nil
+}
+
+// --- REPL_SNAPSHOT push: done | seq | count | per pair: klen | key | vlen | value ---
+
+// AppendReplSnapshot encodes one snapshot chunk. seq is the pinned snapshot
+// sequence every streamed pair is applied at; done marks the final chunk
+// (which may carry zero pairs).
+func AppendReplSnapshot(dst []byte, seq uint64, kvs []KV, done bool) []byte {
+	if done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, seq)
+	return AppendScanResp(dst, kvs)
+}
+
+// DecodeReplSnapshot decodes a snapshot chunk; pair slices alias p.
+func DecodeReplSnapshot(p []byte) (seq uint64, kvs []KV, done bool, err error) {
+	if len(p) == 0 {
+		return 0, nil, false, fmt.Errorf("%w: empty snapshot chunk", ErrBadPayload)
+	}
+	switch p[0] {
+	case 0:
+	case 1:
+		done = true
+	default:
+		return 0, nil, false, fmt.Errorf("%w: snapshot done byte %d", ErrBadPayload, p[0])
+	}
+	seq, rest, err := getUvarint(p[1:])
+	if err != nil {
+		return 0, nil, false, err
+	}
+	kvs, err = DecodeScanResp(rest)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if !done && len(kvs) == 0 {
+		return 0, nil, false, fmt.Errorf("%w: empty non-final snapshot chunk", ErrBadPayload)
+	}
+	return seq, kvs, done, nil
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 1 << 40} {
+		p := AppendReplHelloReq(nil, seq)
+		got, err := DecodeReplHelloReq(p)
+		if err != nil || got != seq {
+			t.Fatalf("hello req %d: got %d err %v", seq, got, err)
+		}
+	}
+	if _, err := DecodeReplHelloReq(nil); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+	if _, err := DecodeReplHelloReq([]byte{99, 0}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := DecodeReplHelloReq(append(AppendReplHelloReq(nil, 7), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	for _, mode := range []uint8{ReplModeTail, ReplModeSnapshot} {
+		p := AppendReplHelloResp(nil, mode, 42)
+		m, s, err := DecodeReplHelloResp(p)
+		if err != nil || m != mode || s != 42 {
+			t.Fatalf("hello resp mode %d: got %d/%d err %v", mode, m, s, err)
+		}
+	}
+	if _, _, err := DecodeReplHelloResp([]byte{9, 1}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	ops := []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Delete: true},
+		{Key: []byte("c"), Value: nil}, // empty value put
+	}
+	p := AppendReplFrame(nil, 99, ops)
+	base, got, err := DecodeReplFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 99 || len(got) != 3 {
+		t.Fatalf("base=%d n=%d", base, len(got))
+	}
+	for i := range ops {
+		if !bytes.Equal(got[i].Key, ops[i].Key) || !bytes.Equal(got[i].Value, ops[i].Value) || got[i].Delete != ops[i].Delete {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, got[i], ops[i])
+		}
+	}
+	if _, _, err := DecodeReplFrame(AppendReplFrame(nil, 0, ops)); err == nil {
+		t.Fatal("base 0 accepted")
+	}
+	if _, _, err := DecodeReplFrame(AppendReplFrame(nil, 5, nil)); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	p := AppendReplAck(nil, 1234567)
+	got, err := DecodeReplAck(p)
+	if err != nil || got != 1234567 {
+		t.Fatalf("ack: got %d err %v", got, err)
+	}
+	if _, err := DecodeReplAck(nil); err == nil {
+		t.Fatal("empty ack accepted")
+	}
+	if _, err := DecodeReplAck(append(p, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestReplSnapshotRoundTrip(t *testing.T) {
+	kvs := []KV{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: []byte("k2"), Value: []byte{}},
+	}
+	p := AppendReplSnapshot(nil, 77, kvs, false)
+	seq, got, done, err := DecodeReplSnapshot(p)
+	if err != nil || done || seq != 77 || len(got) != 2 {
+		t.Fatalf("chunk: seq=%d n=%d done=%v err=%v", seq, len(got), done, err)
+	}
+	for i := range kvs {
+		if !bytes.Equal(got[i].Key, kvs[i].Key) || !bytes.Equal(got[i].Value, kvs[i].Value) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	// Final chunk may be empty.
+	seq, got, done, err = DecodeReplSnapshot(AppendReplSnapshot(nil, 77, nil, true))
+	if err != nil || !done || seq != 77 || len(got) != 0 {
+		t.Fatalf("final: seq=%d n=%d done=%v err=%v", seq, len(got), done, err)
+	}
+	// A non-final empty chunk is malformed.
+	if _, _, _, err := DecodeReplSnapshot(AppendReplSnapshot(nil, 77, nil, false)); err == nil {
+		t.Fatal("empty non-final chunk accepted")
+	}
+	if _, _, _, err := DecodeReplSnapshot([]byte{2, 0, 0}); err == nil {
+		t.Fatal("bad done byte accepted")
+	}
+}
+
+func TestReplOpsValidAndNamed(t *testing.T) {
+	for _, op := range []Op{OpReplHello, OpReplFrame, OpReplAck, OpReplSnapshot} {
+		if !op.Valid() {
+			t.Fatalf("%s not valid", op)
+		}
+		if op.String()[:5] != "REPL_" {
+			t.Fatalf("unexpected name %q", op.String())
+		}
+	}
+}

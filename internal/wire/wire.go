@@ -37,6 +37,16 @@ const (
 	OpMGet
 	OpScan
 	OpStats
+
+	// Replication ops (primary↔follower log shipping, package repl).
+	// OpReplHello opens a replication stream and must be the first frame on
+	// its connection; OpReplFrame and OpReplSnapshot are server→follower
+	// pushes; OpReplAck is the follower's applied-seq report.
+	OpReplHello
+	OpReplFrame
+	OpReplAck
+	OpReplSnapshot
+
 	opMax
 )
 
@@ -61,6 +71,14 @@ func (o Op) String() string {
 		return "SCAN"
 	case OpStats:
 		return "STATS"
+	case OpReplHello:
+		return "REPL_HELLO"
+	case OpReplFrame:
+		return "REPL_FRAME"
+	case OpReplAck:
+		return "REPL_ACK"
+	case OpReplSnapshot:
+		return "REPL_SNAPSHOT"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }

@@ -63,6 +63,12 @@ type Options struct {
 	// ScanPrefetch enables the range-scan page prefetcher (§4.2's future
 	// work). Off by default, matching the paper's evaluated system.
 	ScanPrefetch bool
+	// Follower opens the DB as a replication follower: foreground writes
+	// return ErrFollower and the only write path is the replicated apply.
+	Follower bool
+	// Tee, when non-nil, receives every committed write for replication log
+	// shipping (see internal/repl).
+	Tee core.Tee
 }
 
 // DefaultOptions returns a laptop-scale configuration with paper-profile
@@ -119,5 +125,7 @@ func (o Options) resolve() (core.Options, *device.Device, *device.Device, error)
 		BackgroundInterval: o.BackgroundInterval,
 		AvgObjectSize:      o.AvgObjectSize,
 		ScanPrefetch:       o.ScanPrefetch,
+		Follower:           o.Follower,
+		Tee:                o.Tee,
 	}, nvme, sata, nil
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# repl_smoke.sh — end-to-end replication smoke: build hyperd + hyperctl,
+# start a sync-ack primary and a follower replicating from it, run a
+# pipelined load, SIGKILL the primary mid-flight, promote the follower with
+# SIGHUP, and require every acknowledged key to be readable from the
+# promoted node. Exit 0 means failover lost nothing that was acked.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRIMARY="${HYPERD_PRIMARY:-127.0.0.1:49810}"
+FOLLOWER="${HYPERD_FOLLOWER:-127.0.0.1:49811}"
+BIN=$(mktemp -d)
+PPID_D=""
+FPID_D=""
+cleanup() {
+  [ -n "$PPID_D" ] && kill -9 "$PPID_D" 2>/dev/null || true
+  [ -n "$FPID_D" ] && kill -9 "$FPID_D" 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/hyperd" ./cmd/hyperd
+go build -o "$BIN/hyperctl" ./cmd/hyperctl
+
+"$BIN/hyperd" -addr "$PRIMARY" -role primary -repl-sync -unthrottled \
+  -nvme $((32 << 20)) -sata $((1 << 30)) -partitions 4 &
+PPID_D=$!
+"$BIN/hyperd" -addr "$FOLLOWER" -role follower -upstream "$PRIMARY" -unthrottled \
+  -nvme $((32 << 20)) -sata $((1 << 30)) -partitions 4 &
+FPID_D=$!
+
+pctl() { "$BIN/hyperctl" "$1" -addr "$PRIMARY" "${@:2}"; }
+fctl() { "$BIN/hyperctl" "$1" -addr "$FOLLOWER" "${@:2}"; }
+
+wait_up() { # wait_up <name> <pid> <ctl-fn>
+  for i in $(seq 1 100); do
+    if "$3" ping >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then echo "$1 died during startup" >&2; exit 1; fi
+    sleep 0.1
+  done
+  echo "$1 never became reachable" >&2; exit 1
+}
+wait_up primary "$PPID_D" pctl
+wait_up follower "$FPID_D" fctl
+
+echo "== follower attaches and roles report =="
+for i in $(seq 1 100); do
+  if pctl repl status | grep -q '^followers: 1$'; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then echo "follower never attached" >&2; pctl repl status >&2; exit 1; fi
+done
+pctl repl status | grep -q '^role: primary$'
+fctl repl status | grep -q '^role: follower$'
+
+echo "== follower rejects foreground writes =="
+if fctl put nope nope >/dev/null 2>&1; then
+  echo "follower accepted a foreground write" >&2; exit 1
+fi
+
+echo "== pipelined load into the primary (sync-ack) =="
+LOAD_PIDS=()
+for i in $(seq 1 6); do
+  ( for j in $(seq 1 25); do pctl put "rk-$i-$j" "rv-$i-$j" >/dev/null; done ) &
+  LOAD_PIDS+=($!)
+done
+for pid in "${LOAD_PIDS[@]}"; do wait "$pid"; done
+pctl del rk-1-1
+
+echo "== lag converges to 0 after load stops =="
+for i in $(seq 1 100); do
+  if pctl repl status | grep -q 'lag=0$'; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then echo "lag never converged" >&2; pctl repl status >&2; exit 1; fi
+done
+
+echo "== SIGKILL the primary, promote the follower =="
+kill -9 "$PPID_D"
+wait "$PPID_D" 2>/dev/null || true
+PPID_D=""
+kill -HUP "$FPID_D"
+for i in $(seq 1 100); do
+  if fctl repl status | grep -q '^role: primary$'; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then echo "follower never promoted" >&2; fctl repl status >&2; exit 1; fi
+done
+
+echo "== every acked key is readable from the promoted node =="
+for i in $(seq 1 6); do
+  for j in $(seq 1 25); do
+    if [ "$i" = 1 ] && [ "$j" = 1 ]; then continue; fi
+    got=$(fctl get "rk-$i-$j")
+    if [ "$got" != "rv-$i-$j" ]; then
+      echo "acked key rk-$i-$j lost: got '$got'" >&2; exit 1
+    fi
+  done
+done
+if fctl get rk-1-1 >/dev/null 2>&1; then
+  echo "acked delete rk-1-1 resurrected" >&2; exit 1
+fi
+
+echo "== promoted node accepts new writes =="
+fctl put post-failover yes
+[ "$(fctl get post-failover)" = "yes" ]
+
+echo "== graceful shutdown of the promoted node =="
+kill -TERM "$FPID_D"
+if ! wait "$FPID_D"; then
+  echo "promoted hyperd exited non-zero after SIGTERM" >&2
+  exit 1
+fi
+FPID_D=""
+
+echo "repl smoke OK"
