@@ -148,7 +148,14 @@ func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
 			return fmt.Errorf("hyperdb: empty key at replicated index %d", i)
 		}
 	}
-	db.advanceSeqTo(base + uint64(len(ops)) - 1)
+	last := base + uint64(len(ops)) - 1
+	// Entries must advance strictly past the last applied one. This is the
+	// single-applier contract, enforced here so a non-increasing base from
+	// the wire fails the stream instead of panicking the re-tee below.
+	if prev := db.replApplied.Load(); base <= prev {
+		return fmt.Errorf("hyperdb: replicated entry base %d does not advance past applied position %d", base, prev)
+	}
+	db.advanceSeqTo(last)
 
 	var tok uint64
 	tee := db.opts.Tee
@@ -161,16 +168,24 @@ func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
 	if tee != nil {
 		tee.Commit(tok, err == nil)
 	}
+	if err == nil {
+		db.replApplied.Store(last)
+	}
 	return err
 }
 
-// ApplySnapshotChunk applies one streamed bootstrap chunk on a follower.
-// Every pair is tagged with the snapshot's pinned sequence seq: snapshot
-// values reflect primary state no newer than the log tail that follows, so
-// a uniform tag below the tail keeps per-key sequence order intact — both
-// live (the tail re-applies any racing write) and across a follower crash
-// (recovery picks the highest sequence per key). Chunks are not teed; a
-// follower that chains further replicas must floor its own log at seq.
+// ApplySnapshotChunk applies one streamed bootstrap chunk on a follower —
+// snapshot pairs, or the tombstones the bootstrap sweep uses to drop local
+// keys absent from the snapshot. Every op is tagged with the snapshot's
+// pinned sequence seq: snapshot values reflect primary state no newer than
+// the log tail that follows, so a uniform tag below the tail keeps per-key
+// sequence order intact — both live (the tail re-applies any racing write)
+// and across a follower crash (recovery picks the highest sequence per
+// key). Each chunk resets the replication apply position to seq, so the
+// tail that follows must start past the snapshot — even when a forced
+// re-bootstrap hands a store a position below what it had applied before.
+// Chunks are not teed; a follower that chains further replicas must floor
+// its own log at seq.
 func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
 	if db.closed.Load() {
 		return ErrClosed
@@ -183,10 +198,11 @@ func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
 			return fmt.Errorf("hyperdb: empty key at snapshot index %d", i)
 		}
 	}
+	db.advanceSeqTo(seq)
+	db.replApplied.Store(seq)
 	if len(ops) == 0 {
 		return nil
 	}
-	db.advanceSeqTo(seq)
 	return db.applyAt(ops, func(int) uint64 { return seq })
 }
 

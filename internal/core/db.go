@@ -67,6 +67,13 @@ type DB struct {
 
 	// follower marks replica mode (see Options.Follower); Promote clears it.
 	follower atomic.Bool
+	// replApplied is the replication apply position: the highest sequence
+	// covered by an ApplyReplicated entry, reset by each snapshot bootstrap
+	// to the snapshot sequence. ApplyReplicated rejects an entry whose base
+	// does not advance past it, so a buggy or malicious upstream sending a
+	// non-increasing base errors the stream instead of corrupting state (or
+	// tripping the replication log's ordering panic via the re-tee path).
+	replApplied atomic.Uint64
 	// replMu orders sequence-block allocation and the replication tee's
 	// Append so the shipped log is strictly base-ordered. Only taken when a
 	// tee is installed — the unreplicated hot path stays lock-free.

@@ -120,6 +120,38 @@ func TestApplyReplicatedMalformed(t *testing.T) {
 	}
 }
 
+func TestApplyReplicatedRejectsNonIncreasingBase(t *testing.T) {
+	// A base taken straight off the wire must not be able to reach the
+	// replication tee's ordering panic: a stale or duplicate base errors
+	// the stream instead of crashing the follower process.
+	db := openCoreWith(t, func(o *Options) {
+		o.Follower = true
+		o.Tee = &recordTee{}
+	})
+	if err := db.ApplyReplicated([]BatchOp{
+		{Key: k8(1), Value: []byte("a")},
+		{Key: k8(2), Value: []byte("b")},
+	}, 5); err != nil { // covers 5..6
+		t.Fatal(err)
+	}
+	for _, base := range []uint64{5, 6, 3} {
+		if err := db.ApplyReplicated([]BatchOp{{Key: k8(3), Value: []byte("x")}}, base); err == nil {
+			t.Fatalf("non-increasing base %d accepted", base)
+		}
+	}
+	if err := db.ApplyReplicated([]BatchOp{{Key: k8(3), Value: []byte("x")}}, 7); err != nil {
+		t.Fatalf("advancing base rejected: %v", err)
+	}
+	// A snapshot bootstrap resets the position: the tail may legitimately
+	// restart below previously applied sequences after a forced re-bootstrap.
+	if err := db.ApplySnapshotChunk([]BatchOp{{Key: k8(4), Value: []byte("s")}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyReplicated([]BatchOp{{Key: k8(5), Value: []byte("y")}}, 5); err != nil {
+		t.Fatalf("post-bootstrap base rejected: %v", err)
+	}
+}
+
 func TestApplySnapshotChunkThenTail(t *testing.T) {
 	db := openCoreWith(t, func(o *Options) { o.Follower = true })
 	// Bootstrap: every snapshot pair lands at the pinned sequence.

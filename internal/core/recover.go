@@ -95,6 +95,10 @@ func Recover(opts Options) (*DB, error) {
 		db.parts = append(db.parts, part)
 	}
 	db.seq.Store(maxSeq)
+	// A recovered follower must not accept replicated entries at or below
+	// the sequences its devices already hold; a snapshot bootstrap resets
+	// this position explicitly.
+	db.replApplied.Store(maxSeq)
 	if !opts.DisableBackground {
 		for _, part := range db.parts {
 			db.wg.Add(2)

@@ -2,12 +2,18 @@ package repl
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 
 	"hyperdb/internal/core"
+	"hyperdb/internal/keys"
 	"hyperdb/internal/wire"
 )
+
+// sweepPairs bounds the local scan pages used to reconcile the store
+// against an incoming snapshot stream.
+const sweepPairs = 256
 
 // Follower drives the replica side of one upstream connection: announce the
 // last applied sequence, bootstrap from a snapshot when the primary says
@@ -15,6 +21,12 @@ import (
 // open in follower mode; every apply goes through the engine's normal batch
 // machinery so zone placement, hotness, and compaction behave exactly as
 // they would on the primary.
+//
+// A Follower is stateful across Run calls (the redial loop reuses it): it
+// remembers the upstream's write-lineage epoch and the replication
+// position it has applied through, so a reattach resumes from the stream
+// position rather than the store's raw sequence counter — the two diverge
+// after a forced re-bootstrap onto a store that already held state.
 type Follower struct {
 	DB DB
 	// Log, when non-nil, is this node's own replication log (the engine's
@@ -22,6 +34,12 @@ type Follower struct {
 	// after a promotion, downstream followers can't silently tail across
 	// history this node never logged.
 	Log *Log
+
+	// epoch is the upstream log's lineage ID from the last hello response
+	// (0 until first attach); applied is the stream position this Follower
+	// has applied through (0 means "unknown: fall back to CommitSeq").
+	epoch   uint64
+	applied uint64
 }
 
 // Run replicates from the upstream connection until it fails or stop
@@ -55,10 +73,13 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 
 	br := bufio.NewReader(nc)
 	bw := bufio.NewWriter(nc)
-	lastApplied := f.DB.CommitSeq()
+	lastApplied := f.applied
+	if lastApplied == 0 {
+		lastApplied = f.DB.CommitSeq()
+	}
 	err := writeFrame(bw, wire.Frame{
 		Op:      wire.OpReplHello,
-		Payload: wire.AppendReplHelloReq(nil, lastApplied),
+		Payload: wire.AppendReplHelloReq(nil, f.epoch, lastApplied),
 	})
 	if err != nil {
 		if isStop() {
@@ -77,7 +98,7 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 	if hello.Op != wire.OpReplHello || hello.Status != wire.StatusOK {
 		return fmt.Errorf("repl: upstream rejected hello: op=%s status=%d %q", hello.Op, hello.Status, hello.Payload)
 	}
-	mode, startSeq, err := wire.DecodeReplHelloResp(hello.Payload)
+	mode, epoch, startSeq, err := wire.DecodeReplHelloResp(hello.Payload)
 	if err != nil {
 		return err
 	}
@@ -90,6 +111,10 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 			return err
 		}
 	}
+	// Attached: adopt the upstream's lineage and resume point (in tail mode
+	// startSeq echoes lastApplied; after a bootstrap it is the snapshot seq).
+	f.epoch = epoch
+	f.applied = startSeq
 
 	for {
 		fr, err := wire.ReadFrame(br, wire.MaxFrame)
@@ -110,6 +135,7 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 			return fmt.Errorf("repl: apply entry at %d: %w", base, err)
 		}
 		last := base + uint64(len(wops)) - 1
+		f.applied = last
 		err = writeFrame(bw, wire.Frame{
 			Op: wire.OpReplAck, Status: wire.StatusOK, ID: fr.ID,
 			Payload: wire.AppendReplAck(nil, last),
@@ -124,8 +150,16 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 }
 
 // bootstrap consumes the snapshot stream, applying every chunk at the
-// pinned sequence, and floors this node's own log when it has one.
+// pinned sequence, and floors this node's own log when it has one. The
+// snapshot carries only live pairs, so deletions are conveyed by sweeping:
+// chunks arrive in global key order, and before each chunk applies, every
+// local key inside its range that the chunk does not contain is deleted at
+// the snapshot sequence. A follower that re-bootstraps onto existing state
+// (it fell off the retained window, or its epoch no longer matches) thus
+// converges exactly — keys deleted on the primary during the gap do not
+// resurrect.
 func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
+	var cursor []byte // lowest local key not yet reconciled against the stream
 	for {
 		fr, err := wire.ReadFrame(br, wire.MaxFrame)
 		if err != nil {
@@ -141,19 +175,76 @@ func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
 		if seq != snapSeq {
 			return fmt.Errorf("repl: snapshot seq changed mid-stream: %d then %d", snapSeq, seq)
 		}
+		if err := f.sweepStale(cursor, kvs, snapSeq, done); err != nil {
+			return err
+		}
 		if len(kvs) > 0 {
 			if err := f.DB.ApplySnapshotChunk(kvsToBatch(kvs), snapSeq); err != nil {
 				return fmt.Errorf("repl: apply snapshot chunk: %w", err)
 			}
+			cursor = keys.Successor(kvs[len(kvs)-1].Key)
 		}
 		if done {
 			break
 		}
 	}
+	// Stamp the bootstrap position even when the stream carried no pairs
+	// and nothing needed sweeping, so the tail handoff starts from snapSeq.
+	if err := f.DB.ApplySnapshotChunk(nil, snapSeq); err != nil {
+		return err
+	}
 	if f.Log != nil {
-		f.Log.SetFloor(snapSeq)
+		// The bootstrap replaced this node's state wholesale: its own log's
+		// window and lineage no longer describe it, and the incoming tail
+		// may restart below the old head. Reset rather than floor.
+		f.Log.ResetTo(snapSeq)
 	}
 	return nil
+}
+
+// sweepStale deletes every local key covered by this chunk's range that
+// the chunk does not contain: keys in [cursor, last chunk key], or from
+// cursor to the end of the keyspace for the final chunk. Local keys past
+// the range are left for later chunks. Deletes apply at the snapshot
+// sequence, exactly like the snapshot's own pairs.
+func (f *Follower) sweepStale(cursor []byte, kvs []wire.KV, snapSeq uint64, final bool) error {
+	var hi []byte
+	if n := len(kvs); n > 0 {
+		hi = kvs[n-1].Key
+	} else if !final {
+		return nil
+	}
+	ki := 0
+	for {
+		page, err := f.DB.Scan(cursor, sweepPairs)
+		if err != nil {
+			return fmt.Errorf("repl: snapshot sweep scan: %w", err)
+		}
+		var dels []core.BatchOp
+		inRange := len(page)
+		for i, kv := range page {
+			if !final && bytes.Compare(kv.Key, hi) > 0 {
+				inRange = i
+				break
+			}
+			for ki < len(kvs) && bytes.Compare(kvs[ki].Key, kv.Key) < 0 {
+				ki++
+			}
+			if ki < len(kvs) && bytes.Equal(kvs[ki].Key, kv.Key) {
+				continue // retained: the chunk overwrites it
+			}
+			dels = append(dels, core.BatchOp{Key: append([]byte(nil), kv.Key...), Delete: true})
+		}
+		if len(dels) > 0 {
+			if err := f.DB.ApplySnapshotChunk(dels, snapSeq); err != nil {
+				return fmt.Errorf("repl: sweep stale keys: %w", err)
+			}
+		}
+		if inRange < len(page) || len(page) < sweepPairs {
+			return nil
+		}
+		cursor = keys.Successor(page[len(page)-1].Key)
+	}
 }
 
 func kvsToBatch(kvs []wire.KV) []core.BatchOp {

@@ -8,6 +8,7 @@
 package repl
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/wal"
@@ -36,11 +38,19 @@ type LogConfig struct {
 	// has acknowledged the entry. With no followers connected, commits
 	// proceed immediately.
 	SyncAck bool
+	// AckTimeout bounds how long a synchronous Commit waits for one
+	// follower: a peer still unacknowledged when it fires is evicted (its
+	// connection closed) so a half-dead link cannot stall writes forever.
+	// 0 means the 10s default; negative disables the timeout.
+	AckTimeout time.Duration
 }
 
 func (c *LogConfig) fill() {
 	if c.MaxEntries <= 0 {
 		c.MaxEntries = 1024
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 10 * time.Second
 	}
 }
 
@@ -69,6 +79,7 @@ type entry struct {
 type Log struct {
 	mu       sync.Mutex
 	cfg      LogConfig
+	epoch    uint64 // write-lineage ID; see Epoch
 	entries  []*entry
 	resolved int    // entries[:resolved] are all committed or aborted
 	floor    uint64 // highest seq no longer available (dropped or never held)
@@ -87,10 +98,38 @@ func NewLog(cfg LogConfig) *Log {
 	cfg.fill()
 	return &Log{
 		cfg:    cfg,
+		epoch:  newEpoch(),
 		pins:   make(map[uint64]int),
 		peers:  make(map[*Peer]struct{}),
 		change: make(chan struct{}),
 	}
+}
+
+// newEpoch mints a random non-zero lineage identifier.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("repl: epoch entropy: %v", err))
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Epoch identifies this log's write lineage. Followers record it from the
+// hello response and present it when they reattach; a subscriber whose
+// epoch does not match cannot prove its state is a prefix of this log's
+// history (it may carry writes from a dead primary's incarnation that
+// never shipped), so it is forced through a snapshot instead of tailing.
+// The epoch survives a clean shutdown via SaveTo/RecoverLog and is
+// re-minted after a crash, which is exactly when old state stops being
+// trustworthy.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
 }
 
 // broadcast wakes every waiter. Callers hold l.mu.
@@ -122,7 +161,9 @@ func (l *Log) Append(base uint64, ops []core.BatchOp) uint64 {
 // Commit resolves the entry appended under tok. ok=false (the batch failed
 // and was never acknowledged) drops it from shipping. With SyncAck and
 // ok=true, Commit blocks until every follower registered at this moment has
-// acknowledged the entry's last sequence — or has disconnected. Implements
+// acknowledged the entry's last sequence — or has disconnected, or has sat
+// unacknowledged past AckTimeout, in which case it is evicted so a
+// half-dead connection cannot stall writes indefinitely. Implements
 // core.Tee.
 func (l *Log) Commit(tok uint64, ok bool) {
 	l.mu.Lock()
@@ -153,21 +194,46 @@ func (l *Log) Commit(tok uint64, ok bool) {
 		waitOn = append(waitOn, p)
 	}
 	target := e.last
+	var timeoutC <-chan time.Time
+	if l.cfg.AckTimeout > 0 {
+		timer := time.NewTimer(l.cfg.AckTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	timedOut := false
 	for {
-		pending := false
+		var laggards []*Peer
 		for _, p := range waitOn {
 			if _, live := l.peers[p]; live && p.acked.Load() < target {
-				pending = true
-				break
+				laggards = append(laggards, p)
 			}
 		}
-		if !pending {
+		if len(laggards) == 0 {
 			l.mu.Unlock()
+			return
+		}
+		if timedOut {
+			// Evict the stragglers: synchronous commits stop counting them
+			// and their connections are severed so the ship loops unwind.
+			for _, p := range laggards {
+				delete(l.peers, p)
+			}
+			l.broadcast()
+			l.mu.Unlock()
+			for _, p := range laggards {
+				if p.evict != nil {
+					p.evict()
+				}
+			}
 			return
 		}
 		ch := l.change
 		l.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-timeoutC:
+			timedOut = true
+		}
 		l.mu.Lock()
 	}
 }
@@ -219,6 +285,24 @@ func (l *Log) SetFloor(seq uint64) {
 	l.mu.Unlock()
 }
 
+// ResetTo discards the retained window and the write lineage: the node's
+// state was just replaced wholesale by a snapshot bootstrap, so nothing it
+// previously logged can be vouched for — and the tail that follows may
+// legally restart below the old head, which the append ordering invariant
+// would otherwise reject. The log restarts empty, floored at seq, under a
+// fresh epoch; live downstream cursors overrun and those followers
+// re-bootstrap in turn.
+func (l *Log) ResetTo(seq uint64) {
+	l.mu.Lock()
+	l.entries = nil
+	l.resolved = 0
+	l.floor = seq
+	l.head = seq
+	l.epoch = newEpoch()
+	l.broadcast()
+	l.mu.Unlock()
+}
+
 // Floor returns the highest unavailable sequence.
 func (l *Log) Floor() uint64 {
 	l.mu.Lock()
@@ -262,12 +346,14 @@ func (l *Log) Unpin(seq uint64) {
 }
 
 // Subscribe opens a ship cursor for a follower whose last applied sequence
-// is lastApplied. ok=false means the follower fell below the retained
-// window and must bootstrap via snapshot first.
+// is lastApplied. ok=false means the follower cannot tail: it fell below
+// the retained window, or it claims a sequence above everything this log
+// has ever covered — state from some other history that tailing would
+// silently skip past — and must bootstrap via snapshot first.
 func (l *Log) Subscribe(lastApplied uint64) (*Cursor, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lastApplied < l.floor {
+	if lastApplied < l.floor || lastApplied > l.head {
 		return nil, false
 	}
 	return &Cursor{log: l, next: lastApplied + 1}, true
@@ -315,11 +401,14 @@ type Peer struct {
 	log   *Log
 	name  string
 	acked atomic.Uint64
+	evict func()
 }
 
-// Register adds a follower that has everything through acked.
-func (l *Log) Register(name string, acked uint64) *Peer {
-	p := &Peer{log: l, name: name}
+// Register adds a follower that has everything through acked. evict, when
+// non-nil, is called (off the log's lock) if an ack-timeout eviction
+// removes the peer; it should sever the follower's connection.
+func (l *Log) Register(name string, acked uint64, evict func()) *Peer {
+	p := &Peer{log: l, name: name, evict: evict}
 	p.acked.Store(acked)
 	l.mu.Lock()
 	l.peers[p] = struct{}{}
@@ -429,6 +518,7 @@ func (l *Log) SaveTo(w *wal.WAL) error {
 		return errors.New("repl: SaveTo with unresolved entries")
 	}
 	floor := l.floor
+	epoch := l.epoch
 	var recs [][]byte
 	for _, e := range l.entries {
 		if e.state != stateCommitted {
@@ -444,7 +534,8 @@ func (l *Log) SaveTo(w *wal.WAL) error {
 			return err
 		}
 	}
-	marker := append([]byte{recClean}, binary.AppendUvarint(nil, floor)...)
+	marker := binary.AppendUvarint([]byte{recClean}, floor)
+	marker = binary.AppendUvarint(marker, epoch)
 	if err := w.AppendNoSync(marker); err != nil {
 		return err
 	}
@@ -480,7 +571,14 @@ func RecoverLog(w *wal.WAL, cfg LogConfig, fallbackFloor uint64) (*Log, error) {
 			if n <= 0 {
 				return fmt.Errorf("repl: bad clean marker")
 			}
+			epoch, n2 := binary.Uvarint(rec[1+n:])
+			if n2 <= 0 || epoch == 0 {
+				return fmt.Errorf("repl: bad clean marker epoch")
+			}
 			l.floor = floor
+			// A clean shutdown preserves the write lineage: followers that
+			// tailed this node can keep tailing after the restart.
+			l.epoch = epoch
 			clean = true
 		default:
 			return fmt.Errorf("repl: unknown log record kind %d", rec[0])

@@ -104,6 +104,58 @@ func TestLogTruncationFloorAndOverrun(t *testing.T) {
 	if _, _, err := slow.Next(stop); !errors.Is(err, ErrOverrun) {
 		t.Fatalf("want ErrOverrun, got %v", err)
 	}
+	// A subscriber claiming a sequence above everything the log has ever
+	// covered holds state from some other history: tailing would silently
+	// skip it, so it must be refused into a snapshot instead.
+	if _, ok := l.Subscribe(l.Head() + 1); ok {
+		t.Fatal("subscribe above head accepted")
+	}
+	if _, ok := l.Subscribe(l.Head()); !ok {
+		t.Fatal("subscribe at head refused")
+	}
+}
+
+func TestLogEpochMintedAndRecovered(t *testing.T) {
+	a, b := NewLog(LogConfig{}), NewLog(LogConfig{})
+	if a.Epoch() == 0 || b.Epoch() == 0 {
+		t.Fatal("zero epoch minted")
+	}
+	if a.Epoch() == b.Epoch() {
+		t.Fatal("two fresh logs share an epoch")
+	}
+}
+
+func TestLogSyncAckTimeoutEvictsDeadPeer(t *testing.T) {
+	l := NewLog(LogConfig{SyncAck: true, AckTimeout: 50 * time.Millisecond})
+	evicted := make(chan struct{})
+	l.Register("dead", 0, func() { close(evicted) })
+
+	tok := l.Append(1, []core.BatchOp{op("a", "1")})
+	done := make(chan struct{})
+	go func() { l.Commit(tok, true); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit never timed out on a peer that never acks")
+	}
+	select {
+	case <-evicted:
+	case <-time.After(time.Second):
+		t.Fatal("laggard peer's evict hook never ran")
+	}
+	if st := l.Status(); len(st.Peers) != 0 {
+		t.Fatalf("evicted peer still registered: %+v", st)
+	}
+
+	// With the laggard gone, later synchronous commits are unimpeded.
+	tok = l.Append(2, []core.BatchOp{op("b", "1")})
+	done = make(chan struct{})
+	go func() { l.Commit(tok, true); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit blocked after eviction")
+	}
 }
 
 func TestLogPinHoldsWindow(t *testing.T) {
@@ -146,7 +198,7 @@ func TestLogSyncAckWaits(t *testing.T) {
 		t.Fatal("commit with no peers blocked")
 	}
 
-	p := l.Register("f1", 1)
+	p := l.Register("f1", 1, nil)
 	tok = l.Append(2, []core.BatchOp{op("b", "1"), op("c", "1")}) // 2..3
 	done = make(chan struct{})
 	go func() { l.Commit(tok, true); close(done) }()
@@ -192,7 +244,7 @@ func TestLogSyncAckWaits(t *testing.T) {
 
 func TestLogStatusLag(t *testing.T) {
 	l := NewLog(LogConfig{})
-	p := l.Register("f1", 0)
+	p := l.Register("f1", 0, nil)
 	for seq := uint64(1); seq <= 5; seq++ {
 		l.Commit(l.Append(seq, []core.BatchOp{op(fmt.Sprintf("k%d", seq), "v")}), true)
 	}
@@ -233,6 +285,10 @@ func TestLogSaveRecover(t *testing.T) {
 	if r.Floor() != wantFloor || r.Head() != 6 {
 		t.Fatalf("recovered floor=%d head=%d, want floor=%d head=6", r.Floor(), r.Head(), wantFloor)
 	}
+	// A clean restart keeps the write lineage, so followers can re-tail.
+	if r.Epoch() != l.Epoch() {
+		t.Fatalf("clean recovery changed epoch: %d -> %d", l.Epoch(), r.Epoch())
+	}
 	cur, ok := r.Subscribe(wantFloor)
 	if !ok {
 		t.Fatal("tail from recovered floor refused")
@@ -254,6 +310,11 @@ func TestLogSaveRecover(t *testing.T) {
 	}
 	if r2.Floor() != 42 {
 		t.Fatalf("second recovery floor %d, want fallback 42", r2.Floor())
+	}
+	// A crash-path recovery mints a fresh lineage: old followers must not
+	// be able to tail state this instance cannot vouch for.
+	if r2.Epoch() == l.Epoch() {
+		t.Fatal("crash recovery kept the old epoch")
 	}
 
 	// Crash path: a save without sync (simulated by a power cut right

@@ -64,21 +64,23 @@ func (p *Primary) Serve(nc net.Conn) error {
 		nc.Close()
 		return fmt.Errorf("repl: expected REPL_HELLO, got %s", f.Op)
 	}
-	lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
+	epoch, lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
 	if err != nil {
 		nc.Close()
 		return err
 	}
-	return p.ServeConn(nc, br, lastApplied)
+	return p.ServeConn(nc, br, epoch, lastApplied)
 }
 
 // ServeConn drives the primary side of one follower connection: subscribe
-// the follower at lastApplied (already decoded from its REPL_HELLO),
-// bootstrap it via streamed snapshot when it has fallen off the retained
-// window, then tail-ship committed entries and consume acks until the
+// the follower at lastApplied (epoch and lastApplied already decoded from
+// its REPL_HELLO), bootstrap it via streamed snapshot when it has fallen
+// off the retained window — or when its epoch shows its state comes from
+// another write lineage, so its sequence numbers cannot be trusted against
+// this log — then tail-ship committed entries and consume acks until the
 // connection dies or the cursor overruns. br carries any bytes already
 // buffered past the hello; nil wraps nc directly. ServeConn closes nc.
-func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, lastApplied uint64) error {
+func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, epoch, lastApplied uint64) error {
 	defer nc.Close()
 	if br == nil {
 		br = bufio.NewReader(nc)
@@ -89,28 +91,41 @@ func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, lastApplied uint64) e
 		name = addr.String()
 	}
 
-	cur, ok := p.Log.Subscribe(lastApplied)
+	// A follower with no state at all (lastApplied 0) may tail regardless
+	// of epoch; anyone else must prove its state is a prefix of this log's
+	// history by presenting the matching epoch.
+	var cur *Cursor
+	ok := false
+	if lastApplied == 0 || epoch == p.Log.Epoch() {
+		cur, ok = p.Log.Subscribe(lastApplied)
+	}
 	start := lastApplied
 	if ok {
 		if err := writeFrame(bw, wire.Frame{
 			Op: wire.OpReplHello, Status: wire.StatusOK,
-			Payload: wire.AppendReplHelloResp(nil, wire.ReplModeTail, start),
+			Payload: wire.AppendReplHelloResp(nil, wire.ReplModeTail, p.Log.Epoch(), start),
 		}); err != nil {
 			return err
 		}
 	} else {
-		snapSeq, err := p.streamSnapshot(bw)
+		// The pin is held until the tail subscription is established, so a
+		// truncation racing the stream can never raise the floor past the
+		// snapshot sequence between the last chunk and the handoff.
+		snapSeq := p.Log.PinHead()
+		err := p.streamSnapshot(bw, snapSeq)
 		if err != nil {
+			p.Log.Unpin(snapSeq)
 			return err
 		}
 		cur, ok = p.Log.Subscribe(snapSeq)
+		p.Log.Unpin(snapSeq)
 		if !ok {
 			return fmt.Errorf("repl: snapshot seq %d below floor %d despite pin", snapSeq, p.Log.Floor())
 		}
 		start = snapSeq
 	}
 
-	peer := p.Log.Register(name, start)
+	peer := p.Log.Register(name, start, func() { nc.Close() })
 	defer p.Log.Unregister(peer)
 
 	// The ack reader is the only goroutine reading the socket; its exit
@@ -157,26 +172,24 @@ func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, lastApplied uint64) e
 	}
 }
 
-// streamSnapshot pins the log's resolved head, sends the snapshot-mode
-// hello, streams the store's live pairs in key order (every pair tagged
-// with the pinned sequence), and finishes with the done chunk. The pin
-// guarantees the tail from snapSeq is still retained when streaming ends.
-func (p *Primary) streamSnapshot(bw *bufio.Writer) (snapSeq uint64, err error) {
-	snapSeq = p.Log.PinHead()
-	defer p.Log.Unpin(snapSeq)
-	err = writeFrame(bw, wire.Frame{
+// streamSnapshot sends the snapshot-mode hello, streams the store's live
+// pairs in key order (every pair tagged with snapSeq, the pinned resolved
+// head), and finishes with the done chunk. The caller pins snapSeq before
+// calling and holds the pin until its tail subscription is established.
+func (p *Primary) streamSnapshot(bw *bufio.Writer, snapSeq uint64) error {
+	err := writeFrame(bw, wire.Frame{
 		Op: wire.OpReplHello, Status: wire.StatusOK,
-		Payload: wire.AppendReplHelloResp(nil, wire.ReplModeSnapshot, snapSeq),
+		Payload: wire.AppendReplHelloResp(nil, wire.ReplModeSnapshot, p.Log.Epoch(), snapSeq),
 	})
 	if err != nil {
-		return 0, err
+		return err
 	}
 
 	var pageStart []byte
 	for {
 		kvs, err := p.DB.Scan(pageStart, p.snapshotPairs())
 		if err != nil {
-			return 0, fmt.Errorf("repl: snapshot scan: %w", err)
+			return fmt.Errorf("repl: snapshot scan: %w", err)
 		}
 		if len(kvs) == 0 {
 			break
@@ -200,7 +213,7 @@ func (p *Primary) streamSnapshot(bw *bufio.Writer) (snapSeq uint64, err error) {
 				Payload: wire.AppendReplSnapshot(nil, snapSeq, chunk, false),
 			})
 			if err != nil {
-				return 0, err
+				return err
 			}
 			kvs = kvs[n:]
 		}
@@ -208,14 +221,10 @@ func (p *Primary) streamSnapshot(bw *bufio.Writer) (snapSeq uint64, err error) {
 			break
 		}
 	}
-	err = writeFrame(bw, wire.Frame{
+	return writeFrame(bw, wire.Frame{
 		Op: wire.OpReplSnapshot, Status: wire.StatusOK,
 		Payload: wire.AppendReplSnapshot(nil, snapSeq, nil, true),
 	})
-	if err != nil {
-		return 0, err
-	}
-	return snapSeq, nil
 }
 
 // Status reports the log's view for stats rendering.

@@ -220,6 +220,139 @@ func TestSnapshotBootstrapPastWindow(t *testing.T) {
 	}
 }
 
+// assertStoresConverged fails unless a full scan of both stores agrees.
+func assertStoresConverged(t *testing.T, pdb, fdb *core.DB) {
+	t.Helper()
+	want, err := pdb.Scan(nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fdb.Scan(nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("scan size mismatch: primary %d follower %d", len(want), len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].Key, got[i].Key) || !bytes.Equal(want[i].Value, got[i].Value) {
+			t.Fatalf("scan divergence at %d: %q vs %q", i, want[i].Key, got[i].Key)
+		}
+	}
+}
+
+func TestReBootstrapDoesNotResurrectDeletions(t *testing.T) {
+	// The scenario the redial loop produces naturally: a follower tails for
+	// a while, loses its connection, and falls off the retained window
+	// during the gap — in which the primary deletes keys the follower
+	// already holds. The second attach must bootstrap via snapshot AND
+	// convey those deletions, or the follower resurrects dead keys forever.
+	log := NewLog(LogConfig{MaxEntries: 8})
+	pdb := openStore(t, false, log)
+	fdb := openStore(t, true, nil)
+	prim := &Primary{DB: pdb, Log: log, SnapshotPairs: 64}
+	fol := &Follower{DB: fdb}
+	stop, _, fdone := startPair(prim, fol)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("rb-%04d", i)) }
+	for i := 0; i < 50; i++ {
+		if err := pdb.Put(key(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "follower to catch up", func() bool { return fdb.CommitSeq() == pdb.CommitSeq() })
+
+	// Disconnect, then change state during the gap: delete keys the
+	// follower holds, overwrite one, and write far past the window.
+	close(stop)
+	if err := <-fdone; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	for _, i := range []int{3, 17, 49} {
+		if err := pdb.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pdb.Put(key(5), []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 300; i++ {
+		if err := pdb.Put(key(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reattach the same follower: it is below the floor now, so the
+	// primary streams a snapshot onto its existing state.
+	stop2, _, fdone2 := startPair(prim, fol)
+	defer func() { close(stop2); <-fdone2 }()
+	waitFor(t, "lag to converge after re-bootstrap", func() bool {
+		st := log.Status()
+		return len(st.Peers) == 1 && st.Peers[0].Lag == 0
+	})
+
+	for _, i := range []int{3, 17, 49} {
+		if _, err := fdb.Get(key(i)); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("deleted key %d resurrected after re-bootstrap: %v", i, err)
+		}
+	}
+	if v, err := fdb.Get(key(5)); err != nil || string(v) != "rewritten" {
+		t.Fatalf("overwritten key: %q %v", v, err)
+	}
+	assertStoresConverged(t, pdb, fdb)
+}
+
+func TestDivergentNodeForcedThroughSnapshot(t *testing.T) {
+	// A node resurrected from a previous primary incarnation: it holds
+	// replicated state (including sequences past the new primary's head)
+	// that the new primary's log never saw. Its epoch cannot match, so it
+	// must be forced through a snapshot that sweeps the divergent keys —
+	// silently tailing would diverge forever.
+	fdb := openStore(t, true, nil)
+	if err := fdb.ApplyReplicated([]core.BatchOp{
+		{Key: []byte("ghost-a"), Value: []byte("old-world")},
+		{Key: []byte("ghost-b"), Value: []byte("old-world")},
+	}, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	log := NewLog(LogConfig{})
+	pdb := openStore(t, false, log)
+	for i := 0; i < 10; i++ {
+		if err := pdb.Put([]byte(fmt.Sprintf("live-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fdb.CommitSeq() <= log.Head() {
+		t.Fatalf("test setup: follower seq %d not past primary head %d", fdb.CommitSeq(), log.Head())
+	}
+
+	prim := &Primary{DB: pdb, Log: log}
+	fol := &Follower{DB: fdb}
+	stop, _, fdone := startPair(prim, fol)
+	defer func() { close(stop); <-fdone }()
+	waitFor(t, "lag to converge after forced snapshot", func() bool {
+		st := log.Status()
+		return len(st.Peers) == 1 && st.Peers[0].Lag == 0
+	})
+
+	for _, k := range []string{"ghost-a", "ghost-b"} {
+		if _, err := fdb.Get([]byte(k)); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("divergent key %q survived the forced snapshot: %v", k, err)
+		}
+	}
+	// Tailing still works after the bootstrap reset the apply position
+	// below the store's old sequence counter.
+	if err := pdb.Put([]byte("live-post"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-bootstrap tail apply", func() bool {
+		_, err := fdb.Get([]byte("live-post"))
+		return err == nil
+	})
+	assertStoresConverged(t, pdb, fdb)
+}
+
 func TestFailoverPromoteServesWrites(t *testing.T) {
 	log := NewLog(LogConfig{SyncAck: true})
 	pdb := openStore(t, false, log)

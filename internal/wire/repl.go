@@ -12,7 +12,8 @@ import (
 // REPL_ACK frames flowing the other way on the same connection.
 
 // ReplProtoVersion is the replication stream version carried in HELLO.
-const ReplProtoVersion = 1
+// Version 2 added the write-lineage epoch to both hello directions.
+const ReplProtoVersion = 2
 
 // Snapshot modes carried in the hello response.
 const (
@@ -20,62 +21,77 @@ const (
 	ReplModeSnapshot = 1 // fell off the window: full snapshot, then tail
 )
 
-// --- REPL_HELLO request: version | lastApplied ---
+// --- REPL_HELLO request: version | epoch | lastApplied ---
 
-// AppendReplHelloReq encodes a follower's subscription request. lastApplied
-// is the highest sequence the follower has durably applied (0 for a fresh
-// follower).
-func AppendReplHelloReq(dst []byte, lastApplied uint64) []byte {
+// AppendReplHelloReq encodes a follower's subscription request. epoch is
+// the write-lineage identifier of the log the follower last replicated
+// from (0 when it has never attached), and lastApplied is the highest
+// sequence it has durably applied (0 for a fresh follower). A primary only
+// grants tail mode when the epoch matches its own log's epoch or the
+// follower holds no state at all.
+func AppendReplHelloReq(dst []byte, epoch, lastApplied uint64) []byte {
 	dst = append(dst, ReplProtoVersion)
+	dst = binary.AppendUvarint(dst, epoch)
 	return binary.AppendUvarint(dst, lastApplied)
 }
 
 // DecodeReplHelloReq decodes a REPL_HELLO request payload.
-func DecodeReplHelloReq(p []byte) (lastApplied uint64, err error) {
+func DecodeReplHelloReq(p []byte) (epoch, lastApplied uint64, err error) {
 	if len(p) == 0 {
-		return 0, fmt.Errorf("%w: empty hello", ErrBadPayload)
+		return 0, 0, fmt.Errorf("%w: empty hello", ErrBadPayload)
 	}
 	if p[0] != ReplProtoVersion {
-		return 0, fmt.Errorf("%w: repl proto version %d", ErrBadPayload, p[0])
+		return 0, 0, fmt.Errorf("%w: repl proto version %d", ErrBadPayload, p[0])
 	}
-	lastApplied, rest, err := getUvarint(p[1:])
+	epoch, rest, err := getUvarint(p[1:])
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if len(rest) != 0 {
-		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
-	}
-	return lastApplied, nil
-}
-
-// --- REPL_HELLO response: mode | startSeq ---
-
-// AppendReplHelloResp encodes the primary's answer. In tail mode startSeq is
-// the follower's lastApplied echoed back (frames with base > startSeq
-// follow); in snapshot mode it is the pinned snapshot sequence the streamed
-// entries are tagged with, and tailing resumes past it.
-func AppendReplHelloResp(dst []byte, mode uint8, startSeq uint64) []byte {
-	dst = append(dst, mode)
-	return binary.AppendUvarint(dst, startSeq)
-}
-
-// DecodeReplHelloResp decodes a hello response payload.
-func DecodeReplHelloResp(p []byte) (mode uint8, startSeq uint64, err error) {
-	if len(p) == 0 {
-		return 0, 0, fmt.Errorf("%w: empty hello response", ErrBadPayload)
-	}
-	mode = p[0]
-	if mode != ReplModeTail && mode != ReplModeSnapshot {
-		return 0, 0, fmt.Errorf("%w: repl mode %d", ErrBadPayload, mode)
-	}
-	startSeq, rest, err := getUvarint(p[1:])
+	lastApplied, rest, err = getUvarint(rest)
 	if err != nil {
 		return 0, 0, err
 	}
 	if len(rest) != 0 {
 		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
 	}
-	return mode, startSeq, nil
+	return epoch, lastApplied, nil
+}
+
+// --- REPL_HELLO response: mode | epoch | startSeq ---
+
+// AppendReplHelloResp encodes the primary's answer. epoch is the primary
+// log's write-lineage identifier; the follower records it and presents it
+// on subsequent hellos. In tail mode startSeq is the follower's
+// lastApplied echoed back (frames with base > startSeq follow); in
+// snapshot mode it is the pinned snapshot sequence the streamed entries
+// are tagged with, and tailing resumes past it.
+func AppendReplHelloResp(dst []byte, mode uint8, epoch, startSeq uint64) []byte {
+	dst = append(dst, mode)
+	dst = binary.AppendUvarint(dst, epoch)
+	return binary.AppendUvarint(dst, startSeq)
+}
+
+// DecodeReplHelloResp decodes a hello response payload.
+func DecodeReplHelloResp(p []byte) (mode uint8, epoch, startSeq uint64, err error) {
+	if len(p) == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: empty hello response", ErrBadPayload)
+	}
+	mode = p[0]
+	if mode != ReplModeTail && mode != ReplModeSnapshot {
+		return 0, 0, 0, fmt.Errorf("%w: repl mode %d", ErrBadPayload, mode)
+	}
+	epoch, rest, err := getUvarint(p[1:])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	startSeq, rest, err = getUvarint(rest)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return mode, epoch, startSeq, nil
 }
 
 // --- REPL_FRAME push: base | count | per op: kind | klen | key | [vlen | value] ---

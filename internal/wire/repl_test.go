@@ -7,31 +7,37 @@ import (
 
 func TestReplHelloRoundTrip(t *testing.T) {
 	for _, seq := range []uint64{0, 1, 1 << 40} {
-		p := AppendReplHelloReq(nil, seq)
-		got, err := DecodeReplHelloReq(p)
-		if err != nil || got != seq {
-			t.Fatalf("hello req %d: got %d err %v", seq, got, err)
+		p := AppendReplHelloReq(nil, seq*3+1, seq)
+		epoch, got, err := DecodeReplHelloReq(p)
+		if err != nil || got != seq || epoch != seq*3+1 {
+			t.Fatalf("hello req %d: got epoch %d seq %d err %v", seq, epoch, got, err)
 		}
 	}
-	if _, err := DecodeReplHelloReq(nil); err == nil {
+	if _, _, err := DecodeReplHelloReq(nil); err == nil {
 		t.Fatal("empty hello accepted")
 	}
-	if _, err := DecodeReplHelloReq([]byte{99, 0}); err == nil {
+	if _, _, err := DecodeReplHelloReq([]byte{99, 0, 0}); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if _, err := DecodeReplHelloReq(append(AppendReplHelloReq(nil, 7), 0)); err == nil {
+	if _, _, err := DecodeReplHelloReq(append(AppendReplHelloReq(nil, 3, 7), 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+	if _, _, err := DecodeReplHelloReq([]byte{ReplProtoVersion, 5}); err == nil {
+		t.Fatal("truncated hello accepted")
 	}
 
 	for _, mode := range []uint8{ReplModeTail, ReplModeSnapshot} {
-		p := AppendReplHelloResp(nil, mode, 42)
-		m, s, err := DecodeReplHelloResp(p)
-		if err != nil || m != mode || s != 42 {
-			t.Fatalf("hello resp mode %d: got %d/%d err %v", mode, m, s, err)
+		p := AppendReplHelloResp(nil, mode, 9, 42)
+		m, e, s, err := DecodeReplHelloResp(p)
+		if err != nil || m != mode || e != 9 || s != 42 {
+			t.Fatalf("hello resp mode %d: got %d/%d/%d err %v", mode, m, e, s, err)
 		}
 	}
-	if _, _, err := DecodeReplHelloResp([]byte{9, 1}); err == nil {
+	if _, _, _, err := DecodeReplHelloResp([]byte{9, 1, 1}); err == nil {
 		t.Fatal("bad mode accepted")
+	}
+	if _, _, _, err := DecodeReplHelloResp([]byte{ReplModeTail, 5}); err == nil {
+		t.Fatal("truncated hello resp accepted")
 	}
 }
 
