@@ -17,11 +17,19 @@
 //	hyperctl ping
 //	hyperctl put  <key> <value>
 //	hyperctl get  <key>
+//	hyperctl mget <key>...
 //	hyperctl del  <key>
 //	hyperctl scan [-limit N] [start]
 //	hyperctl stats
 //	hyperctl repl status   replication role, log window, per-follower lag
+//	hyperctl ryw           live read-your-writes probe through a session
 //	hyperctl badframe      send deliberately malformed bytes (protocol test)
+//
+// put/get/mget/del/scan also take session flags: -policy primary|bounded|any
+// routes reads through follower addresses given with -followers, carrying
+// the session token (seed it across invocations with -token); the serving
+// node and updated token print to stderr. `ryw` loops put-then-get through
+// one session and fails on any stale read.
 package main
 
 import (
@@ -50,8 +58,10 @@ func main() {
 		trace(os.Args[2:])
 	case "recover":
 		recoverDemo(os.Args[2:])
-	case "ping", "put", "get", "del", "scan", "stats", "badframe":
+	case "ping", "put", "get", "mget", "del", "scan", "stats", "badframe":
 		remote(os.Args[1], os.Args[2:])
+	case "ryw":
+		rywCmd(os.Args[2:])
 	case "repl":
 		replCmd(os.Args[2:])
 	default:
@@ -115,7 +125,7 @@ func recoverDemo(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|del|scan|stats|repl|badframe> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|mget|del|scan|stats|repl|ryw|badframe> [flags]")
 	os.Exit(2)
 }
 

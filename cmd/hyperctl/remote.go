@@ -13,12 +13,24 @@ import (
 )
 
 // remote runs one wire-protocol subcommand against a hyperd at -addr.
+// With -policy or -followers, reads route through a client Session — gated
+// per policy against the follower addresses — and the serving node and
+// resulting session token print to stderr; -token seeds the session from a
+// token carried across invocations (scripts chain them for read-your-writes
+// across processes).
 func remote(cmd string, args []string) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:4980", "hyperd address")
+	addr := fs.String("addr", "127.0.0.1:4980", "hyperd address (the primary, in session mode)")
 	limit := fs.Int("limit", 20, "scan: max pairs to return")
+	policyName := fs.String("policy", "primary", "session read policy: primary, bounded, or any")
+	readPolicy := fs.String("read-policy", "", "alias for -policy")
+	followers := fs.String("followers", "", "comma-separated follower addresses for session reads")
+	token := fs.Uint64("token", 0, "seed session token from a previous invocation")
 	fs.Parse(args)
 	rest := fs.Args()
+	if *readPolicy != "" {
+		*policyName = *readPolicy
+	}
 
 	if cmd == "badframe" {
 		badframe(*addr)
@@ -30,6 +42,18 @@ func remote(cmd string, args []string) {
 		fatal(err)
 	}
 	defer c.Close()
+
+	sessionMode := false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "policy", "read-policy", "followers", "token":
+			sessionMode = true
+		}
+	})
+	if sessionMode {
+		sessionRemote(cmd, c, *policyName, *followers, *token, *limit, rest)
+		return
+	}
 
 	switch cmd {
 	case "ping":
@@ -67,6 +91,19 @@ func remote(cmd string, args []string) {
 			fatal(err)
 		}
 		fmt.Println("OK")
+	case "mget":
+		if len(rest) == 0 {
+			fatalf("usage: hyperctl mget [-addr A] <key>...")
+		}
+		keys := make([][]byte, len(rest))
+		for i, k := range rest {
+			keys[i] = []byte(k)
+		}
+		vals, err := c.MultiGet(keys)
+		if err != nil {
+			fatal(err)
+		}
+		printMGet(rest, vals)
 	case "scan":
 		var start []byte
 		if len(rest) > 1 {
@@ -90,6 +127,187 @@ func remote(cmd string, args []string) {
 		}
 		fmt.Print(text)
 	}
+}
+
+// sessionRemote runs one subcommand through a client Session: reads route
+// follower-first per the policy, writes return a token, and the serving
+// node + token print to stderr so scripts can chain invocations.
+func sessionRemote(cmd string, primary *client.Client, policyName, followerList string, token uint64, limit int, rest []string) {
+	policy, err := client.ParseReadPolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	var fcs []*client.Client
+	if followerList != "" {
+		for _, a := range strings.Split(followerList, ",") {
+			fc, err := client.Dial(client.Options{Addr: strings.TrimSpace(a), Conns: 1})
+			if err != nil {
+				fatal(err)
+			}
+			defer fc.Close()
+			fcs = append(fcs, fc)
+		}
+	}
+	sess := client.NewSession(primary, fcs, policy)
+	sess.SeedToken(token)
+	note := func(read bool) {
+		if read {
+			fmt.Fprintf(os.Stderr, "(served by %s, token %d)\n", sess.LastNode(), sess.Token())
+		} else {
+			fmt.Fprintf(os.Stderr, "(token %d)\n", sess.Token())
+		}
+	}
+
+	switch cmd {
+	case "put":
+		if len(rest) != 2 {
+			fatalf("usage: hyperctl put [-addr A] [-policy P] <key> <value>")
+		}
+		if err := sess.Put([]byte(rest[0]), []byte(rest[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+		note(false)
+	case "del":
+		if len(rest) != 1 {
+			fatalf("usage: hyperctl del [-addr A] [-policy P] <key>")
+		}
+		if err := sess.Delete([]byte(rest[0])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+		note(false)
+	case "get":
+		if len(rest) != 1 {
+			fatalf("usage: hyperctl get [-addr A] [-policy P] [-followers A,B] [-token N] <key>")
+		}
+		v, err := sess.Get([]byte(rest[0]))
+		if errors.Is(err, client.ErrNotFound) {
+			note(true)
+			fmt.Fprintln(os.Stderr, "(not found)")
+			os.Exit(1)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(v, '\n'))
+		note(true)
+	case "mget":
+		if len(rest) == 0 {
+			fatalf("usage: hyperctl mget [-addr A] [-policy P] [-followers A,B] [-token N] <key>...")
+		}
+		keys := make([][]byte, len(rest))
+		for i, k := range rest {
+			keys[i] = []byte(k)
+		}
+		vals, err := sess.MultiGet(keys)
+		if err != nil {
+			fatal(err)
+		}
+		printMGet(rest, vals)
+		note(true)
+	case "scan":
+		var start []byte
+		if len(rest) > 1 {
+			fatalf("usage: hyperctl scan [-addr A] [-policy P] [-followers A,B] [-token N] [-limit N] [start]")
+		}
+		if len(rest) == 1 {
+			start = []byte(rest[0])
+		}
+		kvs, err := sess.Scan(start, limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%q %q\n", kv.Key, kv.Value)
+		}
+		fmt.Fprintf(os.Stderr, "(%d pairs)\n", len(kvs))
+		note(true)
+	default:
+		fatalf("%s does not take session flags (-policy/-followers/-token)", cmd)
+	}
+}
+
+// printMGet renders MultiGet results: one line per key, absent keys marked.
+func printMGet(keys []string, vals [][]byte) {
+	for i, k := range keys {
+		if vals[i] == nil {
+			fmt.Printf("%q (not found)\n", k)
+		} else {
+			fmt.Printf("%q %q\n", k, vals[i])
+		}
+	}
+}
+
+// rywCmd implements `hyperctl ryw`: a live read-your-writes probe. It
+// writes n fresh keys through a session and immediately reads each back
+// under the chosen policy; with -policy bounded every read must return the
+// just-written value no matter how far the followers lag. It reports where
+// the reads landed and exits nonzero on a stale or missing read — the
+// consistency harness's core check, runnable against a real deployment.
+func rywCmd(args []string) {
+	fs := flag.NewFlagSet("ryw", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4980", "primary address")
+	followerList := fs.String("followers", "", "comma-separated follower addresses")
+	policyName := fs.String("policy", "bounded", "session read policy: primary, bounded, or any")
+	n := fs.Int("n", 20, "write/read round trips")
+	prefix := fs.String("prefix", "ryw", "key prefix (keys are <prefix>-<pid>-<i>)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("usage: hyperctl ryw [-addr A] [-followers A,B] [-policy P] [-n N]")
+	}
+	policy, err := client.ParseReadPolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+
+	pc, err := client.Dial(client.Options{Addr: *addr, Conns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer pc.Close()
+	var fcs []*client.Client
+	if *followerList != "" {
+		for _, a := range strings.Split(*followerList, ",") {
+			fc, err := client.Dial(client.Options{Addr: strings.TrimSpace(a), Conns: 1})
+			if err != nil {
+				fatal(err)
+			}
+			defer fc.Close()
+			fcs = append(fcs, fc)
+		}
+	}
+	sess := client.NewSession(pc, fcs, policy)
+
+	served := map[string]int{}
+	stale := 0
+	for i := 0; i < *n; i++ {
+		key := []byte(fmt.Sprintf("%s-%d-%04d", *prefix, os.Getpid(), i))
+		want := fmt.Sprintf("v%04d@%d", i, time.Now().UnixNano())
+		if err := sess.Put(key, []byte(want)); err != nil {
+			fatal(err)
+		}
+		got, err := sess.Get(key)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "hyperctl: ryw %q: %v\n", key, err)
+			stale++
+		case string(got) != want:
+			fmt.Fprintf(os.Stderr, "hyperctl: ryw %q: got %q want %q\n", key, got, want)
+			stale++
+		}
+		served[sess.LastNode()]++
+	}
+	fmt.Printf("ryw: %d round trips under policy %s (token %d)\n", *n, policy, sess.Token())
+	for node, count := range served {
+		fmt.Printf("  %-14s served %d\n", node, count)
+	}
+	fmt.Printf("  fallbacks %d (not_ready %d)\n", sess.Fallbacks(), sess.NotReady())
+	if stale > 0 {
+		fmt.Printf("FAILED: %d stale or failed reads\n", stale)
+		os.Exit(1)
+	}
+	fmt.Println("OK: every read returned its own write")
 }
 
 // replCmd implements `hyperctl repl status`: fetch the server's stats text

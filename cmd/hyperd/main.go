@@ -19,6 +19,11 @@
 //	hyperd -addr :4980 -role primary -repl-sync
 //	hyperd -addr :4981 -role follower -upstream 127.0.0.1:4980
 //
+// Followers serve session (v2) reads: a read carrying a session token is
+// answered once the node has applied that position, waiting up to
+// -read-wait before refusing with NOT_READY so the client retries on the
+// primary. See hyperctl's -policy flag and DESIGN.md §follower reads.
+//
 // SIGINT/SIGTERM trigger the graceful sequence: stop accepting, drain
 // in-flight requests, flush responses, DrainBackground, Close. Exit code 0
 // means every acknowledged write reached the engine before exit.
@@ -58,6 +63,7 @@ func main() {
 		upstream    = flag.String("upstream", "", "primary address to replicate from (follower role)")
 		replSync    = flag.Bool("repl-sync", false, "writes wait for every attached follower's ack")
 		replEntries = flag.Int("repl-log-entries", 0, "retained replication log entries (0 = default)")
+		readWait    = flag.Duration("read-wait", 0, "max wait for a session read's token before NOT_READY (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -107,6 +113,7 @@ func main() {
 		MaxInflight:  *maxInflight,
 		CoalesceWait: *linger,
 		MaxScanLimit: *maxScan,
+		ReadWait:     *readWait,
 		Logf:         logf,
 	}
 	if rlog != nil {

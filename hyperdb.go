@@ -30,6 +30,7 @@ package hyperdb
 
 import (
 	"fmt"
+	"time"
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
@@ -106,6 +107,11 @@ type BatchOp = core.BatchOp
 // of the batch may be applied.
 func (db *DB) WriteBatch(ops []BatchOp) error { return db.inner.WriteBatch(ops) }
 
+// WriteBatchSeq is WriteBatch returning the batch's last committed
+// sequence — the session token a client gates follower reads on for
+// read-your-writes.
+func (db *DB) WriteBatchSeq(ops []BatchOp) (uint64, error) { return db.inner.WriteBatchSeq(ops) }
+
 // MultiGet returns values positionally aligned with keys; missing or deleted
 // keys yield nil entries. Lookups are grouped per partition and share page
 // reads between keys on the same slot page.
@@ -168,6 +174,33 @@ func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
 // tagging every pair with the snapshot's pinned sequence.
 func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
 	return db.inner.ApplySnapshotChunk(ops, seq)
+}
+
+// ReadableSeq returns the highest sequence whose effects are visible to
+// readers on this node: the allocation counter on a primary, the fully
+// applied replication position on a follower.
+func (db *DB) ReadableSeq() uint64 { return db.inner.ReadableSeq() }
+
+// WaitReadable blocks until ReadableSeq reaches min, the timeout elapses,
+// or abort closes, reporting whether the position was reached. The serving
+// layer parks gated session reads on it.
+func (db *DB) WaitReadable(min uint64, timeout time.Duration, abort <-chan struct{}) bool {
+	return db.inner.WaitReadable(min, timeout, abort)
+}
+
+// GetSession, MultiGetSession and ScanSession are the session-read variants:
+// alongside the result they return the node's readable sequence, sampled so
+// that nothing the read observed is newer than the token.
+func (db *DB) GetSession(key []byte) ([]byte, uint64, error) { return db.inner.GetSession(key) }
+
+// MultiGetSession is MultiGet plus the session token.
+func (db *DB) MultiGetSession(keys [][]byte) ([][]byte, uint64, error) {
+	return db.inner.MultiGetSession(keys)
+}
+
+// ScanSession is Scan plus the session token.
+func (db *DB) ScanSession(start []byte, limit int) ([]KV, uint64, error) {
+	return db.inner.ScanSession(start, limit)
 }
 
 // Engine exposes the underlying core engine for advanced instrumentation.

@@ -1,0 +1,394 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"hyperdb/internal/wire"
+)
+
+// ErrNotReady is returned when a session read's token is ahead of every
+// node willing to serve it: the contacted follower timed out waiting for
+// replication to catch up, and (under the bounded policy) the primary
+// fallback also refused — which only happens after a failover that lost
+// acknowledged writes the session had observed.
+var ErrNotReady = errors.New("client: not ready (replica behind session token)")
+
+// ReadPolicy selects where a Session routes its reads.
+type ReadPolicy int
+
+const (
+	// ReadPrimary sends every read to the primary: always current, no
+	// follower offload. Session tokens still update (they make the policy
+	// switchable mid-session).
+	ReadPrimary ReadPolicy = iota
+	// ReadBounded spreads reads round-robin across the whole group
+	// (followers and primary), follower reads carrying the session token; a
+	// follower answers once it has applied that position, or refuses after
+	// its bounded wait, in which case the read falls back to the primary.
+	// This keeps read-your-writes and monotonic reads while scaling read
+	// capacity with the group.
+	ReadBounded
+	// ReadAny spreads reads across the group with no freshness requirement
+	// on followers: maximum offload, eventual consistency only.
+	ReadAny
+)
+
+// ParseReadPolicy maps the -read-policy flag values to a ReadPolicy.
+func ParseReadPolicy(s string) (ReadPolicy, error) {
+	switch s {
+	case "primary":
+		return ReadPrimary, nil
+	case "bounded":
+		return ReadBounded, nil
+	case "any":
+		return ReadAny, nil
+	}
+	return 0, fmt.Errorf("client: unknown read policy %q (want primary, bounded or any)", s)
+}
+
+func (p ReadPolicy) String() string {
+	switch p {
+	case ReadPrimary:
+		return "primary"
+	case ReadBounded:
+		return "bounded"
+	case ReadAny:
+		return "any"
+	}
+	return fmt.Sprintf("ReadPolicy(%d)", int(p))
+}
+
+// Session is one logical client with session consistency: read-your-writes
+// and monotonic reads across the whole replication group. It tracks a
+// token — the highest sequence it has written or observed — folds every v2
+// response into it, and sends it as the minSeq gate on follower reads.
+// Writes always go to the primary. Safe for concurrent use, though the
+// session guarantee is per causal chain: concurrent calls on one Session
+// order only through the shared token.
+type Session struct {
+	primary   *Client
+	followers []*Client
+	policy    ReadPolicy
+
+	token     atomic.Uint64
+	rr        atomic.Uint64 // round-robin cursor over followers
+	fallbacks atomic.Uint64 // follower refusals retried on the primary
+	notReady  atomic.Uint64 // NOT_READY responses received
+	lastNode  atomic.Int64  // -1 primary, else follower index
+}
+
+// NewSession builds a Session over a primary and optional follower
+// clients. With no followers every policy degenerates to ReadPrimary.
+func NewSession(primary *Client, followers []*Client, policy ReadPolicy) *Session {
+	s := &Session{primary: primary, followers: followers, policy: policy}
+	s.lastNode.Store(-1)
+	return s
+}
+
+// Token returns the session's current token: the highest sequence it has
+// written or observed.
+func (s *Session) Token() uint64 { return s.token.Load() }
+
+// SeedToken lifts the session token to at least seq — used to resume a
+// session (e.g. across hyperctl invocations) from an externally carried
+// token.
+func (s *Session) SeedToken(seq uint64) { s.observe(seq) }
+
+// Fallbacks returns how many reads fell back to the primary after a
+// follower refused or failed.
+func (s *Session) Fallbacks() uint64 { return s.fallbacks.Load() }
+
+// NotReady returns how many NOT_READY refusals the session received.
+func (s *Session) NotReady() uint64 { return s.notReady.Load() }
+
+// LastNode names the node that served the session's most recent read:
+// "primary", or "follower[i]".
+func (s *Session) LastNode() string {
+	if i := s.lastNode.Load(); i >= 0 {
+		return fmt.Sprintf("follower[%d]", i)
+	}
+	return "primary"
+}
+
+func (s *Session) observe(seq uint64) {
+	for {
+		cur := s.token.Load()
+		if cur >= seq || s.token.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Put writes through the primary and folds the committed sequence into the
+// session token, so a follower read issued next observes this write.
+func (s *Session) Put(key, value []byte) error {
+	seq, err := s.primary.PutSeq(key, value)
+	if err != nil {
+		return err
+	}
+	s.observe(seq)
+	return nil
+}
+
+// Delete removes key through the primary, updating the session token.
+func (s *Session) Delete(key []byte) error {
+	seq, err := s.primary.DeleteSeq(key)
+	if err != nil {
+		return err
+	}
+	s.observe(seq)
+	return nil
+}
+
+// WriteBatch applies ops through the primary, updating the session token.
+func (s *Session) WriteBatch(ops []wire.BatchOp) error {
+	seq, err := s.primary.WriteBatchSeq(ops)
+	if err != nil {
+		return err
+	}
+	s.observe(seq)
+	return nil
+}
+
+// readTarget picks the next read-serving node round-robin across the whole
+// group — every follower plus the primary, which is always current and
+// would otherwise sit idle for reads. It returns nil when the rotation
+// lands on the primary (or the policy pins reads there): the caller then
+// reads the primary deliberately, with no gate.
+func (s *Session) readTarget() (*Client, int) {
+	if s.policy == ReadPrimary || len(s.followers) == 0 {
+		return nil, -1
+	}
+	i := int((s.rr.Add(1) - 1) % uint64(len(s.followers)+1))
+	if i == len(s.followers) {
+		return nil, -1
+	}
+	return s.followers[i], i
+}
+
+// minSeq is the gate a follower read carries: the session token under the
+// bounded policy, zero (no gate) under any.
+func (s *Session) minSeq() uint64 {
+	if s.policy == ReadBounded {
+		return s.token.Load()
+	}
+	return 0
+}
+
+// fallthroughToPrimary reports whether a follower read error should retry
+// on the primary (refusals and transport failures) rather than surface.
+func fallthroughToPrimary(err error) bool {
+	return err != nil && !errors.Is(err, ErrNotFound)
+}
+
+// Get reads key with the session's policy: follower first (gated per
+// policy), primary fallback on refusal or failure. A fallback keeps the
+// token as its minSeq — after a failover that lost the session's observed
+// writes, the new primary refuses too rather than serve a stale value, and
+// Get returns ErrNotReady.
+func (s *Session) Get(key []byte) ([]byte, error) {
+	var gate uint64 // deliberate primary reads carry no gate
+	if f, i := s.readTarget(); f != nil {
+		v, seq, err := f.GetSeq(key, s.minSeq())
+		if !fallthroughToPrimary(err) {
+			s.observe(seq)
+			s.lastNode.Store(int64(i))
+			return v, err
+		}
+		s.noteFallback(err)
+		gate = s.primaryMinSeq()
+	}
+	v, seq, err := s.primary.GetSeq(key, gate)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		s.observe(seq)
+		s.lastNode.Store(-1)
+	}
+	return v, err
+}
+
+// MultiGet is Get for many keys; absent keys yield nil entries.
+func (s *Session) MultiGet(keys [][]byte) ([][]byte, error) {
+	var gate uint64
+	if f, i := s.readTarget(); f != nil {
+		vals, seq, err := f.MultiGetSeq(keys, s.minSeq())
+		if !fallthroughToPrimary(err) {
+			s.observe(seq)
+			s.lastNode.Store(int64(i))
+			return vals, err
+		}
+		s.noteFallback(err)
+		gate = s.primaryMinSeq()
+	}
+	vals, seq, err := s.primary.MultiGetSeq(keys, gate)
+	if err == nil {
+		s.observe(seq)
+		s.lastNode.Store(-1)
+	}
+	return vals, err
+}
+
+// Scan reads up to limit pairs with key >= start under the session policy.
+func (s *Session) Scan(start []byte, limit int) ([]wire.KV, error) {
+	var gate uint64
+	if f, i := s.readTarget(); f != nil {
+		kvs, seq, err := f.ScanSeq(start, limit, s.minSeq())
+		if !fallthroughToPrimary(err) {
+			s.observe(seq)
+			s.lastNode.Store(int64(i))
+			return kvs, err
+		}
+		s.noteFallback(err)
+		gate = s.primaryMinSeq()
+	}
+	kvs, seq, err := s.primary.ScanSeq(start, limit, gate)
+	if err == nil {
+		s.observe(seq)
+		s.lastNode.Store(-1)
+	}
+	return kvs, err
+}
+
+func (s *Session) noteFallback(err error) {
+	s.fallbacks.Add(1)
+	if errors.Is(err, ErrNotReady) {
+		s.notReady.Add(1)
+	}
+}
+
+// primaryMinSeq is the gate a primary-routed read carries. A deliberate
+// primary read sends zero — the primary is definitionally current for its
+// own group, and zero is how the server distinguishes routed reads from
+// fallbacks. A bounded-policy session with followers only reaches the
+// primary as a fallback, which keeps the token so a primary that lost the
+// session's writes (failover without sync acks) refuses instead of
+// silently rewinding the session.
+func (s *Session) primaryMinSeq() uint64 {
+	if s.policy == ReadBounded && len(s.followers) > 0 {
+		return s.token.Load()
+	}
+	return 0
+}
+
+// --- v2 (session) calls on Client ---
+
+// PutSeq is Put returning the committed sequence (the write's session
+// token).
+func (c *Client) PutSeq(key, value []byte) (uint64, error) {
+	p, err := c.callOK(wire.OpPutV2, wire.AppendPutReq(nil, key, value))
+	if err != nil {
+		return 0, err
+	}
+	return decodeSeq(p)
+}
+
+// DeleteSeq is Delete returning the committed sequence.
+func (c *Client) DeleteSeq(key []byte) (uint64, error) {
+	p, err := c.callOK(wire.OpDelV2, wire.AppendKeyReq(nil, key))
+	if err != nil {
+		return 0, err
+	}
+	return decodeSeq(p)
+}
+
+// WriteBatchSeq is WriteBatch returning the committed sequence.
+func (c *Client) WriteBatchSeq(ops []wire.BatchOp) (uint64, error) {
+	p, err := c.callOK(wire.OpBatchV2, wire.AppendBatchReq(nil, ops))
+	if err != nil {
+		return 0, err
+	}
+	return decodeSeq(p)
+}
+
+// GetSeq is the session read: the server answers only once its applied
+// position reaches minSeq (or refuses with ErrNotReady after its bounded
+// wait). The returned sequence is the serving node's applied position —
+// valid on success, ErrNotFound, and ErrNotReady alike.
+func (c *Client) GetSeq(key []byte, minSeq uint64) ([]byte, uint64, error) {
+	resp, err := c.call(wire.OpGetV2, wire.AppendGetV2Req(nil, key, minSeq))
+	if err != nil {
+		return nil, 0, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		seq, v, err := wire.DecodeGetV2Resp(resp.Payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: bad GET2 response: %w", err)
+		}
+		return v, seq, nil
+	case wire.StatusNotFound:
+		seq, err := decodeSeq(resp.Payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, seq, ErrNotFound
+	case wire.StatusNotReady:
+		seq, err := decodeSeq(resp.Payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, seq, ErrNotReady
+	}
+	return nil, 0, statusErr(resp)
+}
+
+// MultiGetSeq is the session MultiGet; absent keys yield nil entries.
+func (c *Client) MultiGetSeq(keys [][]byte, minSeq uint64) ([][]byte, uint64, error) {
+	resp, err := c.call(wire.OpMGetV2, wire.AppendMGetV2Req(nil, keys, minSeq))
+	if err != nil {
+		return nil, 0, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		seq, vals, err := wire.DecodeMGetV2Resp(resp.Payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: bad MGET2 response: %w", err)
+		}
+		if len(vals) != len(keys) {
+			return nil, 0, fmt.Errorf("client: MGET2 returned %d values for %d keys", len(vals), len(keys))
+		}
+		return vals, seq, nil
+	case wire.StatusNotReady:
+		seq, err := decodeSeq(resp.Payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, seq, ErrNotReady
+	}
+	return nil, 0, statusErr(resp)
+}
+
+// ScanSeq is the session Scan.
+func (c *Client) ScanSeq(start []byte, limit int, minSeq uint64) ([]wire.KV, uint64, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resp, err := c.call(wire.OpScanV2, wire.AppendScanV2Req(nil, start, uint32(limit), minSeq))
+	if err != nil {
+		return nil, 0, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		seq, kvs, err := wire.DecodeScanV2Resp(resp.Payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: bad SCAN2 response: %w", err)
+		}
+		return kvs, seq, nil
+	case wire.StatusNotReady:
+		seq, err := decodeSeq(resp.Payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, seq, ErrNotReady
+	}
+	return nil, 0, statusErr(resp)
+}
+
+func decodeSeq(p []byte) (uint64, error) {
+	seq, err := wire.DecodeAppliedSeq(p)
+	if err != nil {
+		return 0, fmt.Errorf("client: bad applied-seq payload: %w", err)
+	}
+	return seq, nil
+}

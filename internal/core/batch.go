@@ -28,20 +28,30 @@ type BatchOp struct {
 // tee's log before the apply and committed after it; Commit may block until
 // followers acknowledge when synchronous replication is on.
 func (db *DB) WriteBatch(ops []BatchOp) error {
+	_, err := db.WriteBatchSeq(ops)
+	return err
+}
+
+// WriteBatchSeq is WriteBatch returning the last sequence the batch
+// committed at (op i carries base+i; the return is base+len(ops)-1). The
+// serving layer hands this to session clients as their read-your-writes
+// token: a follower read gated at this sequence observes the batch. A
+// nil-op batch returns 0.
+func (db *DB) WriteBatchSeq(ops []BatchOp) (uint64, error) {
 	if db.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if db.follower.Load() {
-		return ErrFollower
+		return 0, ErrFollower
 	}
 	if len(ops) == 0 {
-		return nil
+		return 0, nil
 	}
 	// Validate everything up front so a malformed op can't strand a
 	// half-applied batch.
 	for i := range ops {
 		if len(ops[i].Key) == 0 {
-			return fmt.Errorf("hyperdb: empty key at batch index %d", i)
+			return 0, fmt.Errorf("hyperdb: empty key at batch index %d", i)
 		}
 	}
 
@@ -65,7 +75,10 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 	if tee != nil {
 		tee.Commit(tok, err == nil)
 	}
-	return err
+	if err != nil {
+		return 0, err
+	}
+	return base + n - 1, nil
 }
 
 // applyAt applies ops grouped per partition, tagging op i with seqOf(i).
@@ -164,12 +177,19 @@ func (db *DB) ApplyReplicated(ops []BatchOp, base uint64) error {
 		tok = tee.Append(base, ops)
 		db.replMu.Unlock()
 	}
+	// The apply holds the session-read lock exclusively: a gated read either
+	// runs before (observing nothing of this entry, token < base) or after
+	// (observing all of it, token ≥ last) — never a half-applied middle
+	// whose newest data would outrun the token it returns.
+	db.applyRW.Lock()
 	err := db.applyAt(ops, func(i int) uint64 { return base + uint64(i) })
-	if tee != nil {
-		tee.Commit(tok, err == nil)
-	}
 	if err == nil {
 		db.replApplied.Store(last)
+		db.advanceReadSeq(last)
+	}
+	db.applyRW.Unlock()
+	if tee != nil {
+		tee.Commit(tok, err == nil)
 	}
 	return err
 }
@@ -201,9 +221,18 @@ func (db *DB) ApplySnapshotChunk(ops []BatchOp, seq uint64) error {
 	db.advanceSeqTo(seq)
 	db.replApplied.Store(seq)
 	if len(ops) == 0 {
+		// The terminal bootstrap stamp: the snapshot (and its deletion
+		// sweep) is fully applied, so the store now reflects primary state
+		// at seq and reads may be gated against it. Intermediate chunks do
+		// NOT advance the readable position — a half-bootstrapped store
+		// serves only tokens from before the bootstrap began.
+		db.advanceReadSeq(seq)
 		return nil
 	}
-	return db.applyAt(ops, func(int) uint64 { return seq })
+	db.applyRW.Lock()
+	err := db.applyAt(ops, func(int) uint64 { return seq })
+	db.applyRW.Unlock()
+	return err
 }
 
 // MultiGet looks up every key and returns positionally aligned values; a

@@ -79,6 +79,18 @@ type DB struct {
 	// tee is installed — the unreplicated hot path stays lock-free.
 	replMu sync.Mutex
 
+	// Session-read support (see session.go). readSeq is the readable
+	// position on a follower: the highest replication sequence whose apply
+	// has fully completed. readCh is closed and replaced on each advance to
+	// wake WaitReadable; applyRW excludes session reads from observing a
+	// half-applied replicated entry (appliers hold it exclusively, session
+	// reads share it). The foreground write path never touches applyRW, so
+	// primaries pay nothing for it.
+	readSeq atomic.Uint64
+	readMu  sync.Mutex
+	readCh  chan struct{}
+	applyRW sync.RWMutex
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -92,9 +104,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	opts.fill()
 	db := &DB{
-		opts:  opts,
-		cache: cache.NewLRU(opts.CacheBytes, nil),
-		stop:  make(chan struct{}),
+		opts:   opts,
+		cache:  cache.NewLRU(opts.CacheBytes, nil),
+		stop:   make(chan struct{}),
+		readCh: make(chan struct{}),
 	}
 	db.follower.Store(opts.Follower)
 

@@ -23,9 +23,10 @@ func Recover(opts Options) (*DB, error) {
 	}
 	opts.fill()
 	db := &DB{
-		opts:  opts,
-		cache: cache.NewLRU(opts.CacheBytes, nil),
-		stop:  make(chan struct{}),
+		opts:   opts,
+		cache:  cache.NewLRU(opts.CacheBytes, nil),
+		stop:   make(chan struct{}),
+		readCh: make(chan struct{}),
 	}
 	db.follower.Store(opts.Follower)
 
@@ -97,8 +98,10 @@ func Recover(opts Options) (*DB, error) {
 	db.seq.Store(maxSeq)
 	// A recovered follower must not accept replicated entries at or below
 	// the sequences its devices already hold; a snapshot bootstrap resets
-	// this position explicitly.
+	// this position explicitly. Everything recovered is fully applied, so
+	// the readable position starts there too.
 	db.replApplied.Store(maxSeq)
+	db.readSeq.Store(maxSeq)
 	if !opts.DisableBackground {
 		for _, part := range db.parts {
 			db.wg.Add(2)

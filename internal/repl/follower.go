@@ -34,6 +34,11 @@ type Follower struct {
 	// after a promotion, downstream followers can't silently tail across
 	// history this node never logged.
 	Log *Log
+	// ApplyDelay, when non-nil, runs before each tailed entry applies; base
+	// is the entry's first sequence. Test harnesses inject replication lag
+	// with it (the consistency checker stalls appliers to force session
+	// reads into the gate); production leaves it nil.
+	ApplyDelay func(base uint64)
 
 	// epoch is the upstream log's lineage ID from the last hello response
 	// (0 until first attach); applied is the stream position this Follower
@@ -130,6 +135,9 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 		base, wops, err := wire.DecodeReplFrame(fr.Payload)
 		if err != nil {
 			return err
+		}
+		if f.ApplyDelay != nil {
+			f.ApplyDelay(base)
 		}
 		if err := f.DB.ApplyReplicated(fromWireOps(wops), base); err != nil {
 			return fmt.Errorf("repl: apply entry at %d: %w", base, err)

@@ -65,18 +65,39 @@ func (s *Server) process(batch []*request) {
 	s.stats.Drains.Inc()
 	s.stats.DrainedRequests.Add(uint64(len(batch)))
 
-	// Phase 1: group every write op in queue order into one WriteBatch.
+	// Phase 0: park session reads whose minSeq token is ahead of the node's
+	// applied position. Parking moves the wait onto a per-request goroutine
+	// so the drainer — the engine's only driver — never blocks on
+	// replication progress. NoReadGate (the consistency harness's control
+	// knob) serves them stale instead.
+	if !s.cfg.NoReadGate {
+		kept := batch[:0]
+		for _, r := range batch {
+			if r.sess && r.op != wire.OpPutV2 && r.op != wire.OpDelV2 && r.op != wire.OpBatchV2 &&
+				r.minSeq > s.cfg.DB.ReadableSeq() {
+				s.park(r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		batch = kept
+	}
+
+	// Phase 1: group every write op in queue order into one WriteBatch. The
+	// batch's last committed sequence answers the session (v2) writes: it is
+	// ≥ every sequence the request's own ops drew, so gating a follower read
+	// on it observes them all.
 	var wops []hyperdb.BatchOp
 	var wreqs []*request
 	for _, r := range batch {
 		switch r.op {
-		case wire.OpPut:
+		case wire.OpPut, wire.OpPutV2:
 			wops = append(wops, hyperdb.BatchOp{Key: r.key, Value: r.value})
 			wreqs = append(wreqs, r)
-		case wire.OpDel:
+		case wire.OpDel, wire.OpDelV2:
 			wops = append(wops, hyperdb.BatchOp{Key: r.key, Delete: true})
 			wreqs = append(wreqs, r)
-		case wire.OpBatch:
+		case wire.OpBatch, wire.OpBatchV2:
 			for _, b := range r.batch {
 				wops = append(wops, hyperdb.BatchOp{Key: b.Key, Value: b.Value, Delete: b.Delete})
 			}
@@ -84,62 +105,89 @@ func (s *Server) process(batch []*request) {
 		}
 	}
 	if len(wops) > 0 {
-		err := s.cfg.DB.WriteBatch(wops)
+		seq, err := s.cfg.DB.WriteBatchSeq(wops)
 		s.stats.WriteBatches.Inc()
 		s.stats.WriteOps.Add(uint64(len(wops)))
 		for _, r := range wreqs {
 			s.stats.countOp(r.op)
-			if err != nil {
+			switch {
+			case err != nil:
 				// WriteBatch may have applied a prefix; every write in the
 				// cycle reports the failure rather than guessing which
 				// side of the prefix it landed on.
 				r.fail(err)
-			} else {
+			case r.sess:
+				r.reply(wire.StatusOK, wire.AppendAppliedSeq(nil, seq))
+			default:
 				r.reply(wire.StatusOK, nil)
 			}
 		}
 	}
 
-	// Phase 2: group every point read into one MultiGet.
+	// Phase 2: group every point read into one MultiGet. Session reads ride
+	// the same engine call — MultiGetSession additionally samples the token
+	// their responses carry, under the lock that keeps it ≥ anything read.
 	var keys [][]byte
 	var rreqs []*request
+	sessRead := false
 	for _, r := range batch {
 		switch r.op {
-		case wire.OpGet:
+		case wire.OpGet, wire.OpGetV2:
 			keys = append(keys, r.key)
 			rreqs = append(rreqs, r)
-		case wire.OpMGet:
+			sessRead = sessRead || r.sess
+		case wire.OpMGet, wire.OpMGetV2:
 			keys = append(keys, r.keys...)
 			rreqs = append(rreqs, r)
+			sessRead = sessRead || r.sess
 		}
 	}
 	if len(keys) > 0 {
-		vals, err := s.cfg.DB.MultiGet(keys)
+		var vals [][]byte
+		var seq uint64
+		var err error
+		if sessRead {
+			vals, seq, err = s.cfg.DB.MultiGetSession(keys)
+		} else {
+			vals, err = s.cfg.DB.MultiGet(keys)
+		}
 		s.stats.ReadBatches.Inc()
 		s.stats.ReadOps.Add(uint64(len(keys)))
 		off := 0
 		for _, r := range rreqs {
 			s.stats.countOp(r.op)
+			if r.sess {
+				s.countSessionRead(r)
+			}
 			switch {
 			case err != nil:
 				r.fail(err)
-				if r.op == wire.OpMGet {
+				if r.op == wire.OpMGet || r.op == wire.OpMGetV2 {
 					off += len(r.keys)
 				} else {
 					off++
 				}
-			case r.op == wire.OpGet:
+			case r.op == wire.OpGet, r.op == wire.OpGetV2:
 				v := vals[off]
 				off++
-				if v == nil {
+				switch {
+				case v == nil && r.sess:
+					r.reply(wire.StatusNotFound, wire.AppendAppliedSeq(nil, seq))
+				case v == nil:
 					r.reply(wire.StatusNotFound, nil)
-				} else {
+				case r.sess:
+					r.reply(wire.StatusOK, wire.AppendGetV2Resp(nil, seq, v))
+				default:
 					r.reply(wire.StatusOK, v)
 				}
-			default: // OpMGet
+			default: // OpMGet / OpMGetV2
 				sub := vals[off : off+len(r.keys)]
 				off += len(r.keys)
-				r.reply(wire.StatusOK, wire.AppendMGetResp(nil, sub))
+				if r.sess {
+					r.reply(wire.StatusOK, wire.AppendMGetV2Resp(nil, seq, sub))
+				} else {
+					r.reply(wire.StatusOK, wire.AppendMGetResp(nil, sub))
+				}
 			}
 		}
 	}
@@ -150,23 +198,75 @@ func (s *Server) process(batch []*request) {
 		case wire.OpPing:
 			s.stats.countOp(r.op)
 			r.reply(wire.StatusOK, r.echo)
-		case wire.OpScan:
+		case wire.OpScan, wire.OpScanV2:
 			s.stats.countOp(r.op)
+			if r.sess {
+				s.countSessionRead(r)
+				kvs, seq, err := s.cfg.DB.ScanSession(r.key, r.limit)
+				if err != nil {
+					r.fail(err)
+					continue
+				}
+				r.reply(wire.StatusOK, wire.AppendScanV2Resp(nil, seq, toWireKVs(kvs)))
+				continue
+			}
 			kvs, err := s.cfg.DB.Scan(r.key, r.limit)
 			if err != nil {
 				r.fail(err)
 				continue
 			}
-			out := make([]wire.KV, len(kvs))
-			for i, kv := range kvs {
-				out[i] = wire.KV{Key: kv.Key, Value: kv.Value}
-			}
-			r.reply(wire.StatusOK, wire.AppendScanResp(nil, out))
+			r.reply(wire.StatusOK, wire.AppendScanResp(nil, toWireKVs(kvs)))
 		case wire.OpStats:
 			s.stats.countOp(r.op)
 			r.reply(wire.StatusOK, []byte(s.statsText()))
 		}
 	}
+}
+
+func toWireKVs(kvs []hyperdb.KV) []wire.KV {
+	out := make([]wire.KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = wire.KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out
+}
+
+// countSessionRead accounts one served session read. A read carrying a
+// token that lands on a primary-role node is (under the bounded policy) a
+// fallback retry after a follower's NOT_READY — clients deliberately
+// routing to the primary send minSeq 0, which a primary trivially
+// satisfies.
+func (s *Server) countSessionRead(r *request) {
+	s.stats.ReplReadServed.Inc()
+	if r.minSeq > 0 && !s.cfg.DB.IsFollower() {
+		s.stats.ReplReadFallbacks.Inc()
+	}
+}
+
+// park moves a gated session read off the drainer onto its own goroutine,
+// which waits (bounded by Config.ReadWait, aborted by shutdown) for the
+// node's applied position to reach the request's token. On success the
+// request re-enters the queue and the gate passes on the next drain — the
+// readable position never moves backward. Otherwise the request answers
+// NOT_READY with the node's position and the client retries elsewhere.
+//
+// Shutdown safety: a parked request still holds its connection's in-flight
+// slot, so readerWG.Wait — which precedes close(s.queue) — cannot return
+// until the requeued request has been answered by the (still running)
+// drainer. A requeue therefore always strictly precedes the queue close.
+func (s *Server) park(r *request) {
+	s.stats.ReplReadParked.Inc()
+	go func() {
+		start := time.Now()
+		ok := s.cfg.DB.WaitReadable(r.minSeq, s.cfg.ReadWait, s.stopWait)
+		s.stats.ReplReadWait.Record(time.Since(start))
+		if ok {
+			s.queue <- r
+			return
+		}
+		s.stats.ReplReadNotReady.Inc()
+		r.reply(wire.StatusNotReady, wire.AppendAppliedSeq(nil, s.cfg.DB.ReadableSeq()))
+	}()
 }
 
 // statsText renders the STATS payload: the server's counters, the
@@ -189,6 +289,7 @@ func (s *Server) replText() string {
 	if s.cfg.DB.IsFollower() {
 		fmt.Fprintf(&b, "repl.role follower\n")
 		fmt.Fprintf(&b, "repl.applied %d\n", s.cfg.DB.CommitSeq())
+		fmt.Fprintf(&b, "repl.readable %d\n", s.cfg.DB.ReadableSeq())
 	} else {
 		fmt.Fprintf(&b, "repl.role primary\n")
 	}

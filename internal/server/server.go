@@ -24,6 +24,7 @@ import (
 
 	"hyperdb"
 	"hyperdb/internal/repl"
+	"hyperdb/internal/stats"
 	"hyperdb/internal/wire"
 )
 
@@ -52,6 +53,17 @@ type Config struct {
 	CoalesceWait time.Duration
 	// MaxScanLimit caps the limit a SCAN request may ask for. Default 4096.
 	MaxScanLimit int
+	// ReadWait bounds how long a gated session read (a v2 read whose minSeq
+	// token is ahead of this node's applied position) may wait for
+	// replication to catch up before the server answers StatusNotReady.
+	// Waiting happens on a parked goroutine, never on the drainer. Default
+	// 100ms; negative refuses immediately.
+	ReadWait time.Duration
+	// NoReadGate disables the minSeq gate: session reads are answered from
+	// whatever state the node has, however stale. It exists so the
+	// consistency harness can prove it detects the staleness the gate
+	// prevents; production configurations leave it false.
+	NoReadGate bool
 	// Repl, when non-nil, serves replication followers: a connection whose
 	// first frame is REPL_HELLO detaches from the request/response machinery
 	// and is handed to Repl.ServeConn for log shipping. Nil rejects the
@@ -81,6 +93,9 @@ func (c *Config) fill() error {
 	if c.MaxScanLimit <= 0 {
 		c.MaxScanLimit = 4096
 	}
+	if c.ReadWait == 0 {
+		c.ReadWait = 100 * time.Millisecond
+	}
 	return nil
 }
 
@@ -105,6 +120,10 @@ type Server struct {
 	// flushed is closed after the drainer exits, telling idle writers the
 	// last response they will ever receive has been enqueued.
 	flushed chan struct{}
+	// stopWait is closed at the start of shutdown to abort parked session
+	// reads: their waiters resolve (ready or NOT_READY) and release their
+	// in-flight slots, which is what lets readerWG.Wait complete.
+	stopWait chan struct{}
 
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -116,11 +135,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan *request, cfg.QueueDepth),
-		conns:   make(map[*conn]struct{}),
-		flushed: make(chan struct{}),
+		cfg:      cfg,
+		queue:    make(chan *request, cfg.QueueDepth),
+		conns:    make(map[*conn]struct{}),
+		flushed:  make(chan struct{}),
+		stopWait: make(chan struct{}),
 	}
+	s.stats.ReplReadWait = stats.NewHistogram()
 	s.drainWG.Add(1)
 	go s.drainLoop()
 	return s, nil
@@ -220,6 +241,11 @@ func (s *Server) Shutdown() error {
 
 func (s *Server) shutdown() error {
 	s.closing.Store(true)
+	// Abort parked session reads first: each either requeues (and is
+	// answered by the drainer, which runs until the queue closes below) or
+	// replies NOT_READY itself; both release the in-flight slot that
+	// readerWG.Wait is about to wait on.
+	close(s.stopWait)
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
@@ -277,6 +303,12 @@ type request struct {
 	keys  [][]byte       // MGET
 	limit int            // SCAN
 	echo  []byte         // PING
+
+	// sess marks a session (v2) request: its response carries the node's
+	// applied sequence, and for reads minSeq is the client's session token —
+	// the position the node must have applied before answering.
+	sess   bool
+	minSeq uint64
 }
 
 // bufferedReader sizes the per-connection read buffer.
@@ -472,6 +504,63 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		if len(f.Payload) != 0 {
 			return nil, errors.New("stats takes no payload")
 		}
+	case wire.OpPutV2:
+		k, v, err := wire.DecodePutReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.value = append([]byte(nil), v...)
+		req.sess = true
+	case wire.OpDelV2:
+		k, err := wire.DecodeKeyReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.sess = true
+	case wire.OpBatchV2:
+		ops, err := wire.DecodeBatchReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ops {
+			ops[i].Key = append([]byte(nil), ops[i].Key...)
+			ops[i].Value = append([]byte(nil), ops[i].Value...)
+		}
+		req.batch = ops
+		req.sess = true
+	case wire.OpGetV2:
+		k, minSeq, err := wire.DecodeGetV2Req(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.sess = true
+		req.minSeq = minSeq
+	case wire.OpMGetV2:
+		ks, minSeq, err := wire.DecodeMGetV2Req(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ks {
+			ks[i] = append([]byte(nil), ks[i]...)
+		}
+		req.keys = ks
+		req.sess = true
+		req.minSeq = minSeq
+	case wire.OpScanV2:
+		start, limit, minSeq, err := wire.DecodeScanV2Req(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), start...)
+		req.limit = int(limit)
+		if req.limit > c.srv.cfg.MaxScanLimit {
+			req.limit = c.srv.cfg.MaxScanLimit
+		}
+		req.sess = true
+		req.minSeq = minSeq
 	case wire.OpReplFrame, wire.OpReplAck, wire.OpReplSnapshot:
 		// Push-stream ops are only meaningful after a REPL_HELLO handoff;
 		// as requests they have no response protocol.

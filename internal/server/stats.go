@@ -29,7 +29,20 @@ type Stats struct {
 	replActive atomic.Int64
 
 	// ops counts completed requests per op code (indexed by wire.Op).
-	ops [16]stats.Counter
+	ops [32]stats.Counter
+
+	// Session-read (follower-read) accounting. ReplReadServed counts v2
+	// session reads answered on this node; ReplReadParked those whose token
+	// was ahead of the applied position and had to wait; ReplReadNotReady
+	// those refused after the bounded wait; ReplReadFallbacks token-carrying
+	// session reads served while in the primary role — under the bounded
+	// policy, retries after a follower's NOT_READY. ReplReadWait records how
+	// long parked reads waited.
+	ReplReadServed    stats.Counter
+	ReplReadParked    stats.Counter
+	ReplReadNotReady  stats.Counter
+	ReplReadFallbacks stats.Counter
+	ReplReadWait      *stats.Histogram
 
 	// Coalescing accounting. Drains counts drain cycles; DrainedRequests
 	// sums the requests each cycle collected (their ratio is the mean
@@ -98,8 +111,19 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "server.bad_requests %d\n", s.BadRequests.Load())
 	fmt.Fprintf(&b, "server.repl_conns %d\n", s.ReplConns.Load())
 	fmt.Fprintf(&b, "server.repl_active %d\n", s.ActiveReplConns())
-	for _, op := range []wire.Op{wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats} {
+	for _, op := range []wire.Op{
+		wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats,
+		wire.OpPutV2, wire.OpDelV2, wire.OpBatchV2, wire.OpGetV2, wire.OpMGetV2, wire.OpScanV2,
+	} {
 		fmt.Fprintf(&b, "server.ops.%s %d\n", strings.ToLower(op.String()), s.OpCount(op))
+	}
+	fmt.Fprintf(&b, "server.repl_read_served %d\n", s.ReplReadServed.Load())
+	fmt.Fprintf(&b, "server.repl_read_parked %d\n", s.ReplReadParked.Load())
+	fmt.Fprintf(&b, "server.repl_read_not_ready %d\n", s.ReplReadNotReady.Load())
+	fmt.Fprintf(&b, "server.repl_read_fallbacks %d\n", s.ReplReadFallbacks.Load())
+	if s.ReplReadWait != nil {
+		fmt.Fprintf(&b, "server.repl_read_wait_mean_us %d\n", s.ReplReadWait.Mean().Microseconds())
+		fmt.Fprintf(&b, "server.repl_read_wait_p99_us %d\n", s.ReplReadWait.P99().Microseconds())
 	}
 	fmt.Fprintf(&b, "server.drains %d\n", s.Drains.Load())
 	fmt.Fprintf(&b, "server.drained_requests %d\n", s.DrainedRequests.Load())

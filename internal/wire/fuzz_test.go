@@ -30,6 +30,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpReplSnapshot, ID: 10, Payload: AppendReplSnapshot(nil, 5, []KV{
 		{Key: []byte("k"), Value: []byte("v")},
 	}, true)}))
+	// Session (v2) payloads: read requests with minSeq tokens, responses
+	// with appliedSeq prefixes, and the bare-seq bodies shared by v2 write
+	// responses and NOT_READY refusals.
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 11, Payload: AppendGetV2Req(nil, []byte("k"), 99)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusOK, ID: 11, Payload: AppendGetV2Resp(nil, 104, []byte("v"))}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusNotReady, ID: 11, Payload: AppendAppliedSeq(nil, 52)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, ID: 12, Payload: AppendMGetV2Req(nil, [][]byte{[]byte("a"), []byte("b")}, 7)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, Status: StatusOK, ID: 12, Payload: AppendMGetV2Resp(nil, 8, [][]byte{[]byte("1"), nil})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, ID: 13, Payload: AppendScanV2Req(nil, []byte("s"), 10, 3)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, Status: StatusOK, ID: 13, Payload: AppendScanV2Resp(nil, 20, []KV{{Key: []byte("k"), Value: []byte("v")}})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpPutV2, ID: 14, Payload: AppendPutReq(nil, []byte("k"), []byte("v"))}))
+	f.Add(AppendFrame(nil, Frame{Op: OpPutV2, Status: StatusOK, ID: 14, Payload: AppendAppliedSeq(nil, 105)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpBatchV2, ID: 15, Payload: AppendBatchReq(nil, []BatchOp{{Key: []byte("a"), Value: []byte("1")}})}))
+	// A truncated minSeq varint (continuation bit set, nothing follows).
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 16, Payload: []byte{0x80}}))
 	// A valid frame with a corrupted interior byte.
 	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
 	corrupt[len(corrupt)/2] ^= 0x5a
@@ -75,6 +90,25 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeReplAck(fr.Payload)
 		case OpReplSnapshot:
 			DecodeReplSnapshot(fr.Payload)
+		case OpGetV2:
+			DecodeGetV2Req(fr.Payload)
+			DecodeGetV2Resp(fr.Payload)
+			DecodeAppliedSeq(fr.Payload)
+		case OpMGetV2:
+			DecodeMGetV2Req(fr.Payload)
+			DecodeMGetV2Resp(fr.Payload)
+		case OpScanV2:
+			DecodeScanV2Req(fr.Payload)
+			DecodeScanV2Resp(fr.Payload)
+		case OpPutV2:
+			DecodePutReq(fr.Payload)
+			DecodeAppliedSeq(fr.Payload)
+		case OpDelV2:
+			DecodeKeyReq(fr.Payload)
+			DecodeAppliedSeq(fr.Payload)
+		case OpBatchV2:
+			DecodeBatchReq(fr.Payload)
+			DecodeAppliedSeq(fr.Payload)
 		}
 		// The stream reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data[:n]), maxFrame)

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Session (payload version 2) codecs. The v2 read requests prefix the v1
+// payload with a minSeq token — "answer only once your applied replication
+// position is ≥ minSeq" — and every v2 response prefixes its v1 payload with
+// the node's applied sequence, which clients fold into their session token
+// for read-your-writes and monotonic reads. A StatusNotReady (and a GET2
+// StatusNotFound) response carries the bare applied sequence.
+//
+// The v2 write ops (PUT2, DEL2, BATCH2) reuse the v1 request payloads; their
+// StatusOK responses carry the committed batch's last sequence, which is the
+// token a session gates subsequent follower reads on.
+
+// --- v2 read requests: minSeq | <v1 request payload> ---
+
+// AppendGetV2Req encodes a GET2 request: minSeq | klen | key.
+func AppendGetV2Req(dst, key []byte, minSeq uint64) []byte {
+	dst = binary.AppendUvarint(dst, minSeq)
+	return AppendKeyReq(dst, key)
+}
+
+// DecodeGetV2Req decodes a GET2 payload; key aliases p.
+func DecodeGetV2Req(p []byte) (key []byte, minSeq uint64, err error) {
+	minSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	key, err = DecodeKeyReq(rest)
+	if err != nil {
+		return nil, 0, err
+	}
+	return key, minSeq, nil
+}
+
+// AppendMGetV2Req encodes an MGET2 request: minSeq | count | keys.
+func AppendMGetV2Req(dst []byte, keyList [][]byte, minSeq uint64) []byte {
+	dst = binary.AppendUvarint(dst, minSeq)
+	return AppendMGetReq(dst, keyList)
+}
+
+// DecodeMGetV2Req decodes an MGET2 payload; key slices alias p.
+func DecodeMGetV2Req(p []byte) (keyList [][]byte, minSeq uint64, err error) {
+	minSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	keyList, err = DecodeMGetReq(rest)
+	if err != nil {
+		return nil, 0, err
+	}
+	return keyList, minSeq, nil
+}
+
+// AppendScanV2Req encodes a SCAN2 request: minSeq | klen | start | limit.
+func AppendScanV2Req(dst, start []byte, limit uint32, minSeq uint64) []byte {
+	dst = binary.AppendUvarint(dst, minSeq)
+	return AppendScanReq(dst, start, limit)
+}
+
+// DecodeScanV2Req decodes a SCAN2 payload; start aliases p.
+func DecodeScanV2Req(p []byte) (start []byte, limit uint32, minSeq uint64, err error) {
+	minSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start, limit, err = DecodeScanReq(rest)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return start, limit, minSeq, nil
+}
+
+// --- v2 responses: appliedSeq | <v1 response payload> ---
+
+// AppendAppliedSeq encodes a bare applied-sequence payload: the whole body
+// of a v2 write response, a NOT_READY refusal, or a GET2 miss.
+func AppendAppliedSeq(dst []byte, appliedSeq uint64) []byte {
+	return binary.AppendUvarint(dst, appliedSeq)
+}
+
+// DecodeAppliedSeq decodes a bare applied-sequence payload; trailing bytes
+// are an error.
+func DecodeAppliedSeq(p []byte) (appliedSeq uint64, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return appliedSeq, nil
+}
+
+// AppendGetV2Resp encodes a GET2 hit: appliedSeq | value (value runs to the
+// end of the payload, exactly like the v1 GET response body).
+func AppendGetV2Resp(dst []byte, appliedSeq uint64, value []byte) []byte {
+	dst = binary.AppendUvarint(dst, appliedSeq)
+	return append(dst, value...)
+}
+
+// DecodeGetV2Resp decodes a GET2 hit; value aliases p and may be empty.
+func DecodeGetV2Resp(p []byte) (appliedSeq uint64, value []byte, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return appliedSeq, rest, nil
+}
+
+// AppendMGetV2Resp encodes an MGET2 response: appliedSeq | v1 MGET response.
+func AppendMGetV2Resp(dst []byte, appliedSeq uint64, vals [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, appliedSeq)
+	return AppendMGetResp(dst, vals)
+}
+
+// DecodeMGetV2Resp decodes an MGET2 response; value slices alias p.
+func DecodeMGetV2Resp(p []byte) (appliedSeq uint64, vals [][]byte, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	vals, err = DecodeMGetResp(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	return appliedSeq, vals, nil
+}
+
+// AppendScanV2Resp encodes a SCAN2 response: appliedSeq | v1 SCAN response.
+func AppendScanV2Resp(dst []byte, appliedSeq uint64, kvs []KV) []byte {
+	dst = binary.AppendUvarint(dst, appliedSeq)
+	return AppendScanResp(dst, kvs)
+}
+
+// DecodeScanV2Resp decodes a SCAN2 response; pair slices alias p.
+func DecodeScanV2Resp(p []byte) (appliedSeq uint64, kvs []KV, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	kvs, err = DecodeScanResp(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	return appliedSeq, kvs, nil
+}

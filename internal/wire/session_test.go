@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSessionReadReqRoundTrip(t *testing.T) {
+	key, minSeq := []byte("some-key"), uint64(123456)
+	p := AppendGetV2Req(nil, key, minSeq)
+	gk, gs, err := DecodeGetV2Req(p)
+	if err != nil || !bytes.Equal(gk, key) || gs != minSeq {
+		t.Fatalf("GET2 round trip: %q %d %v", gk, gs, err)
+	}
+
+	keyList := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	p = AppendMGetV2Req(nil, keyList, minSeq)
+	mk, ms, err := DecodeMGetV2Req(p)
+	if err != nil || ms != minSeq || len(mk) != 3 || !bytes.Equal(mk[2], []byte("ccc")) {
+		t.Fatalf("MGET2 round trip: %v %d %v", mk, ms, err)
+	}
+
+	p = AppendScanV2Req(nil, []byte("start"), 77, minSeq)
+	st, lim, ss, err := DecodeScanV2Req(p)
+	if err != nil || !bytes.Equal(st, []byte("start")) || lim != 77 || ss != minSeq {
+		t.Fatalf("SCAN2 round trip: %q %d %d %v", st, lim, ss, err)
+	}
+}
+
+func TestSessionRespRoundTrip(t *testing.T) {
+	p := AppendAppliedSeq(nil, 42)
+	if got, err := DecodeAppliedSeq(p); err != nil || got != 42 {
+		t.Fatalf("applied seq round trip: %d %v", got, err)
+	}
+	if _, err := DecodeAppliedSeq(append(p, 0)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+	if _, err := DecodeAppliedSeq(nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("empty applied seq accepted: %v", err)
+	}
+
+	p = AppendGetV2Resp(nil, 9, []byte("value"))
+	seq, v, err := DecodeGetV2Resp(p)
+	if err != nil || seq != 9 || !bytes.Equal(v, []byte("value")) {
+		t.Fatalf("GET2 resp: %d %q %v", seq, v, err)
+	}
+	// Empty value is legal (a present key may hold no bytes).
+	seq, v, err = DecodeGetV2Resp(AppendGetV2Resp(nil, 3, nil))
+	if err != nil || seq != 3 || len(v) != 0 {
+		t.Fatalf("GET2 empty resp: %d %q %v", seq, v, err)
+	}
+
+	p = AppendMGetV2Resp(nil, 8, [][]byte{[]byte("x"), nil, {}})
+	seq, vals, err := DecodeMGetV2Resp(p)
+	if err != nil || seq != 8 || len(vals) != 3 || vals[1] != nil || vals[2] == nil {
+		t.Fatalf("MGET2 resp: %d %v %v", seq, vals, err)
+	}
+
+	p = AppendScanV2Resp(nil, 15, []KV{{Key: []byte("k"), Value: []byte("v")}})
+	seq, kvs, err := DecodeScanV2Resp(p)
+	if err != nil || seq != 15 || len(kvs) != 1 || !bytes.Equal(kvs[0].Key, []byte("k")) {
+		t.Fatalf("SCAN2 resp: %d %v %v", seq, kvs, err)
+	}
+}
+
+// TestSessionCodecsStrict exercises the malformed-input contract: truncated
+// or trailing bytes in any token field must error, never panic.
+func TestSessionCodecsStrict(t *testing.T) {
+	// Truncated minSeq varint (0x80 declares a continuation that never comes).
+	cont := []byte{0x80}
+	if _, _, err := DecodeGetV2Req(cont); err == nil {
+		t.Fatal("truncated GET2 minSeq accepted")
+	}
+	if _, _, err := DecodeMGetV2Req(cont); err == nil {
+		t.Fatal("truncated MGET2 minSeq accepted")
+	}
+	if _, _, _, err := DecodeScanV2Req(cont); err == nil {
+		t.Fatal("truncated SCAN2 minSeq accepted")
+	}
+	if _, _, err := DecodeMGetV2Resp(cont); err == nil {
+		t.Fatal("truncated MGET2 resp accepted")
+	}
+	if _, _, err := DecodeScanV2Resp(cont); err == nil {
+		t.Fatal("truncated SCAN2 resp accepted")
+	}
+
+	// minSeq present but the inner payload is missing or malformed.
+	if _, _, err := DecodeGetV2Req(AppendAppliedSeq(nil, 7)); err == nil {
+		t.Fatal("GET2 with no key accepted")
+	}
+	if _, _, err := DecodeGetV2Req(append(AppendGetV2Req(nil, []byte("k"), 7), 'x')); err == nil {
+		t.Fatal("GET2 with trailing bytes accepted")
+	}
+	if _, _, _, err := DecodeScanV2Req(append(AppendScanV2Req(nil, []byte("s"), 1, 7), 'x')); err == nil {
+		t.Fatal("SCAN2 with trailing bytes accepted")
+	}
+	if _, _, err := DecodeMGetV2Req(append(AppendMGetV2Req(nil, [][]byte{[]byte("k")}, 7), 'x')); err == nil {
+		t.Fatal("MGET2 with trailing bytes accepted")
+	}
+}
+
+func TestSessionOpsValidAndNamed(t *testing.T) {
+	for _, op := range []Op{OpGetV2, OpMGetV2, OpScanV2, OpPutV2, OpDelV2, OpBatchV2} {
+		if !op.Valid() {
+			t.Fatalf("op %d invalid", op)
+		}
+		if s := op.String(); len(s) == 0 || s[0] == 'O' {
+			t.Fatalf("op %d unnamed: %q", op, s)
+		}
+	}
+	if StatusNotReady.String() != "not ready" {
+		t.Fatalf("StatusNotReady = %q", StatusNotReady.String())
+	}
+}

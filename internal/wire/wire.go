@@ -47,6 +47,20 @@ const (
 	OpReplAck
 	OpReplSnapshot
 
+	// Session (payload version 2) ops. Requests for the read ops carry a
+	// minSeq token: the server answers only once its applied replication
+	// position reaches minSeq, or StatusNotReady after a bounded wait.
+	// Every v2 response carries the node's applied sequence so clients can
+	// maintain read-your-writes and monotonic-reads session tokens. The v2
+	// write ops take the v1 request payloads; only their responses differ
+	// (they return the batch's committed sequence).
+	OpGetV2
+	OpMGetV2
+	OpScanV2
+	OpPutV2
+	OpDelV2
+	OpBatchV2
+
 	opMax
 )
 
@@ -79,6 +93,18 @@ func (o Op) String() string {
 		return "REPL_ACK"
 	case OpReplSnapshot:
 		return "REPL_SNAPSHOT"
+	case OpGetV2:
+		return "GET2"
+	case OpMGetV2:
+		return "MGET2"
+	case OpScanV2:
+		return "SCAN2"
+	case OpPutV2:
+		return "PUT2"
+	case OpDelV2:
+		return "DEL2"
+	case OpBatchV2:
+		return "BATCH2"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -92,6 +118,11 @@ const (
 	StatusBadRequest   // payload decodes but the request is invalid
 	StatusError        // engine error; payload is the message text
 	StatusShuttingDown // server is shutting down and refused the request
+	// StatusNotReady answers a session read whose minSeq token the node
+	// could not reach within its bounded wait: the client should retry on
+	// another node (typically falling back to the primary). The payload is
+	// the node's applied sequence at the time of the refusal.
+	StatusNotReady
 )
 
 func (s Status) String() string {
@@ -106,6 +137,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusShuttingDown:
 		return "shutting down"
+	case StatusNotReady:
+		return "not ready"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -1,0 +1,207 @@
+// End-to-end read-throughput benchmark for follower reads: a full wire
+// cluster (primary + 0/1/2 followers over real TCP) serves a 95/5
+// read/write mix through client Sessions under the bounded policy, which
+// spreads gated reads round-robin across the whole group. The devices use
+// a deliberately read-constrained NVMe profile so each node is bound by
+// its simulated read channels, not host CPU — exactly the regime where
+// follower reads pay: aggregate read capacity grows with every node that
+// serves. CI runs these with -benchtime=1x as a smoke test;
+// BENCH_replreads.json records the measured 1→3 node trajectory.
+package hyperdb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperdb"
+	"hyperdb/internal/client"
+	"hyperdb/internal/device"
+	"hyperdb/internal/repl"
+	"hyperdb/internal/server"
+	"hyperdb/internal/ycsb"
+)
+
+const (
+	replReadKeys    = 1 << 15
+	replReadValue   = 128
+	replReadClients = 12 // enough session goroutines to saturate 3 nodes
+)
+
+// replReadProfile throttles reads hard (2ms service, 2 channels) while
+// leaving writes cheap: read capacity ~1k/s per node, so the mix saturates
+// one node and scales with replicas. Write and apply paths stay off the
+// critical path.
+func replReadProfile() device.Profile {
+	p := device.NVMeProfile(256 << 20)
+	p.ReadLatency = 2 * time.Millisecond
+	p.Channels = 2
+	return p
+}
+
+type replBenchNode struct {
+	db   *hyperdb.DB
+	srv  *server.Server
+	addr string
+	log  *repl.Log
+}
+
+func newReplBenchNode(b *testing.B, follower bool) *replBenchNode {
+	b.Helper()
+	opts := hyperdb.Options{
+		Partitions: 4,
+		NVMeDevice: device.New(replReadProfile()),
+		SATADevice: device.New(device.SATAProfile(1 << 30)),
+		// A small cache keeps most reads on the simulated device.
+		CacheBytes: 1 << 20,
+		Follower:   follower,
+	}
+	var log *repl.Log
+	if !follower {
+		log = repl.NewLog(repl.LogConfig{})
+		opts.Tee = log
+	}
+	db, err := hyperdb.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := server.Config{DB: db, OwnDB: true}
+	if log != nil {
+		cfg.Repl = &repl.Primary{DB: db, Log: log}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	return &replBenchNode{db: db, srv: srv, addr: addr.String(), log: log}
+}
+
+// BenchmarkReplReads95to5 is the acceptance metric: mixed 95/5 throughput
+// as the serving group grows from one node to three. ns/op is per mixed
+// operation; its inverse is the aggregate ops/s the group sustained.
+func BenchmarkReplReads95to5(b *testing.B) {
+	for _, nFollowers := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("followers=%d", nFollowers), func(b *testing.B) {
+			benchReplReads(b, nFollowers)
+		})
+	}
+}
+
+func benchReplReads(b *testing.B, nFollowers int) {
+	prim := newReplBenchNode(b, false)
+	defer prim.srv.Shutdown()
+	fols := make([]*replBenchNode, nFollowers)
+	stop := make(chan struct{})
+	var appliers sync.WaitGroup
+	for i := range fols {
+		fols[i] = newReplBenchNode(b, true)
+		defer fols[i].srv.Shutdown()
+		nc, err := net.Dial("tcp", prim.addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fol := &repl.Follower{DB: fols[i].db}
+		appliers.Add(1)
+		go func() {
+			defer appliers.Done()
+			fol.Run(nc, stop)
+		}()
+	}
+	defer appliers.Wait()
+	defer close(stop)
+
+	// Preload through the engine (the log tees every batch to the attached
+	// followers); then wait until every follower has applied the full load.
+	v := make([]byte, replReadValue)
+	for i := range v {
+		v[i] = byte('a' + i%26)
+	}
+	const chunk = 512
+	for base := int64(0); base < replReadKeys; base += chunk {
+		ops := make([]hyperdb.BatchOp, 0, chunk)
+		for i := base; i < base+chunk && i < replReadKeys; i++ {
+			ops = append(ops, hyperdb.BatchOp{Key: ycsb.Key(i), Value: v})
+		}
+		if err := prim.db.WriteBatch(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, f := range fols {
+		for f.db.CommitSeq() < prim.db.CommitSeq() {
+			if time.Now().After(deadline) {
+				b.Fatal("followers never caught up with the preload")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// One session per client goroutine, each with its own connections.
+	sessions := make([]*client.Session, replReadClients)
+	for i := range sessions {
+		pc, err := client.Dial(client.Options{Addr: prim.addr, Conns: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pc.Close()
+		var fcs []*client.Client
+		for _, f := range fols {
+			fc, err := client.Dial(client.Options{Addr: f.addr, Conns: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fc.Close()
+			fcs = append(fcs, fc)
+		}
+		sessions[i] = client.NewSession(pc, fcs, client.ReadBounded)
+	}
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	wg.Add(replReadClients)
+	for t := 0; t < replReadClients; t++ {
+		go func(t int) {
+			defer wg.Done()
+			sess := sessions[t]
+			rng := rand.New(rand.NewSource(int64(1000 + t)))
+			const grab = 16
+			for {
+				lo := int(next.Add(grab)) - grab
+				if lo >= b.N {
+					return
+				}
+				hi := lo + grab
+				if hi > b.N {
+					hi = b.N
+				}
+				for i := lo; i < hi; i++ {
+					key := ycsb.Key(int64(rng.Intn(replReadKeys)))
+					if i%20 == 19 {
+						if err := sess.Put(key, v); err != nil {
+							failed.Add(1)
+						}
+					} else if _, err := sess.Get(key); err != nil {
+						failed.Add(1)
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d operations failed", n)
+	}
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # repl_smoke.sh — end-to-end replication smoke: build hyperd + hyperctl,
 # start a sync-ack primary and a follower replicating from it, run a
-# pipelined load, SIGKILL the primary mid-flight, promote the follower with
-# SIGHUP, and require every acknowledged key to be readable from the
-# promoted node. Exit 0 means failover lost nothing that was acked.
+# pipelined load, verify session-consistent follower reads (read-your-writes
+# probe plus a token-gated staleness assertion), SIGKILL the primary
+# mid-flight, promote the follower with SIGHUP, and require every
+# acknowledged key to be readable from the promoted node. Exit 0 means
+# failover lost nothing that was acked and no session read was ever stale.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +75,39 @@ for i in $(seq 1 100); do
   if [ "$i" = 100 ]; then echo "lag never converged" >&2; pctl repl status >&2; exit 1; fi
 done
 
+echo "== follower serves session reads (read-your-writes over the wire) =="
+# 25 put-then-read round trips through one session under the bounded
+# policy: reads spread across follower and primary, follower reads gated on
+# the session token. Any stale read fails the probe.
+"$BIN/hyperctl" ryw -addr "$PRIMARY" -followers "$FOLLOWER" -policy bounded -n 25
+
+echo "== staleness assertion: token-gated follower read returns the write =="
+# Write through a session (capturing the token), then read with a fresh
+# session seeded from that token. The first read of a fresh session always
+# routes to the follower, which must serve the just-written value — the
+# gate holds it until the write has applied — and say so on stderr.
+TOK=$("$BIN/hyperctl" put -addr "$PRIMARY" -policy bounded stale-probe v2 2>&1 >/dev/null | sed -n 's/.*token \([0-9]*\).*/\1/p')
+[ -n "$TOK" ] || { echo "session put printed no token" >&2; exit 1; }
+got=$("$BIN/hyperctl" get -addr "$PRIMARY" -followers "$FOLLOWER" -policy bounded -token "$TOK" stale-probe 2>"$BIN/get.err")
+if [ "$got" != "v2" ]; then
+  echo "stale follower read: got '$got', want 'v2' (token $TOK)" >&2; exit 1
+fi
+grep -q 'served by follower\[0\]' "$BIN/get.err" || {
+  echo "token-gated read was not served by the follower:" >&2
+  cat "$BIN/get.err" >&2; exit 1
+}
+
+echo "== follower reports its readable position =="
+applied=$(fctl stats | sed -n 's/^repl\.applied //p')
+readable=$(fctl stats | sed -n 's/^repl\.readable //p')
+[ -n "$readable" ] || { echo "follower stats carry no repl.readable" >&2; exit 1; }
+if [ "$readable" -lt "$applied" ]; then
+  echo "follower readable $readable behind applied $applied after convergence" >&2; exit 1
+fi
+fctl stats | grep -q '^server.repl_read_served ' || {
+  echo "follower stats carry no repl_read counters" >&2; exit 1
+}
+
 echo "== SIGKILL the primary, promote the follower =="
 kill -9 "$PPID_D"
 wait "$PPID_D" 2>/dev/null || true
@@ -101,6 +136,9 @@ fi
 echo "== promoted node accepts new writes =="
 fctl put post-failover yes
 [ "$(fctl get post-failover)" = "yes" ]
+
+echo "== promoted node serves session reads =="
+"$BIN/hyperctl" ryw -addr "$FOLLOWER" -policy bounded -n 10
 
 echo "== graceful shutdown of the promoted node =="
 kill -TERM "$FPID_D"
