@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"hyperdb/internal/harness"
+	"hyperdb/internal/hotness"
 )
 
 func main() {
@@ -27,7 +28,15 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
+	hotMode := flag.String("hotness", "bloom", "HyperDB hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory)")
 	flag.Parse()
+	switch hotness.Mode(*hotMode) {
+	case hotness.ModeBloom, hotness.ModeSketch:
+	default:
+		fmt.Fprintf(os.Stderr, "hyperbench: -hotness must be %q or %q, got %q\n",
+			hotness.ModeBloom, hotness.ModeSketch, *hotMode)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -56,6 +65,7 @@ func main() {
 		scale = harness.DefaultScale().Mult(0.1)
 		scale.Throttled = false
 	}
+	scale.TrackerMode = hotness.Mode(*hotMode)
 
 	figs := flag.Args()
 	if len(figs) == 0 {

@@ -42,6 +42,7 @@ import (
 
 	"hyperdb"
 	"hyperdb/internal/client"
+	"hyperdb/internal/hotness"
 	"hyperdb/internal/repl"
 	"hyperdb/internal/server"
 )
@@ -64,6 +65,7 @@ func main() {
 		replSync    = flag.Bool("repl-sync", false, "writes wait for every attached follower's ack")
 		replEntries = flag.Int("repl-log-entries", 0, "retained replication log entries (0 = default)")
 		readWait    = flag.Duration("read-wait", 0, "max wait for a session read's token before NOT_READY (0 = default)")
+		hotMode     = flag.String("hotness", "bloom", "hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory at huge key counts)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -81,6 +83,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	switch hotness.Mode(*hotMode) {
+	case hotness.ModeBloom, hotness.ModeSketch:
+	default:
+		fmt.Fprintf(os.Stderr, "hyperd: -hotness must be %q or %q, got %q\n",
+			hotness.ModeBloom, hotness.ModeSketch, *hotMode)
+		os.Exit(2)
+	}
 	opts := hyperdb.Options{
 		Partitions:   *partitions,
 		NVMeCapacity: *nvme,
@@ -89,6 +98,7 @@ func main() {
 		Unthrottled:  *unthrottled,
 		Follower:     *role == "follower",
 	}
+	opts.Tracker.Mode = hotness.Mode(*hotMode)
 	// Any replicating role ships a log: a primary feeds its followers, and
 	// a follower re-ships what it applies so replicas can chain — and so it
 	// has a live log the moment it is promoted.

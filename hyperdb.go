@@ -133,6 +133,10 @@ func (db *DB) Close() error { return db.inner.Close() }
 // Stats snapshots engine and device state.
 func (db *DB) Stats() core.Stats { return db.inner.Stats() }
 
+// IsHot reports whether the hotness discriminator currently classifies key
+// as hot, without recording an access.
+func (db *DB) IsHot(key []byte) bool { return db.inner.IsHot(key) }
+
 // NVMe returns the performance-tier device (for harness inspection).
 func (db *DB) NVMe() *device.Device { return db.nvme }
 

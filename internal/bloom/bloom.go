@@ -50,8 +50,11 @@ func New(n int, bitsPerKey int) *Filter {
 	}
 }
 
-// hash64 is FNV-1a, giving the two halves used for double hashing.
-func hash64(key []byte) uint64 {
+// Hash64 is the FNV-1a key hash every probe derives from. It is exported
+// so hot paths can hash a key once and share the result between the stripe
+// choice, the filter probes (AddHash/ContainsHash) and the frequency-sketch
+// probes, instead of rescanning the key per structure.
+func Hash64(key []byte) uint64 {
 	const offset, prime = 14695981039346656037, 1099511628211
 	h := uint64(offset)
 	for _, b := range key {
@@ -64,8 +67,10 @@ func hash64(key []byte) uint64 {
 // Add inserts key. Returns true if any bit flipped 0→1, i.e. the key was
 // (probably) not present before — this is how the discriminator counts the
 // distinct insertions filling a window.
-func (f *Filter) Add(key []byte) bool {
-	h := hash64(key)
+func (f *Filter) Add(key []byte) bool { return f.AddHash(Hash64(key)) }
+
+// AddHash is Add for a key already hashed with Hash64.
+func (f *Filter) AddHash(h uint64) bool {
 	h1, h2 := uint32(h), uint32(h>>32)
 	changed := false
 	for i := uint32(0); i < f.hashes; i++ {
@@ -83,8 +88,10 @@ func (f *Filter) Add(key []byte) bool {
 }
 
 // Contains reports whether key is (probably) in the filter.
-func (f *Filter) Contains(key []byte) bool {
-	h := hash64(key)
+func (f *Filter) Contains(key []byte) bool { return f.ContainsHash(Hash64(key)) }
+
+// ContainsHash is Contains for a key already hashed with Hash64.
+func (f *Filter) ContainsHash(h uint64) bool {
 	h1, h2 := uint32(h), uint32(h>>32)
 	for i := uint32(0); i < f.hashes; i++ {
 		pos := uint64(h1+i*h2) % f.nbits

@@ -139,3 +139,25 @@ func TestTinyAndDegenerateSizes(t *testing.T) {
 		t.Fatal("degenerate filter lost its key")
 	}
 }
+
+// TestHashVariantsMatchKeyVariants: AddHash/ContainsHash with Hash64 must
+// behave identically to Add/Contains — the hotness tracker hashes each key
+// once and routes the same 64-bit value to every probe.
+func TestHashVariantsMatchKeyVariants(t *testing.T) {
+	byKey, byHash := New(1024, 10), New(1024, 10)
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if byKey.Add(key) != byHash.AddHash(Hash64(key)) {
+			t.Fatalf("Add/AddHash disagree on %q", key)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if byKey.Contains(key) != byHash.ContainsHash(Hash64(key)) {
+			t.Fatalf("Contains/ContainsHash disagree on %q", key)
+		}
+	}
+	if byKey.Inserted() != byHash.Inserted() {
+		t.Fatalf("insert counters diverged: %d vs %d", byKey.Inserted(), byHash.Inserted())
+	}
+}

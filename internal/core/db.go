@@ -207,6 +207,13 @@ func (db *DB) partFor(key []byte) *partition {
 	return db.parts[i]
 }
 
+// IsHot classifies key against its partition's hotness discriminator
+// without recording an access. Lock-free; experiments use it to audit
+// promotion quality against known access distributions.
+func (db *DB) IsHot(key []byte) bool {
+	return db.partFor(key).tracker.IsHot(key)
+}
+
 // nextSeq issues a globally unique, monotonically increasing sequence.
 func (db *DB) nextSeq() uint64 { return db.seq.Add(1) }
 

@@ -150,12 +150,20 @@ func (o *Options) fill() {
 		// the cascade, each window takes an equal share, so the cascade
 		// collectively spans the partition's object budget and windows turn
 		// over fast enough for hot classification to engage.
-		o.Tracker.Fill()
+		//
+		// Only MaxFilters is needed here; the full Tracker.Fill() runs inside
+		// NewTracker *after* this derivation, so mode-dependent defaults (the
+		// sketch width in particular) see the real WindowCapacity rather than
+		// a placeholder.
+		mf := o.Tracker.MaxFilters
+		if mf <= 0 {
+			mf = 4
+		}
 		perPart := int64(1 << 24)
 		if o.NVMe != nil && o.NVMe.Capacity() > 0 {
 			perPart = o.NVMe.Capacity() / int64(o.Partitions)
 		}
-		w := perPart / int64(o.AvgObjectSize) / int64(o.Tracker.MaxFilters)
+		w := perPart / int64(o.AvgObjectSize) / int64(mf)
 		if w < 512 {
 			w = 512
 		}

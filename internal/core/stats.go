@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hyperdb/internal/hotness"
 	"hyperdb/internal/stats"
 	"hyperdb/internal/zone"
 )
@@ -40,6 +41,9 @@ type Stats struct {
 	PromotionsDropped uint64
 	// SpaceAmp is file bytes over live bytes in the capacity tier.
 	SpaceAmp float64
+	// Trackers holds each partition's hotness-discriminator health snapshot
+	// (index = partition).
+	Trackers []hotness.Stats
 }
 
 // Stats snapshots the engine.
@@ -69,6 +73,7 @@ func (db *DB) Stats() Stats {
 		s.Zone.HotEvictDropped += zs.HotEvictDropped
 		s.Zone.HotEvictRelocated += zs.HotEvictRelocated
 		s.PromotionsDropped += p.promoDrop.Load()
+		s.Trackers = append(s.Trackers, p.tracker.Stats())
 		for l := 1; l <= maxLevels; l++ {
 			ls := &s.Levels[l-1]
 			ls.Level = l
@@ -113,5 +118,22 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d  spaceAmp=%.2f promoDropped=%d\n",
 		s.CacheHits, s.CacheMisses, s.SpaceAmp, s.PromotionsDropped)
+	if len(s.Trackers) > 0 {
+		var agg hotness.Stats
+		agg.Mode = s.Trackers[0].Mode
+		var mem int64
+		for _, t := range s.Trackers {
+			agg.Seals += t.Seals
+			agg.Records += t.Records
+			agg.HotHits += t.HotHits
+			if t.CascadeDepth > agg.CascadeDepth {
+				agg.CascadeDepth = t.CascadeDepth
+			}
+			mem += t.MemoryBytes
+		}
+		fmt.Fprintf(&b, "hotness[%s]: mem=%s seals=%d depth=%d records=%d hot=%d (%.2f%%)\n",
+			agg.Mode, stats.FormatBytes(uint64(mem)), agg.Seals, agg.CascadeDepth,
+			agg.Records, agg.HotHits, 100*agg.HotRate())
+	}
 	return b.String()
 }

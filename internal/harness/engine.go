@@ -13,6 +13,7 @@ import (
 	"hyperdb"
 	"hyperdb/internal/baseline/prismish"
 	"hyperdb/internal/baseline/rocksish"
+	"hyperdb/internal/hotness"
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
 )
@@ -88,6 +89,9 @@ type Config struct {
 	Ratio int
 	// DisableBackground turns engines' workers off (deterministic tests).
 	DisableBackground bool
+	// Tracker overrides HyperDB's hotness-tracker configuration (zero =
+	// paper defaults, bloom mode). Baseline engines ignore it.
+	Tracker hotness.Config
 }
 
 // Fill applies scaled defaults.
@@ -144,6 +148,7 @@ func Build(kind EngineKind, cfg Config) (*Instance, error) {
 			CacheBytes:        cfg.CacheBytes,
 			MigrationBatch:    cfg.FileSize,
 			DisableBackground: cfg.DisableBackground,
+			Tracker:           cfg.Tracker,
 		})
 		if err != nil {
 			return nil, err

@@ -23,6 +23,9 @@ type Scale struct {
 	NVMeRatio float64
 	SATACap   int64
 	Throttled bool
+	// TrackerMode selects HyperDB's hotness-tracker representation for
+	// every figure (empty = bloom, the paper default).
+	TrackerMode hotness.Mode
 }
 
 // DefaultScale is used by hyperbench; benchmarks use a smaller one.
@@ -62,6 +65,7 @@ func (s Scale) config() Config {
 		Unthrottled:  !s.Throttled,
 		CacheBytes:   s.datasetBytes() / 16,
 		FileSize:     512 << 10,
+		Tracker:      hotness.Config{Mode: s.TrackerMode},
 	}
 	c.Fill()
 	return c
@@ -625,10 +629,11 @@ var Figures = map[string]func(Scale, io.Writer) (*Table, error){
 	"fig10":    Fig10,
 	"fig11":    Fig11,
 	"ablation": Ablation,
+	"hotq":     HotQuality,
 }
 
 // FigureOrder is the presentation order.
-var FigureOrder = []string{"fig2", "fig3", "fig6", "fig8", "fig9a", "fig9b", "fig9c", "fig10", "fig11", "ablation"}
+var FigureOrder = []string{"fig2", "fig3", "fig6", "fig8", "fig9a", "fig9b", "fig9c", "fig10", "fig11", "ablation", "hotq"}
 
 // FormatBytes re-exports the byte formatter for the CLI.
 func FormatBytes(n uint64) string { return stats.FormatBytes(n) }

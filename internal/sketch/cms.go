@@ -1,0 +1,128 @@
+// Package sketch implements the probabilistic summaries behind the hotness
+// tracker's O(1)-memory mode: a Count-Min Sketch with conservative update
+// for per-window access frequency, and a HyperLogLog for distinct-key
+// cardinality. Both operate on a caller-supplied 64-bit key hash so the hot
+// path scans each key exactly once and shares the hash between stripe
+// selection, filter probes and sketch probes.
+//
+// Neither structure is safe for concurrent use; callers shard or lock,
+// exactly as they do for the bloom filters.
+package sketch
+
+import "math"
+
+// CMS is a Count-Min Sketch with conservative update: Add only raises the
+// counters that equal the current minimum, so estimates stay
+// overestimate-only while collision inflation shrinks well below the plain
+// ε·N bound. Width w and depth d give the classic guarantee
+// P[estimate > count + e/w · N] ≤ e^−d for N total additions.
+type CMS struct {
+	width  uint32
+	depth  uint32
+	counts []uint32 // depth rows of width counters, row-major
+}
+
+// NewCMS creates a sketch with the given geometry. Width is rounded up to a
+// power of two so probe reduction is a mask, not a division.
+func NewCMS(width, depth int) *CMS {
+	if width < 16 {
+		width = 16
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 16 {
+		depth = 16
+	}
+	w := uint32(1)
+	for int(w) < width {
+		w <<= 1
+	}
+	return &CMS{
+		width:  w,
+		depth:  uint32(depth),
+		counts: make([]uint32, int(w)*depth),
+	}
+}
+
+// NewCMSForError sizes a sketch for the classic (ε, δ) guarantee:
+// width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉.
+func NewCMSForError(epsilon, delta float64) *CMS {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.01
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.02
+	}
+	return NewCMS(int(math.Ceil(math.E/epsilon)), int(math.Ceil(math.Log(1/delta))))
+}
+
+// probe derives row i's column from the key hash by double hashing. The low
+// half seeds the walk and the (odd-forced) high half strides it, the same
+// split the bloom filters use — one 64-bit hash serves every probe.
+func (c *CMS) probe(h uint64, i uint32) uint32 {
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	return (h1 + i*h2) & (c.width - 1)
+}
+
+// AddHash counts one occurrence of the key hashed to h, with conservative
+// update, and returns the key's new estimate.
+func (c *CMS) AddHash(h uint64) uint32 {
+	minv := uint32(math.MaxUint32)
+	for i := uint32(0); i < c.depth; i++ {
+		if v := c.counts[i*c.width+c.probe(h, i)]; v < minv {
+			minv = v
+		}
+	}
+	if minv == math.MaxUint32 { // depth 0 cannot happen, but stay safe
+		return 0
+	}
+	minv++
+	for i := uint32(0); i < c.depth; i++ {
+		if p := &c.counts[i*c.width+c.probe(h, i)]; *p < minv {
+			*p = minv
+		}
+	}
+	return minv
+}
+
+// EstimateHash returns the count estimate for the key hashed to h: the
+// minimum over its row counters, never below the true count.
+func (c *CMS) EstimateHash(h uint64) uint32 {
+	minv := uint32(math.MaxUint32)
+	for i := uint32(0); i < c.depth; i++ {
+		if v := c.counts[i*c.width+c.probe(h, i)]; v < minv {
+			minv = v
+		}
+	}
+	return minv
+}
+
+// AtLeastHash reports whether the estimate for the key hashed to h is at
+// least threshold. Equivalent to EstimateHash(h) >= threshold but exits at
+// the first row counter below the threshold, so misses — the common case on
+// a discriminator's cascade scan — read one row instead of all of them.
+func (c *CMS) AtLeastHash(h uint64, threshold uint32) bool {
+	for i := uint32(0); i < c.depth; i++ {
+		if c.counts[i*c.width+c.probe(h, i)] < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Width returns the (rounded) counters-per-row.
+func (c *CMS) Width() int { return int(c.width) }
+
+// Depth returns the row count.
+func (c *CMS) Depth() int { return int(c.depth) }
+
+// SizeBytes returns the counter-array footprint.
+func (c *CMS) SizeBytes() int64 { return int64(len(c.counts)) * 4 }
+
+// Reset zeroes every counter, reusing the allocation.
+func (c *CMS) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}

@@ -1,0 +1,217 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCMSOverestimateOnly: with conservative update the estimate can never
+// fall below the true count, for any insertion pattern.
+func TestCMSOverestimateOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCMS(1024, 4)
+	truth := make(map[uint64]uint32)
+	hashes := make([]uint64, 5000)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+	}
+	for n := 0; n < 200000; n++ {
+		h := hashes[rng.Intn(len(hashes))]
+		truth[h]++
+		if got := c.AddHash(h); got < truth[h] {
+			t.Fatalf("AddHash estimate %d below true count %d", got, truth[h])
+		}
+	}
+	for h, want := range truth {
+		if got := c.EstimateHash(h); got < want {
+			t.Fatalf("estimate %d below true count %d", got, want)
+		}
+	}
+}
+
+// TestCMSErrorBound: the classic Count-Min guarantee — the overshoot
+// exceeds ε·N with probability at most δ — must hold for the geometry
+// NewCMSForError picks (conservative update only tightens it).
+func TestCMSErrorBound(t *testing.T) {
+	const epsilon, delta = 0.01, 0.02
+	c := NewCMSForError(epsilon, delta)
+	if c.Depth() < int(math.Ceil(math.Log(1/delta))) {
+		t.Fatalf("depth %d below ln(1/δ)=%.1f", c.Depth(), math.Log(1/delta))
+	}
+	if float64(c.Width()) < math.E/epsilon {
+		t.Fatalf("width %d below e/ε=%.0f", c.Width(), math.E/epsilon)
+	}
+	// The rounded width gives the effective ε the bound is stated against.
+	effEps := math.E / float64(c.Width())
+
+	rng := rand.New(rand.NewSource(2))
+	truth := make(map[uint64]uint32)
+	// Zipf-ish multiplicities: a realistic skewed stream.
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	var total uint64
+	for n := 0; n < 300000; n++ {
+		h := mix64(zipf.Uint64())
+		truth[h]++
+		c.AddHash(h)
+		total++
+	}
+	bound := uint32(effEps * float64(total))
+	var over int
+	for h, want := range truth {
+		if c.EstimateHash(h)-want > bound {
+			over++
+		}
+	}
+	frac := float64(over) / float64(len(truth))
+	if frac > delta {
+		t.Fatalf("%.4f of keys overshoot ε·N=%d (δ=%.3f)", frac, bound, delta)
+	}
+}
+
+// TestCMSAtLeastAgreesWithEstimate: the early-exit threshold probe must be
+// exactly EstimateHash(h) >= threshold for every key and threshold.
+func TestCMSAtLeastAgreesWithEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCMS(256, 4)
+	hashes := make([]uint64, 2000)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+		for k := rng.Intn(8); k >= 0; k-- {
+			c.AddHash(hashes[i])
+		}
+	}
+	for _, h := range hashes {
+		est := c.EstimateHash(h)
+		for _, th := range []uint32{0, 1, est, est + 1, est + 100} {
+			if got, want := c.AtLeastHash(h, th), est >= th; got != want {
+				t.Fatalf("AtLeastHash(h, %d) = %v, estimate %d", th, got, est)
+			}
+		}
+	}
+}
+
+func TestCMSResetAndSize(t *testing.T) {
+	c := NewCMS(100, 3) // width rounds up to 128
+	if c.Width() != 128 || c.Depth() != 3 {
+		t.Fatalf("geometry = %dx%d", c.Width(), c.Depth())
+	}
+	if c.SizeBytes() != 128*3*4 {
+		t.Fatalf("SizeBytes = %d", c.SizeBytes())
+	}
+	c.AddHash(42)
+	if c.EstimateHash(42) != 1 {
+		t.Fatal("count lost")
+	}
+	c.Reset()
+	if c.EstimateHash(42) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestHLLAccuracy: relative error stays within ~2% from 1e4 up to 1e7
+// distinct values at precision 14 (the tracker's standalone-estimator
+// setting; per-stripe instances use a smaller precision because their share
+// of the window is proportionally smaller).
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []uint64{10_000, 100_000, 1_000_000, 10_000_000} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			l := NewHLL(14)
+			for i := uint64(0); i < n; i++ {
+				// Sequential values exercise the internal finalizer: AddHash
+				// must not rely on the caller's hash being well mixed.
+				l.AddHash(i)
+			}
+			est := l.Estimate()
+			rel := math.Abs(est-float64(n)) / float64(n)
+			if rel > 0.02 {
+				t.Fatalf("n=%d est=%.0f rel err %.4f > 2%%", n, est, rel)
+			}
+		})
+	}
+}
+
+// TestHLLEstimateIsIncremental: the O(1) estimate must agree with a from-
+// scratch recomputation of the harmonic sum at every checkpoint.
+func TestHLLEstimateIsIncremental(t *testing.T) {
+	l := NewHLL(8)
+	recompute := func() float64 {
+		var inv float64
+		var zeros uint32
+		for _, r := range l.reg {
+			inv += math.Ldexp(1, -int(r))
+			if r == 0 {
+				zeros++
+			}
+		}
+		if inv != l.invSum || zeros != l.zeros {
+			t.Fatalf("incremental state drifted: invSum %.6f vs %.6f, zeros %d vs %d",
+				l.invSum, inv, l.zeros, zeros)
+		}
+		return inv
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		l.AddHash(rng.Uint64())
+		if i%997 == 0 {
+			recompute()
+		}
+	}
+	recompute()
+}
+
+func TestHLLSmallRangeAndReset(t *testing.T) {
+	l := NewHLL(12)
+	for i := uint64(0); i < 100; i++ {
+		l.AddHash(i)
+	}
+	if est := l.Estimate(); math.Abs(est-100) > 5 {
+		t.Fatalf("linear-counting estimate %.1f for 100 values", est)
+	}
+	if l.SizeBytes() != 4096 {
+		t.Fatalf("SizeBytes = %d", l.SizeBytes())
+	}
+	l.Reset()
+	if est := l.Estimate(); est != 0 {
+		t.Fatalf("estimate after reset = %.1f", est)
+	}
+}
+
+// TestHLLMonotoneWithinRegime: adding values never decreases the raw
+// estimate; the tracker's occupancy counter relies on per-stripe estimates
+// moving (almost) monotonically so seal checks can use a running sum.
+func TestHLLMonotoneWithinRegime(t *testing.T) {
+	l := NewHLL(10)
+	rng := rand.New(rand.NewSource(4))
+	prev := 0.0
+	for i := 0; i < 200000; i++ {
+		l.AddHash(rng.Uint64())
+		if i%1000 == 0 {
+			est := l.Estimate()
+			// Allow the documented dip at the linear-counting crossover only.
+			if est < prev*0.98 {
+				t.Fatalf("estimate fell %.1f → %.1f at i=%d", prev, est, i)
+			}
+			if est > prev {
+				prev = est
+			}
+		}
+	}
+}
+
+func BenchmarkCMSAddHash(b *testing.B) {
+	c := NewCMS(1<<15, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddHash(uint64(i))
+	}
+}
+
+func BenchmarkHLLAddHash(b *testing.B) {
+	l := NewHLL(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.AddHash(uint64(i))
+	}
+}
