@@ -7,6 +7,13 @@
 //
 // With no figure arguments, every figure runs in order. Figure names:
 // fig2 fig3 fig6 fig8 fig9a fig9b fig9c fig10 fig11.
+//
+// -workload=counter bypasses the figure map and runs the served counter
+// A/B instead: hot-key INCRs through a wire server with the drainer's
+// delta folding on vs off (see merge_bench_test.go for the recorded
+// benchmark form):
+//
+//	hyperbench -workload=counter -clients 32 -inflight 16 -counter-ops 200000
 package main
 
 import (
@@ -29,7 +36,35 @@ func main() {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
 	hotMode := flag.String("hotness", "bloom", "HyperDB hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory)")
+	workload := flag.String("workload", "", "alternative workload instead of paper figures: counter")
+	clients := flag.Int("clients", 32, "counter workload: client connections")
+	inflight := flag.Int("inflight", 16, "counter workload: pipelined increments per connection")
+	counterKeys := flag.Int("counter-keys", 64, "counter workload: counter keyspace size")
+	counterOps := flag.Int("counter-ops", 200_000, "counter workload: total increments per A/B side")
+	hotPct := flag.Int("hot", 50, "counter workload: percent of increments on the hottest key")
 	flag.Parse()
+	switch *workload {
+	case "":
+	case "counter":
+		if flag.NArg() != 0 || *clients < 1 || *inflight < 1 || *counterKeys < 2 ||
+			*counterOps < 1 || *hotPct < 0 || *hotPct > 100 {
+			counterUsage()
+		}
+		if err := runCounterWorkload(counterConfig{
+			clients:  *clients,
+			inflight: *inflight,
+			keys:     *counterKeys,
+			ops:      *counterOps,
+			hotPct:   *hotPct,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperbench:", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hyperbench: unknown -workload %q (want counter)\n", *workload)
+		os.Exit(2)
+	}
 	switch hotness.Mode(*hotMode) {
 	case hotness.ModeBloom, hotness.ModeSketch:
 	default:

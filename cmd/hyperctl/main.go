@@ -19,6 +19,7 @@
 //	hyperctl get  <key>
 //	hyperctl mget <key>...
 //	hyperctl del  <key>
+//	hyperctl incr <key> [delta]    counter merge; delta defaults to 1
 //	hyperctl scan [-limit N] [start]
 //	hyperctl stats
 //	hyperctl repl status   replication role, log window, per-follower lag
@@ -58,7 +59,7 @@ func main() {
 		trace(os.Args[2:])
 	case "recover":
 		recoverDemo(os.Args[2:])
-	case "ping", "put", "get", "mget", "del", "scan", "stats", "badframe":
+	case "ping", "put", "get", "mget", "del", "incr", "scan", "stats", "badframe":
 		remote(os.Args[1], os.Args[2:])
 	case "ryw":
 		rywCmd(os.Args[2:])
@@ -125,7 +126,7 @@ func recoverDemo(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|mget|del|scan|stats|repl|ryw|badframe> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hyperctl <demo|devices|trace|recover|ping|put|get|mget|del|incr|scan|stats|repl|ryw|badframe> [flags]")
 	os.Exit(2)
 }
 

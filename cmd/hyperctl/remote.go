@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -91,6 +92,13 @@ func remote(cmd string, args []string) {
 			fatal(err)
 		}
 		fmt.Println("OK")
+	case "incr":
+		key, delta := incrArgs(rest, "hyperctl incr [-addr A] <key> [delta]")
+		v, err := c.Incr(key, delta)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(v)
 	case "mget":
 		if len(rest) == 0 {
 			fatalf("usage: hyperctl mget [-addr A] <key>...")
@@ -192,6 +200,14 @@ func sessionRemote(cmd string, primary *client.Client, policyName, followerList 
 		}
 		os.Stdout.Write(append(v, '\n'))
 		note(true)
+	case "incr":
+		key, delta := incrArgs(rest, "hyperctl incr [-addr A] [-policy P] <key> [delta]")
+		v, err := sess.Incr(key, delta)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(v)
+		note(false)
 	case "mget":
 		if len(rest) == 0 {
 			fatalf("usage: hyperctl mget [-addr A] [-policy P] [-followers A,B] [-token N] <key>...")
@@ -226,6 +242,22 @@ func sessionRemote(cmd string, primary *client.Client, policyName, followerList 
 	default:
 		fatalf("%s does not take session flags (-policy/-followers/-token)", cmd)
 	}
+}
+
+// incrArgs parses `incr <key> [delta]`; delta defaults to 1.
+func incrArgs(rest []string, usage string) ([]byte, int64) {
+	if len(rest) < 1 || len(rest) > 2 {
+		fatalf("usage: %s", usage)
+	}
+	delta := int64(1)
+	if len(rest) == 2 {
+		d, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			fatalf("bad delta %q: %v", rest[1], err)
+		}
+		delta = d
+	}
+	return []byte(rest[0]), delta
 }
 
 // printMGet renders MultiGet results: one line per key, absent keys marked.

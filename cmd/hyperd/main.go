@@ -65,6 +65,8 @@ func main() {
 		replSync    = flag.Bool("repl-sync", false, "writes wait for every attached follower's ack")
 		replEntries = flag.Int("repl-log-entries", 0, "retained replication log entries (0 = default)")
 		readWait    = flag.Duration("read-wait", 0, "max wait for a session read's token before NOT_READY (0 = default)")
+		connRate    = flag.Float64("conn-rate", 0, "per-connection request rate limit in ops/sec (0 = unlimited)")
+		connBurst   = flag.Int("conn-burst", 0, "per-connection rate-limit burst (0 = max(1, conn-rate))")
 		hotMode     = flag.String("hotness", "bloom", "hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory at huge key counts)")
 	)
 	flag.Parse()
@@ -124,6 +126,8 @@ func main() {
 		CoalesceWait: *linger,
 		MaxScanLimit: *maxScan,
 		ReadWait:     *readWait,
+		ConnRate:     *connRate,
+		ConnBurst:    *connBurst,
 		Logf:         logf,
 	}
 	if rlog != nil {

@@ -45,6 +45,10 @@ var ErrClosed = core.ErrClosed
 // ErrFollower is returned by foreground writes on a follower-mode DB.
 var ErrFollower = core.ErrFollower
 
+// ErrNotCounter is returned by Incr (and merge batch ops) when the key's
+// existing value is not a canonical 8-byte counter.
+var ErrNotCounter = core.ErrNotCounter
+
 // DB is a HyperDB instance over a pair of simulated devices.
 type DB struct {
 	inner *core.DB
@@ -96,8 +100,33 @@ func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
-// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
-// set.
+// Incr atomically adds delta to the counter at key and returns the
+// post-merge value. Missing and deleted keys count from 0; an existing
+// non-counter value fails with ErrNotCounter; results saturate at the
+// int64 range. Counters are stored as canonical 8-byte little-endian
+// values readable through Get.
+func (db *DB) Incr(key []byte, delta int64) (int64, error) { return db.inner.Incr(key, delta) }
+
+// CounterLen is the length of a canonical counter encoding.
+const CounterLen = core.CounterLen
+
+// EncodeCounter renders v in the canonical 8-byte little-endian counter
+// encoding merges operate on.
+func EncodeCounter(v int64) []byte { return core.EncodeCounter(v) }
+
+// DecodeCounter parses a canonical counter value; any other length fails
+// with ErrNotCounter.
+func DecodeCounter(b []byte) (int64, error) { return core.DecodeCounter(b) }
+
+// SatAdd adds two deltas with saturation at the int64 range — the engine's
+// merge arithmetic, exported so serving layers folding deltas commit
+// exactly what the engine would.
+func SatAdd(a, b int64) int64 { return core.SatAdd(a, b) }
+
+// BatchOp is one write in a WriteBatch: a put, a delete when Delete is
+// set, or a counter merge when Merge is set (Delta is applied to the key's
+// current value; after a successful batch the op's Value holds the
+// post-merge 8-byte encoding).
 type BatchOp = core.BatchOp
 
 // WriteBatch applies the ops with batched amortisation: keys are grouped per

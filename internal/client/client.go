@@ -24,6 +24,10 @@ var ErrNotFound = errors.New("client: not found")
 // ErrClosed is returned by calls on a closed Client.
 var ErrClosed = errors.New("client: closed")
 
+// ErrRateLimited is returned when the server's per-connection admission
+// control refused the request; the caller may back off and retry.
+var ErrRateLimited = errors.New("client: rate limited")
+
 // Options configures Dial.
 type Options struct {
 	// Addr is the hyperd TCP address. Required.
@@ -188,8 +192,11 @@ func (c *Client) callOK(op wire.Op, payload []byte) ([]byte, error) {
 }
 
 func statusErr(f wire.Frame) error {
-	if f.Status == wire.StatusNotFound {
+	switch f.Status {
+	case wire.StatusNotFound:
 		return ErrNotFound
+	case wire.StatusRateLimited:
+		return ErrRateLimited
 	}
 	return fmt.Errorf("client: %s: %s (%s)", f.Op, f.Status, f.Payload)
 }
@@ -215,6 +222,22 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 func (c *Client) Delete(key []byte) error {
 	_, err := c.callOK(wire.OpDel, wire.AppendKeyReq(nil, key))
 	return err
+}
+
+// Incr atomically adds delta to the counter at key and returns the
+// post-merge value. The server folds pipelined deltas to the same key into
+// one engine write; missing keys count from 0, non-counter values fail,
+// and results saturate at the int64 range.
+func (c *Client) Incr(key []byte, delta int64) (int64, error) {
+	p, err := c.callOK(wire.OpIncr, wire.AppendIncrReq(nil, key, delta))
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeIncrResp(p)
+	if err != nil {
+		return 0, fmt.Errorf("client: bad INCR response: %w", err)
+	}
+	return v, nil
 }
 
 // WriteBatch applies ops as one request; the server folds it — along with

@@ -142,6 +142,18 @@ func (s *Session) Delete(key []byte) error {
 	return nil
 }
 
+// Incr adds delta to the counter at key through the primary, returning the
+// post-merge value and updating the session token so a follower read issued
+// next observes the new count.
+func (s *Session) Incr(key []byte, delta int64) (int64, error) {
+	v, seq, err := s.primary.IncrSeq(key, delta)
+	if err != nil {
+		return 0, err
+	}
+	s.observe(seq)
+	return v, nil
+}
+
 // WriteBatch applies ops through the primary, updating the session token.
 func (s *Session) WriteBatch(ops []wire.BatchOp) error {
 	seq, err := s.primary.WriteBatchSeq(ops)
@@ -299,6 +311,20 @@ func (c *Client) WriteBatchSeq(ops []wire.BatchOp) (uint64, error) {
 		return 0, err
 	}
 	return decodeSeq(p)
+}
+
+// IncrSeq is Incr returning the post-merge value and the committed
+// sequence (the merge's session token).
+func (c *Client) IncrSeq(key []byte, delta int64) (int64, uint64, error) {
+	p, err := c.callOK(wire.OpIncrV2, wire.AppendIncrReq(nil, key, delta))
+	if err != nil {
+		return 0, 0, err
+	}
+	seq, v, err := wire.DecodeIncrV2Resp(p)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: bad INCR2 response: %w", err)
+	}
+	return v, seq, nil
 }
 
 // GetSeq is the session read: the server answers only once its applied

@@ -107,8 +107,15 @@ const (
 	stepGet             // read a private key
 	stepMGet            // read three private keys in one MGET
 	stepScan            // scan the session's private prefix
-	stepSharedPut       // session 0 bumps a shared key
-	stepSharedGet       // read a shared key (monotonic-reads probe)
+	// stepIncr merges a delta into a session-private counter and immediately
+	// reads it back through the routing policy — the read-your-increments
+	// analogue of stepPutGet: the replica cannot have applied the merge yet
+	// unless the gate made it wait, and the value must equal the session's
+	// exact delta sum.
+	stepIncr
+	stepCtrGet    // read a private counter (must decode to the exact sum)
+	stepSharedPut // session 0 bumps a shared key
+	stepSharedGet // read a shared key (monotonic-reads probe)
 )
 
 // step is one schedule element. Versions are derived deterministically at
@@ -132,6 +139,10 @@ func (s step) String() string {
 		return fmt.Sprintf("s%d:mget(k%d..)", s.sess, s.key)
 	case stepScan:
 		return fmt.Sprintf("s%d:scan", s.sess)
+	case stepIncr:
+		return fmt.Sprintf("s%d:incr(q%d)", s.sess, s.key)
+	case stepCtrGet:
+		return fmt.Sprintf("s%d:ctrget(q%d)", s.sess, s.key)
 	case stepSharedPut:
 		return fmt.Sprintf("s%d:shput(k%d)", s.sess, s.key)
 	default:
@@ -157,17 +168,21 @@ func GenSchedule(rng *rand.Rand, cfg Config) []step {
 	for i := 0; i < cfg.Steps; i++ {
 		st := step{sess: rng.Intn(cfg.Sessions), key: rng.Intn(cfg.Keys)}
 		switch r := rng.Float64(); {
-		case r < 0.30:
+		case r < 0.26:
 			st.kind = stepPutGet
-		case r < 0.42:
+		case r < 0.36:
 			st.kind = stepPut
-		case r < 0.62:
+		case r < 0.52:
 			st.kind = stepGet
-		case r < 0.72:
+		case r < 0.60:
 			st.kind = stepMGet
-		case r < 0.78:
+		case r < 0.66:
 			st.kind = stepScan
-		case r < 0.88:
+		case r < 0.76:
+			st.kind = stepIncr
+		case r < 0.84:
+			st.kind = stepCtrGet
+		case r < 0.92:
 			st.kind = stepSharedPut
 			st.sess = 0
 		default:
@@ -379,8 +394,15 @@ func runSession(id int, sess *client.Session, steps []step, cfg Config) string {
 	own := make([]int, cfg.Keys)    // last acknowledged version per private key
 	shared := make([]int, cfg.Keys) // session 0's shared write counters
 	obs := make([]int, cfg.Keys)    // highest observed version per shared key
+	ctr := make([]int64, cfg.Keys)  // exact acked delta sum per private counter
+	ctrLive := make([]bool, cfg.Keys)
+	var nIncr int64 // drives deterministic delta derivation
 
 	ownKey := func(k int) []byte { return []byte(fmt.Sprintf("s%02d-k%03d", id, k)) }
+	// Counters use 'q' so they sort after the 'k' keyspace: stepScan's
+	// limit-bounded scan of the session prefix still sees every private
+	// k-key first.
+	ctrKey := func(k int) []byte { return []byte(fmt.Sprintf("s%02d-q%03d", id, k)) }
 	sharedKey := func(k int) []byte { return []byte(fmt.Sprintf("shared-k%03d", k)) }
 	val := func(v int) []byte { return []byte(fmt.Sprintf("%08d", v)) }
 	bad := func(si int, format string, args ...any) string {
@@ -410,6 +432,29 @@ func runSession(id int, sess *client.Session, steps []step, cfg Config) string {
 			}
 			if got != want {
 				return bad(si, "read-your-writes violation: key %s version %d, last write was version %d", ownKey(k), got, want)
+			}
+		}
+		return ""
+	}
+
+	// checkCtr verifies read-your-increments for one private counter: the
+	// session is the only writer, so the read must decode to its exact
+	// acknowledged delta sum.
+	checkCtr := func(si, k int, v []byte, err error) string {
+		switch {
+		case errors.Is(err, client.ErrNotFound):
+			if ctrLive[k] {
+				return bad(si, "read-your-increments violation: counter %s missing, acked sum is %d", ctrKey(k), ctr[k])
+			}
+		case err != nil:
+			return bad(si, "counter read failed: %v", err)
+		default:
+			got, derr := hyperdb.DecodeCounter(v)
+			if derr != nil {
+				return bad(si, "counter %s holds a non-counter value (%dB)", ctrKey(k), len(v))
+			}
+			if got != ctr[k] {
+				return bad(si, "read-your-increments violation: counter %s = %d, acked sum is %d", ctrKey(k), got, ctr[k])
 			}
 		}
 		return ""
@@ -481,6 +526,31 @@ func runSession(id int, sess *client.Session, steps []step, cfg Config) string {
 						return bad(si, "read-your-writes violation: scan key %s version %q, last write was version %d", ownKey(k), v, own[k])
 					}
 				}
+			}
+		case stepIncr:
+			// Deltas derive from a per-session counter so a shrunk schedule
+			// replays the same values; they include negatives and zero.
+			nIncr++
+			d := nIncr%7 - 2
+			want := ctr[st.key] + d
+			v, err := sess.Incr(ctrKey(st.key), d)
+			if err != nil {
+				return bad(si, "incr failed: %v", err)
+			}
+			if v != want {
+				return bad(si, "incr violation: counter %s returned %d, session model %d", ctrKey(st.key), v, want)
+			}
+			ctr[st.key], ctrLive[st.key] = want, true
+			// Immediate policy-routed read-back: the merge just committed on
+			// the primary, so a replica serving this read proves the gate.
+			rv, rerr := sess.Get(ctrKey(st.key))
+			if viol := checkCtr(si, st.key, rv, rerr); viol != "" {
+				return viol
+			}
+		case stepCtrGet:
+			v, err := sess.Get(ctrKey(st.key))
+			if viol := checkCtr(si, st.key, v, err); viol != "" {
+				return viol
 			}
 		case stepSharedPut:
 			shared[st.key]++

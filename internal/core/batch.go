@@ -9,12 +9,19 @@ import (
 	"hyperdb/internal/zone"
 )
 
-// BatchOp is one write in a WriteBatch: a put, or a delete when Delete is
-// set (Value is ignored for deletes).
+// BatchOp is one write in a WriteBatch: a put, a delete when Delete is set
+// (Value is ignored), or a counter merge when Merge is set — Delta is added
+// to the key's current counter value (missing key = 0, non-counter value =
+// ErrNotCounter) and the op commits the post-merge value. After a
+// successful WriteBatchSeq the engine has rewritten each merge op's Value
+// to its canonical 8-byte post-merge encoding, so callers can read results
+// out of their own slice. Merge and Delete are mutually exclusive.
 type BatchOp struct {
 	Key    []byte
 	Value  []byte
 	Delete bool
+	Merge  bool
+	Delta  int64
 }
 
 // WriteBatch applies ops with batch-grouped amortisation: keys are grouped
@@ -52,6 +59,9 @@ func (db *DB) WriteBatchSeq(ops []BatchOp) (uint64, error) {
 	for i := range ops {
 		if len(ops[i].Key) == 0 {
 			return 0, fmt.Errorf("hyperdb: empty key at batch index %d", i)
+		}
+		if ops[i].Merge && ops[i].Delete {
+			return 0, fmt.Errorf("hyperdb: merge+delete op at batch index %d", i)
 		}
 	}
 
@@ -93,40 +103,69 @@ func (db *DB) applyAt(ops []BatchOp, seqOf func(int) uint64) error {
 	}
 
 	for p, idxs := range groups {
-		keyList := make([][]byte, len(idxs))
-		for gi, i := range idxs {
-			keyList[gi] = ops[i].Key
-		}
-		hot := make([]bool, len(idxs))
-		p.tracker.RecordBatch(keyList, hot)
-
-		zops := make([]zone.BatchOp, len(idxs))
-		for gi, i := range idxs {
-			zops[gi] = zone.BatchOp{
-				Key:    ops[i].Key,
-				Value:  ops[i].Value,
-				Seq:    seqOf(i),
-				Hot:    hot[gi],
-				Delete: ops[i].Delete,
-			}
-		}
-		rem := zops
-		applied, err := p.zones.ApplyBatch(rem)
-		rem = rem[applied:]
-		if errors.Is(err, device.ErrNoSpace) {
-			// Stall: demote synchronously and resume from the failed op,
-			// keeping the already-allocated sequences.
-			err = db.putStalled(p, func() error {
-				n, rerr := p.zones.ApplyBatch(rem)
-				rem = rem[n:]
-				return rerr
-			})
-		}
-		if err != nil {
+		if err := db.applyGroup(p, ops, idxs, seqOf); err != nil {
 			return err
 		}
-		db.maybeTriggerMigration(p)
 	}
+	return nil
+}
+
+// applyGroup applies one partition's slice of a batch. Groups containing
+// merge ops first resolve them to plain puts under the partition's merge
+// lock, held across the zone apply so the read-modify-write cannot lose a
+// concurrently merging batch's update. (A plain Put racing a merge to the
+// same key through the direct engine API can still be absorbed — the
+// served path's single drainer serialises all writes, so this only
+// concerns embedded users mixing both on one key.)
+func (db *DB) applyGroup(p *partition, ops []BatchOp, idxs []int, seqOf func(int) uint64) error {
+	hasMerge := false
+	for _, i := range idxs {
+		if ops[i].Merge {
+			hasMerge = true
+			break
+		}
+	}
+	if hasMerge {
+		p.mergeMu.Lock()
+		defer p.mergeMu.Unlock()
+		if err := db.resolveMerges(p, ops, idxs); err != nil {
+			return err
+		}
+	}
+
+	keyList := make([][]byte, len(idxs))
+	for gi, i := range idxs {
+		keyList[gi] = ops[i].Key
+	}
+	hot := make([]bool, len(idxs))
+	p.tracker.RecordBatch(keyList, hot)
+
+	zops := make([]zone.BatchOp, len(idxs))
+	for gi, i := range idxs {
+		zops[gi] = zone.BatchOp{
+			Key:    ops[i].Key,
+			Value:  ops[i].Value,
+			Seq:    seqOf(i),
+			Hot:    hot[gi],
+			Delete: ops[i].Delete,
+		}
+	}
+	rem := zops
+	applied, err := p.zones.ApplyBatch(rem)
+	rem = rem[applied:]
+	if errors.Is(err, device.ErrNoSpace) {
+		// Stall: demote synchronously and resume from the failed op,
+		// keeping the already-allocated sequences.
+		err = db.putStalled(p, func() error {
+			n, rerr := p.zones.ApplyBatch(rem)
+			rem = rem[n:]
+			return rerr
+		})
+	}
+	if err != nil {
+		return err
+	}
+	db.maybeTriggerMigration(p)
 	return nil
 }
 

@@ -43,6 +43,11 @@ type partition struct {
 	tree    *lsm.Tree
 	tracker *hotness.Tracker
 
+	// mergeMu serialises merge resolution (read-modify-write of counter
+	// state) against other merging batches on this partition. Taken only
+	// for batches that contain merge ops.
+	mergeMu sync.Mutex
+
 	promoCh chan *promotion
 	// promoSlots is the queue's free-slot semaphore: enqueuePromotion
 	// reserves a slot *before* copying the object, so overflow drops cost
@@ -90,6 +95,9 @@ type DB struct {
 	readMu  sync.Mutex
 	readCh  chan struct{}
 	applyRW sync.RWMutex
+
+	// mergeOps counts merge ops resolved through the batch path.
+	mergeOps atomic.Uint64
 
 	closed    atomic.Bool
 	closeOnce sync.Once

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"hyperdb/internal/device"
+)
+
+func TestIncrBasic(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(101)
+	v, err := db.Incr(k, 5)
+	if err != nil || v != 5 {
+		t.Fatalf("first incr: %d %v, want 5", v, err)
+	}
+	v, err = db.Incr(k, -2)
+	if err != nil || v != 3 {
+		t.Fatalf("second incr: %d %v, want 3", v, err)
+	}
+	// The stored value is the canonical 8-byte encoding, readable via Get.
+	raw, err := db.Get(k)
+	if err != nil || !bytes.Equal(raw, EncodeCounter(3)) {
+		t.Fatalf("get: %x %v, want %x", raw, err, EncodeCounter(3))
+	}
+	// And via MultiGet.
+	vals, err := db.MultiGet([][]byte{k})
+	if err != nil || len(vals) != 1 || !bytes.Equal(vals[0], EncodeCounter(3)) {
+		t.Fatalf("multiget: %x %v", vals, err)
+	}
+	if got := db.Stats().MergeOps; got != 2 {
+		t.Fatalf("MergeOps = %d, want 2", got)
+	}
+}
+
+func TestIncrAfterDeleteCountsFromZero(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(102)
+	if _, err := db.Incr(k, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Incr(k, 1); err != nil || v != 1 {
+		t.Fatalf("incr after delete: %d %v, want 1", v, err)
+	}
+}
+
+func TestIncrNonCounterValue(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(103)
+	if err := db.Put(k, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Incr(k, 1); !errors.Is(err, ErrNotCounter) {
+		t.Fatalf("incr on text value: %v, want ErrNotCounter", err)
+	}
+	// The failed merge must not have clobbered the value.
+	if v, err := db.Get(k); err != nil || string(v) != "hello" {
+		t.Fatalf("value after failed merge: %q %v", v, err)
+	}
+}
+
+func TestMergeBatchInOrderResolution(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(104)
+	// put → merge sees the put; merge → merge chains; delete → merge
+	// restarts from zero; merge → put is overwritten by the put.
+	ops := []BatchOp{
+		{Key: k, Value: EncodeCounter(100)},
+		{Key: k, Merge: true, Delta: 10}, // 110
+		{Key: k, Merge: true, Delta: -1}, // 109
+		{Key: k, Delete: true},
+		{Key: k, Merge: true, Delta: 7}, // 7
+	}
+	if _, err := db.WriteBatchSeq(ops); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Incr(k, 0); err != nil || v != 7 {
+		t.Fatalf("final value: %d %v, want 7", v, err)
+	}
+	// The engine rewrote each merge op's Value to its post-merge encoding.
+	if !bytes.Equal(ops[1].Value, EncodeCounter(110)) || !bytes.Equal(ops[4].Value, EncodeCounter(7)) {
+		t.Fatalf("resolved values not written back: %x %x", ops[1].Value, ops[4].Value)
+	}
+}
+
+func TestMergeDeleteExclusive(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	if _, err := db.WriteBatchSeq([]BatchOp{{Key: k8(1), Merge: true, Delete: true}}); err == nil {
+		t.Fatal("merge+delete op accepted")
+	}
+}
+
+func TestIncrSaturation(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(105)
+	if v, err := db.Incr(k, math.MaxInt64); err != nil || v != math.MaxInt64 {
+		t.Fatalf("max: %d %v", v, err)
+	}
+	if v, err := db.Incr(k, 1); err != nil || v != math.MaxInt64 {
+		t.Fatalf("saturating add above max: %d %v", v, err)
+	}
+	if v, err := db.Incr(k, math.MinInt64); err != nil || v != -1 {
+		t.Fatalf("back down: %d %v", v, err)
+	}
+	k2 := k8(106)
+	if v, err := db.Incr(k2, math.MinInt64); err != nil || v != math.MinInt64 {
+		t.Fatalf("min: %d %v", v, err)
+	}
+	if v, err := db.Incr(k2, -1); err != nil || v != math.MinInt64 {
+		t.Fatalf("saturating add below min: %d %v", v, err)
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 3},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		{math.MinInt64, math.MinInt64, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, -1},
+		{-5, 3, -2},
+	}
+	for _, c := range cases {
+		if got := SatAdd(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIncrResolvesLSMBase(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	k := k8(107)
+	if _, err := db.Incr(k, 77); err != nil {
+		t.Fatal(err)
+	}
+	// Demote the key's zone so the counter lives only in the capacity tier,
+	// then merge against the LSM base.
+	p := db.partFor(k)
+	for {
+		z := p.zones.PickDemotionVictim()
+		if z == nil {
+			break
+		}
+		if err := db.demoteZone(p, z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _, _, found, err := p.zones.Get(k, device.Fg); err != nil || found {
+		t.Fatalf("key still in zone tier: %x found=%v err=%v", v, found, err)
+	}
+	if v, err := db.Incr(k, 3); err != nil || v != 80 {
+		t.Fatalf("incr against LSM base: %d %v, want 80", v, err)
+	}
+}
+
+func TestIncrConcurrentExact(t *testing.T) {
+	db := openCore(t, 64<<20, false)
+	const goroutines, each = 8, 200
+	k := k8(108)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := db.Incr(k, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, err := db.Incr(k, 0); err != nil || v != goroutines*each {
+		t.Fatalf("final counter: %d %v, want %d", v, err, goroutines*each)
+	}
+}
+
+func TestFollowerAppliesMergeDeltas(t *testing.T) {
+	// A follower receiving unresolved deltas must converge to the same
+	// counter values as the primary that folded them.
+	fol := openCoreWith(t, func(o *Options) { o.Follower = true })
+	k := k8(109)
+	if err := fol.ApplyReplicated([]BatchOp{{Key: k, Merge: true, Delta: 5}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.ApplyReplicated([]BatchOp{
+		{Key: k, Merge: true, Delta: -2},
+		{Key: k8(110), Value: []byte("x")},
+		{Key: k, Merge: true, Delta: 100},
+	}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fol.Get(k); err != nil || !bytes.Equal(v, EncodeCounter(103)) {
+		t.Fatalf("follower counter: %x %v, want %x", v, err, EncodeCounter(103))
+	}
+}

@@ -39,6 +39,8 @@ type Stats struct {
 	CacheMisses uint64
 	// Promotions dropped on queue overflow.
 	PromotionsDropped uint64
+	// MergeOps counts counter merges resolved through the batch path.
+	MergeOps uint64
 	// SpaceAmp is file bytes over live bytes in the capacity tier.
 	SpaceAmp float64
 	// Trackers holds each partition's hotness-discriminator health snapshot
@@ -56,6 +58,7 @@ func (db *DB) Stats() Stats {
 		SATAUsed:     db.opts.SATA.Used(),
 	}
 	s.CacheHits, s.CacheMisses = db.cache.Stats()
+	s.MergeOps = db.mergeOps.Load()
 
 	maxLevels := db.opts.MaxLevels
 	s.Levels = make([]LevelStats, maxLevels)
@@ -116,8 +119,8 @@ func (s Stats) String() string {
 			l.Level, l.Tables, stats.FormatBytes(uint64(l.LiveBytes)), stats.FormatBytes(uint64(l.FileBytes)),
 			stats.FormatBytes(l.CompactReads), stats.FormatBytes(l.CompactWrite), l.Compactions, l.FullRewrites)
 	}
-	fmt.Fprintf(&b, "cache: hits=%d misses=%d  spaceAmp=%.2f promoDropped=%d\n",
-		s.CacheHits, s.CacheMisses, s.SpaceAmp, s.PromotionsDropped)
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d  spaceAmp=%.2f promoDropped=%d mergeOps=%d\n",
+		s.CacheHits, s.CacheMisses, s.SpaceAmp, s.PromotionsDropped, s.MergeOps)
 	if len(s.Trackers) > 0 {
 		var agg hotness.Stats
 		agg.Mode = s.Trackers[0].Mode

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"hyperdb/internal/core"
 	"hyperdb/internal/device"
 )
 
@@ -36,14 +37,16 @@ const (
 	opDelete
 	opGet
 	opStep
+	opIncr
 )
 
-// op is one trace element. Values are materialised at generation time so a
-// shrunk trace replays byte-identically.
+// op is one trace element. Values and deltas are materialised at generation
+// time so a shrunk trace replays byte-identically.
 type op struct {
 	kind  opKind
 	key   string
 	value string
+	delta int64 // opIncr
 }
 
 func (o op) String() string {
@@ -54,6 +57,8 @@ func (o op) String() string {
 		return fmt.Sprintf("del(%s)", o.key)
 	case opGet:
 		return fmt.Sprintf("get(%s)", o.key)
+	case opIncr:
+		return fmt.Sprintf("incr(%s,%+d)", o.key, o.delta)
 	default:
 		return "step"
 	}
@@ -91,6 +96,45 @@ func genTrace(rng *rand.Rand, nKeys, nOps int) []op {
 	return ops
 }
 
+// genMergeTrace builds a merge-heavy workload: counter increments dominate
+// (hot-skewed so same-key folds happen in every drain window), with enough
+// puts, deletes, reads and background steps interleaved that crashes land
+// inside flush/migration/compaction. Counters live on their own "c" keyspace
+// so a merge never collides with an opaque put value; deletes and reads hit
+// both keyspaces, covering the tombstone-means-base-0 path.
+func genMergeTrace(rng *rand.Rand, nKeys, nCtrs, nOps int) []op {
+	pick := func() string {
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("c%03d", rng.Intn(nCtrs))
+		}
+		return fmt.Sprintf("k%03d", rng.Intn(nKeys))
+	}
+	ops := make([]op, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.50:
+			c := fmt.Sprintf("c%03d", rng.Intn(nCtrs))
+			if rng.Intn(2) == 0 {
+				c = "c000" // hot counter: half the increments collide
+			}
+			ops = append(ops, op{kind: opIncr, key: c, delta: int64(rng.Intn(9) - 2)})
+		case r < 0.64:
+			b := make([]byte, 8+rng.Intn(160))
+			for j := range b {
+				b[j] = 'a' + byte(rng.Intn(26))
+			}
+			ops = append(ops, op{kind: opPut, key: fmt.Sprintf("k%03d", rng.Intn(nKeys)), value: string(b)})
+		case r < 0.72:
+			ops = append(ops, op{kind: opDelete, key: pick()})
+		case r < 0.90:
+			ops = append(ops, op{kind: opGet, key: pick()})
+		default:
+			ops = append(ops, op{kind: opStep})
+		}
+	}
+	return ops
+}
+
 // kstate is the model's view of one key.
 type kstate struct {
 	present bool
@@ -113,6 +157,18 @@ func (m model) at(k string) *kstate {
 		m[k] = s
 	}
 	return s
+}
+
+// counterBase is the model's pre-merge counter value for the key: absent or
+// deleted means 0, otherwise the decoded current value. ok is false when the
+// key holds a non-counter value — the trace generator keeps counter and
+// opaque keyspaces disjoint, so that is a harness bug, not an engine one.
+func (s *kstate) counterBase() (int64, bool) {
+	if !s.present {
+		return 0, true
+	}
+	v, err := core.DecodeCounter([]byte(s.cur))
+	return v, err == nil
 }
 
 // allowed reports whether an observed post-crash state is legal for the key.
@@ -187,6 +243,33 @@ func runCycle(c cycleConfig) (violation string, crashed bool) {
 				// An injected fault surfaced through a read-path write (e.g. a
 				// cache admission); treat it as the crash point. Reads do not
 				// change logical state, so no key becomes uncertain.
+				crashed = true
+			}
+		case opIncr:
+			s := m.at(o.key)
+			base, ok := s.counterBase()
+			if !ok {
+				return fmt.Sprintf("trace bug: incr target %s holds a non-counter model value", o.key), crashed
+			}
+			want := core.SatAdd(base, o.delta)
+			v, err := eng.Incr([]byte(o.key), o.delta)
+			switch {
+			case err == nil:
+				if v != want {
+					return fmt.Sprintf("live incr op %d: %s = %d, model %d", i, o.key, v, want), crashed
+				}
+				enc := string(core.EncodeCounter(want))
+				s.present, s.cur = true, enc
+				s.history[enc] = true
+			case errors.Is(err, ErrNotCounter):
+				// Never legal here: the keyspaces are disjoint, so a
+				// non-counter base means the engine corrupted the value.
+				return fmt.Sprintf("live incr op %d: %s rejected as non-counter: %v", i, o.key, err), crashed
+			default:
+				// Unacked: the counter may hold the old value, the post-merge
+				// value (the merge resolves to a put of that encoding), or —
+				// for a never-persisted key — nothing.
+				s.uncertain, s.pendPut, s.pendVal = true, true, string(core.EncodeCounter(want))
 				crashed = true
 			}
 		case opStep:

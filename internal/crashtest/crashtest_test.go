@@ -46,6 +46,46 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryMergeHeavy runs seeded crash cycles under a merge-heavy
+// workload: half the ops are counter increments skewed onto one hot key, so
+// crashes cut into the merge resolve/fold path and its WAL records. After
+// recovery every acknowledged counter must decode to the exact acked sum
+// (the uncertain window covers only the single in-flight increment).
+func TestCrashRecoveryMergeHeavy(t *testing.T) {
+	const cycles = 40
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			midCrash := 0
+			for i := 0; i < cycles; i++ {
+				seed := int64(8200 + 41*i)
+				rng := rand.New(rand.NewSource(seed))
+				c := cycleConfig{
+					factory:  f,
+					seed:     seed,
+					trace:    genMergeTrace(rng, 24, 8, 160),
+					failNVMe: 1 + rng.Int63n(120),
+					failSATA: 1 + rng.Int63n(60),
+					torn:     i%2 == 0,
+				}
+				v, crashed := runCycle(c)
+				if v != "" {
+					shrunk := shrink(c, 120)
+					t.Fatalf("cycle %d seed=%d failNVMe=%d failSATA=%d torn=%v: %s\nshrunk trace (%d ops): %s",
+						i, seed, c.failNVMe, c.failSATA, c.torn, v, len(shrunk), formatTrace(shrunk))
+				}
+				if crashed {
+					midCrash++
+				}
+			}
+			if midCrash < cycles/4 {
+				t.Fatalf("only %d/%d cycles crashed mid-operation; fault plans are not firing", midCrash, cycles)
+			}
+			t.Logf("%d/%d cycles crashed mid-operation", midCrash, cycles)
+		})
+	}
+}
+
 // TestIdleCrash power-cuts without any injected fault: everything
 // acknowledged before an idle crash must survive.
 func TestIdleCrash(t *testing.T) {

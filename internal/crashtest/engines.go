@@ -21,6 +21,10 @@ type Config struct {
 // engine's sentinel onto it.
 var ErrNotFound = errors.New("crashtest: not found")
 
+// ErrNotCounter is the harness's uniform counter-type error: an Incr landed
+// on a value that is not a canonical 8-byte counter.
+var ErrNotCounter = errors.New("crashtest: not a counter")
+
 // KV is one scan result.
 type KV struct {
 	Key   []byte
@@ -34,9 +38,34 @@ type Engine interface {
 	Put(key, value []byte) error
 	Delete(key []byte) error
 	Get(key []byte) ([]byte, error)
+	// Incr adds delta to the counter at key (missing = base 0) and returns
+	// the post-merge value. HyperDB routes this through its merge operator;
+	// baselines emulate it with a read-modify-write.
+	Incr(key []byte, delta int64) (int64, error)
 	Scan(start []byte, limit int) ([]KV, error)
 	Step() error
 	Close() error
+}
+
+// rmwIncr emulates a merge for engines without one: read the counter, add
+// saturating, write the new encoding back. Not atomic, which is fine — the
+// harness drives each engine single-threaded.
+func rmwIncr(get func([]byte) ([]byte, error), put func([]byte, []byte) error, key []byte, delta int64) (int64, error) {
+	var base int64
+	switch cur, err := get(key); {
+	case err == nil:
+		if base, err = core.DecodeCounter(cur); err != nil {
+			return 0, ErrNotCounter
+		}
+	case errors.Is(err, ErrNotFound):
+	default:
+		return 0, err
+	}
+	v := core.SatAdd(base, delta)
+	if err := put(key, core.EncodeCounter(v)); err != nil {
+		return 0, err
+	}
+	return v, nil
 }
 
 // Factory builds an engine fresh (Open) or from surviving device state
@@ -121,6 +150,13 @@ func (e *hyperEngine) Get(k []byte) ([]byte, error) {
 	}
 	return v, err
 }
+func (e *hyperEngine) Incr(k []byte, d int64) (int64, error) {
+	v, err := e.db.Incr(k, d)
+	if errors.Is(err, core.ErrNotCounter) {
+		return 0, ErrNotCounter
+	}
+	return v, err
+}
 func (e *hyperEngine) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := e.db.Scan(start, limit)
 	out := make([]KV, len(kvs))
@@ -167,6 +203,7 @@ func (e *rocksEngine) Get(k []byte) ([]byte, error) {
 	}
 	return v, err
 }
+func (e *rocksEngine) Incr(k []byte, d int64) (int64, error) { return rmwIncr(e.Get, e.Put, k, d) }
 func (e *rocksEngine) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := e.db.Scan(start, limit)
 	out := make([]KV, len(kvs))
@@ -211,6 +248,7 @@ func (e *prismEngine) Get(k []byte) ([]byte, error) {
 	}
 	return v, err
 }
+func (e *prismEngine) Incr(k []byte, d int64) (int64, error) { return rmwIncr(e.Get, e.Put, k, d) }
 func (e *prismEngine) Scan(start []byte, limit int) ([]KV, error) {
 	kvs, err := e.db.Scan(start, limit)
 	out := make([]KV, len(kvs))

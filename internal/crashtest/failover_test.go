@@ -117,6 +117,24 @@ func failoverCycle(seed int64, trace []op, failNVMe, failSATA int64, torn bool) 
 			default:
 				crashed = true
 			}
+		case opIncr:
+			s := m.at(o.key)
+			base, ok := s.counterBase()
+			if !ok {
+				return fmt.Sprintf("trace bug: incr target %s holds a non-counter model value", o.key), crashed
+			}
+			want := core.SatAdd(base, o.delta)
+			v, err := pdb.Incr([]byte(o.key), o.delta)
+			if err != nil {
+				// Unacked and aborted before shipping: like a failed put, the
+				// follower keeps the previous acknowledged counter exactly.
+				crashed = true
+			} else {
+				if v != want {
+					return fmt.Sprintf("live incr op %d: %s = %d, model %d", i, o.key, v, want), crashed
+				}
+				s.present, s.cur = true, string(core.EncodeCounter(want))
+			}
 		case opStep:
 			if err := step(); err != nil {
 				crashed = true
@@ -216,6 +234,35 @@ func TestFailoverPromotedFollowerHoldsAckedState(t *testing.T) {
 		seed := int64(5100 + 37*i)
 		rng := rand.New(rand.NewSource(seed))
 		trace := genTrace(rng, 48, 160)
+		failNVMe := 1 + rng.Int63n(120)
+		failSATA := 1 + rng.Int63n(60)
+		v, crashed := failoverCycle(seed, trace, failNVMe, failSATA, i%2 == 0)
+		if v != "" {
+			t.Fatalf("cycle %d seed=%d failNVMe=%d failSATA=%d: %s", i, seed, failNVMe, failSATA, v)
+		}
+		if crashed {
+			midCrash++
+		}
+	}
+	if midCrash < cycles/4 {
+		t.Fatalf("only %d/%d cycles crashed mid-load; fault plans are not firing", midCrash, cycles)
+	}
+	t.Logf("%d/%d cycles crashed mid-load", midCrash, cycles)
+}
+
+// TestFailoverMergeHeavyExactCounters kills a sync-ack primary mid
+// merge-heavy load and promotes its follower: the promoted node's counters
+// must equal the acked model EXACTLY. This is the end-to-end check that
+// unresolved deltas ship through the replication log and resolve to the
+// same values on the follower — a folded or reordered delta would surface
+// here as a counter drift.
+func TestFailoverMergeHeavyExactCounters(t *testing.T) {
+	const cycles = 16
+	midCrash := 0
+	for i := 0; i < cycles; i++ {
+		seed := int64(6300 + 53*i)
+		rng := rand.New(rand.NewSource(seed))
+		trace := genMergeTrace(rng, 24, 8, 160)
 		failNVMe := 1 + rng.Int63n(120)
 		failSATA := 1 + rng.Int63n(60)
 		v, crashed := failoverCycle(seed, trace, failNVMe, failSATA, i%2 == 0)

@@ -89,6 +89,13 @@ type Log struct {
 	// change is the broadcast primitive: closed and replaced whenever ship
 	// or ack progress is possible, so waiters can select on it.
 	change chan struct{}
+
+	// logBytes accumulates the encoded size of every appended entry — the
+	// uvarint base + batch-op frame each entry occupies on the wire and in
+	// the persisted log. This is the deployment's foreground WAL-bytes
+	// figure: the merge bench reads it to show delta folding shrinking the
+	// op-log proportionally.
+	logBytes atomic.Uint64
 }
 
 // NewLog builds an empty log. A primary reopened over existing data must
@@ -144,6 +151,7 @@ func (l *Log) broadcast() {
 // are unique) resolves the entry in Commit. Implements core.Tee.
 func (l *Log) Append(base uint64, ops []core.BatchOp) uint64 {
 	e := &entry{base: base, last: base + uint64(len(ops)) - 1, ops: cloneOps(ops)}
+	l.logBytes.Add(encodedEntrySize(base, ops))
 	l.mu.Lock()
 	if n := len(l.entries); n > 0 && base <= l.entries[n-1].last {
 		l.mu.Unlock()
@@ -491,9 +499,49 @@ func cloneOps(ops []core.BatchOp) []core.BatchOp {
 			Key:    append([]byte(nil), op.Key...),
 			Value:  append([]byte(nil), op.Value...),
 			Delete: op.Delete,
+			Merge:  op.Merge,
+			Delta:  op.Delta,
 		}
 	}
 	return out
+}
+
+// Bytes returns the cumulative encoded size of every entry appended to
+// this log — the wire/WAL footprint of the op stream (frame payloads; WAL
+// record framing excluded). Merge ops are appended unresolved (key +
+// varint delta), so folding N deltas into one entry shrinks this figure by
+// construction.
+func (l *Log) Bytes() uint64 { return l.logBytes.Load() }
+
+// encodedEntrySize mirrors wire.AppendReplFrame's encoding arithmetic:
+// uvarint base | uvarint count | per op: kind byte + key + value/delta.
+func encodedEntrySize(base uint64, ops []core.BatchOp) uint64 {
+	n := uvarintLen(base) + uvarintLen(uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		n += 1 + uvarintLen(uint64(len(op.Key))) + uint64(len(op.Key))
+		switch {
+		case op.Delete:
+		case op.Merge:
+			n += varintLen(op.Delta)
+		default:
+			n += uvarintLen(uint64(len(op.Value))) + uint64(len(op.Value))
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) uint64 {
+	n := uint64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) uint64 {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63)) // zig-zag, as encoding/binary
 }
 
 // Log persistence: the retained window survives a *clean* shutdown only.
@@ -613,7 +661,7 @@ func RecoverLog(w *wal.WAL, cfg LogConfig, fallbackFloor uint64) (*Log, error) {
 func toWireOps(ops []core.BatchOp) []wire.BatchOp {
 	out := make([]wire.BatchOp, len(ops))
 	for i, op := range ops {
-		out[i] = wire.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+		out[i] = wire.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete, Merge: op.Merge, Delta: op.Delta}
 	}
 	return out
 }
@@ -625,6 +673,8 @@ func fromWireOps(ops []wire.BatchOp) []core.BatchOp {
 			Key:    append([]byte(nil), op.Key...),
 			Value:  append([]byte(nil), op.Value...),
 			Delete: op.Delete,
+			Merge:  op.Merge,
+			Delta:  op.Delta,
 		}
 	}
 	return out

@@ -2,12 +2,22 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
 	"hyperdb"
 	"hyperdb/internal/wire"
 )
+
+// satSub is saturating subtraction over the same clamped range as
+// hyperdb.SatAdd (note -MinInt64 is itself unrepresentable).
+func satSub(a, b int64) int64 {
+	if b == math.MinInt64 {
+		return hyperdb.SatAdd(hyperdb.SatAdd(a, math.MaxInt64), 1)
+	}
+	return hyperdb.SatAdd(a, -b)
+}
 
 // drainLoop is the engine-owning goroutine: it blocks for one request,
 // sweeps everything else already queued into the same cycle, and processes
@@ -74,6 +84,7 @@ func (s *Server) process(batch []*request) {
 		kept := batch[:0]
 		for _, r := range batch {
 			if r.sess && r.op != wire.OpPutV2 && r.op != wire.OpDelV2 && r.op != wire.OpBatchV2 &&
+				r.op != wire.OpIncrV2 &&
 				r.minSeq > s.cfg.DB.ReadableSeq() {
 				s.park(r)
 				continue
@@ -87,21 +98,70 @@ func (s *Server) process(batch []*request) {
 	// batch's last committed sequence answers the session (v2) writes: it is
 	// ≥ every sequence the request's own ops drew, so gating a follower read
 	// on it observes them all.
+	//
+	// Counter merges additionally coalesce before submission: consecutive
+	// deltas to the same key (with no intervening put or delete of that key)
+	// fold into one net-delta entry via the engine's saturating arithmetic,
+	// so a hot counter hammered by every connection in the cycle costs one
+	// batch entry — one WAL record, one replication op — however many INCRs
+	// acked. Folding is semantics-preserving because merge runs commute:
+	// fold-as-canonical means the folded net delta IS the committed history.
+	type incrRef struct {
+		r      *request
+		entry  int   // wops index the delta landed in
+		prefix int64 // entry's running delta just after this request folded
+	}
 	var wops []hyperdb.BatchOp
 	var wreqs []*request
+	var incrs []incrRef
+	fold := !s.cfg.NoMergeFold
+	// lastMerge tracks each key's open merge entry; a put or delete of the
+	// key closes the run (later deltas must see the new base).
+	var lastMerge map[string]int
+	clobber := func(key []byte) {
+		if len(lastMerge) > 0 {
+			delete(lastMerge, string(key))
+		}
+	}
+	addMerge := func(key []byte, delta int64) (int, int64) {
+		s.stats.MergeOps.Inc()
+		if i, ok := lastMerge[string(key)]; ok {
+			s.stats.MergeFolded.Inc()
+			wops[i].Delta = hyperdb.SatAdd(wops[i].Delta, delta)
+			return i, wops[i].Delta
+		}
+		wops = append(wops, hyperdb.BatchOp{Key: key, Merge: true, Delta: delta})
+		if fold {
+			if lastMerge == nil {
+				lastMerge = make(map[string]int)
+			}
+			lastMerge[string(key)] = len(wops) - 1
+		}
+		return len(wops) - 1, delta
+	}
 	for _, r := range batch {
 		switch r.op {
 		case wire.OpPut, wire.OpPutV2:
 			wops = append(wops, hyperdb.BatchOp{Key: r.key, Value: r.value})
 			wreqs = append(wreqs, r)
+			clobber(r.key)
 		case wire.OpDel, wire.OpDelV2:
 			wops = append(wops, hyperdb.BatchOp{Key: r.key, Delete: true})
 			wreqs = append(wreqs, r)
+			clobber(r.key)
 		case wire.OpBatch, wire.OpBatchV2:
 			for _, b := range r.batch {
-				wops = append(wops, hyperdb.BatchOp{Key: b.Key, Value: b.Value, Delete: b.Delete})
+				if b.Merge {
+					addMerge(b.Key, b.Delta)
+				} else {
+					wops = append(wops, hyperdb.BatchOp{Key: b.Key, Value: b.Value, Delete: b.Delete})
+					clobber(b.Key)
+				}
 			}
 			wreqs = append(wreqs, r)
+		case wire.OpIncr, wire.OpIncrV2:
+			entry, prefix := addMerge(r.key, r.delta)
+			incrs = append(incrs, incrRef{r: r, entry: entry, prefix: prefix})
 		}
 	}
 	if len(wops) > 0 {
@@ -120,6 +180,28 @@ func (s *Server) process(batch []*request) {
 				r.reply(wire.StatusOK, wire.AppendAppliedSeq(nil, seq))
 			default:
 				r.reply(wire.StatusOK, nil)
+			}
+		}
+		for _, ir := range incrs {
+			s.stats.countOp(ir.r.op)
+			if err != nil {
+				ir.r.fail(err)
+				continue
+			}
+			final, derr := hyperdb.DecodeCounter(wops[ir.entry].Value)
+			if derr != nil {
+				ir.r.fail(derr)
+				continue
+			}
+			// Reconstruct this request's post-merge value: the entry's
+			// resolved value minus the deltas folded in after it. Exact in
+			// the unsaturated case; within saturation of the int64 range
+			// each reply stays clamped to the same bound the engine hit.
+			val := satSub(final, satSub(wops[ir.entry].Delta, ir.prefix))
+			if ir.r.sess {
+				ir.r.reply(wire.StatusOK, wire.AppendIncrV2Resp(nil, seq, val))
+			} else {
+				ir.r.reply(wire.StatusOK, wire.AppendIncrResp(nil, val))
 			}
 		}
 	}

@@ -64,6 +64,18 @@ type Config struct {
 	// consistency harness can prove it detects the staleness the gate
 	// prevents; production configurations leave it false.
 	NoReadGate bool
+	// ConnRate, when positive, rate-limits each connection to that many
+	// requests per second (token bucket, burst ConnBurst). Rejected requests
+	// answer StatusRateLimited without entering the coalescing queue.
+	// Replication handshakes are exempt. Zero disables limiting.
+	ConnRate float64
+	// ConnBurst is the token bucket's capacity when ConnRate is set.
+	// Zero defaults to max(1, ConnRate).
+	ConnBurst int
+	// NoMergeFold disables the drainer's same-key delta coalescing: every
+	// INCR submits its own batch entry. The A/B switch for the merge bench;
+	// production configurations leave it false.
+	NoMergeFold bool
 	// Repl, when non-nil, serves replication followers: a connection whose
 	// first frame is REPL_HELLO detaches from the request/response machinery
 	// and is handed to Repl.ServeConn for log shipping. Nil rejects the
@@ -297,12 +309,13 @@ type request struct {
 	id uint64
 	op wire.Op
 
-	key   []byte         // GET/DEL/SCAN start
+	key   []byte         // GET/DEL/SCAN start/INCR
 	value []byte         // PUT
 	batch []wire.BatchOp // BATCH
 	keys  [][]byte       // MGET
 	limit int            // SCAN
 	echo  []byte         // PING
+	delta int64          // INCR
 
 	// sess marks a session (v2) request: its response carries the node's
 	// applied sequence, and for reads minSeq is the client's session token —
@@ -337,10 +350,13 @@ type conn struct {
 	// detached marks a connection surrendered to the replication stream:
 	// the exiting writer must leave the socket open for it.
 	detached atomic.Bool
+	// limiter, when non-nil, admission-controls this connection's requests
+	// (Config.ConnRate).
+	limiter *tokenBucket
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
+	c := &conn{
 		srv:      s,
 		nc:       nc,
 		br:       bufio.NewReaderSize(nc, readBufSize),
@@ -350,6 +366,10 @@ func newConn(s *Server, nc net.Conn) *conn {
 		dead:     make(chan struct{}),
 		wdone:    make(chan struct{}),
 	}
+	if s.cfg.ConnRate > 0 {
+		c.limiter = newTokenBucket(s.cfg.ConnRate, s.cfg.ConnBurst)
+	}
+	return c
 }
 
 func (c *conn) kill() { c.deadOnce.Do(func() { close(c.dead) }) }
@@ -387,6 +407,11 @@ func (c *conn) readLoop() {
 			return
 		}
 		first = false
+		if c.limiter != nil && !c.limiter.allow() {
+			c.srv.stats.RateLimited.Inc()
+			c.respondError(f.ID, f.Op, wire.StatusRateLimited, "rate limited")
+			continue
+		}
 		req, perr := c.decode(f)
 		if perr != nil {
 			c.srv.stats.BadRequests.Inc()
@@ -561,6 +586,21 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		}
 		req.sess = true
 		req.minSeq = minSeq
+	case wire.OpIncr:
+		k, delta, err := wire.DecodeIncrReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.delta = delta
+	case wire.OpIncrV2:
+		k, delta, err := wire.DecodeIncrReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		req.key = append([]byte(nil), k...)
+		req.delta = delta
+		req.sess = true
 	case wire.OpReplFrame, wire.OpReplAck, wire.OpReplSnapshot:
 		// Push-stream ops are only meaningful after a REPL_HELLO handoff;
 		// as requests they have no response protocol.

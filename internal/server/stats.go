@@ -55,6 +55,18 @@ type Stats struct {
 	WriteOps        stats.Counter
 	ReadBatches     stats.Counter
 	ReadOps         stats.Counter
+
+	// Merge coalescing. MergeOps counts logical counter merges received
+	// over the wire (INCR requests plus batch merge ops); MergeFolded those
+	// absorbed into an already-pending entry for the same key instead of
+	// submitting their own — each folded op is a logical write the engine,
+	// WAL, and replication stream never saw.
+	MergeOps    stats.Counter
+	MergeFolded stats.Counter
+
+	// RateLimited counts requests refused by the per-connection token
+	// bucket (Config.ConnRate).
+	RateLimited stats.Counter
 }
 
 // ActiveConns returns the number of currently served connections.
@@ -93,6 +105,15 @@ func (s *Stats) MeanDrainDepth() float64 {
 	return mean(s.DrainedRequests.Load(), s.Drains.Load())
 }
 
+// LogicalWritesPerDBCall is the mean logical writes carried per engine
+// write call: submitted batch entries plus the merges folding absorbed,
+// over WriteBatches. The headline coalescing ratio — how many acked wire
+// writes each physical engine call (and its WAL/replication record)
+// represents.
+func (s *Stats) LogicalWritesPerDBCall() float64 {
+	return mean(s.WriteOps.Load()+s.MergeFolded.Load(), s.WriteBatches.Load())
+}
+
 func mean(sum, n uint64) float64 {
 	if n == 0 {
 		return 0
@@ -114,6 +135,7 @@ func (s *Stats) String() string {
 	for _, op := range []wire.Op{
 		wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats,
 		wire.OpPutV2, wire.OpDelV2, wire.OpBatchV2, wire.OpGetV2, wire.OpMGetV2, wire.OpScanV2,
+		wire.OpIncr, wire.OpIncrV2,
 	} {
 		fmt.Fprintf(&b, "server.ops.%s %d\n", strings.ToLower(op.String()), s.OpCount(op))
 	}
@@ -134,5 +156,9 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "server.read_batches %d\n", s.ReadBatches.Load())
 	fmt.Fprintf(&b, "server.read_ops %d\n", s.ReadOps.Load())
 	fmt.Fprintf(&b, "server.mean_read_batch %.3f\n", s.MeanReadBatch())
+	fmt.Fprintf(&b, "server.merge_ops %d\n", s.MergeOps.Load())
+	fmt.Fprintf(&b, "server.merge_folded %d\n", s.MergeFolded.Load())
+	fmt.Fprintf(&b, "server.logical_writes_per_dbcall %.3f\n", s.LogicalWritesPerDBCall())
+	fmt.Fprintf(&b, "server.rate_limited %d\n", s.RateLimited.Load())
 	return b.String()
 }

@@ -45,6 +45,24 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpBatchV2, ID: 15, Payload: AppendBatchReq(nil, []BatchOp{{Key: []byte("a"), Value: []byte("1")}})}))
 	// A truncated minSeq varint (continuation bit set, nothing follows).
 	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 16, Payload: []byte{0x80}}))
+	// Merge frames: INCR/INCR2 requests and responses, merge ops in
+	// batches and repl frames, plus malformed deltas.
+	f.Add(AppendFrame(nil, Frame{Op: OpIncr, ID: 17, Payload: AppendIncrReq(nil, []byte("c"), -42)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpIncr, Status: StatusOK, ID: 17, Payload: AppendIncrResp(nil, 1<<62)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpIncrV2, ID: 18, Payload: AppendIncrReq(nil, []byte("c"), 9223372036854775807)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpIncrV2, Status: StatusOK, ID: 18, Payload: AppendIncrV2Resp(nil, 7, -9223372036854775808)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 19, Payload: AppendBatchReq(nil, []BatchOp{
+		{Key: []byte("c"), Merge: true, Delta: 5}, {Key: []byte("d"), Value: []byte("v")},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame, ID: 20, Payload: AppendReplFrame(nil, 11, []BatchOp{
+		{Key: []byte("c"), Merge: true, Delta: -3},
+	})}))
+	// An INCR whose delta varint is truncated mid-continuation.
+	f.Add(AppendFrame(nil, Frame{Op: OpIncr, ID: 21, Payload: []byte{1, 'c', 0xff, 0xff}}))
+	// An 11-byte varint delta (overflows int64) inside a batch merge op.
+	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 22, Payload: []byte{
+		1, 2, 1, 'c', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+	}}))
 	// A valid frame with a corrupted interior byte.
 	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
 	corrupt[len(corrupt)/2] ^= 0x5a
@@ -109,6 +127,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		case OpBatchV2:
 			DecodeBatchReq(fr.Payload)
 			DecodeAppliedSeq(fr.Payload)
+		case OpIncr:
+			DecodeIncrReq(fr.Payload)
+			DecodeIncrResp(fr.Payload)
+		case OpIncrV2:
+			DecodeIncrReq(fr.Payload)
+			DecodeIncrV2Resp(fr.Payload)
 		}
 		// The stream reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data[:n]), maxFrame)

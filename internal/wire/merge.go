@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// INCR codecs. An INCR request names a counter key and a signed int64
+// delta; the server folds concurrent deltas to the same key into one
+// net-delta write and answers with the post-merge value. The v2 (INCR2)
+// request reuses the v1 payload — like the other v2 write ops, only the
+// response differs: it prefixes the committed sequence so sessions can
+// gate follower reads on their own increments.
+
+// --- INCR request: klen | key | varint delta (nothing may follow) ---
+
+// AppendIncrReq encodes an INCR/INCR2 request payload.
+func AppendIncrReq(dst, key []byte, delta int64) []byte {
+	dst = appendBytes(dst, key)
+	return binary.AppendVarint(dst, delta)
+}
+
+// DecodeIncrReq decodes an INCR/INCR2 payload; key aliases p.
+func DecodeIncrReq(p []byte) (key []byte, delta int64, err error) {
+	key, rest, err := getBytes(p, MaxKeyLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(key) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty key", ErrBadPayload)
+	}
+	delta, rest, err = getVarint(rest)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return key, delta, nil
+}
+
+// --- INCR response: varint post-merge value ---
+
+// AppendIncrResp encodes an INCR success response.
+func AppendIncrResp(dst []byte, value int64) []byte {
+	return binary.AppendVarint(dst, value)
+}
+
+// DecodeIncrResp decodes an INCR success response.
+func DecodeIncrResp(p []byte) (int64, error) {
+	value, rest, err := getVarint(p)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return value, nil
+}
+
+// --- INCR2 response: uvarint appliedSeq | varint post-merge value ---
+
+// AppendIncrV2Resp encodes an INCR2 success response.
+func AppendIncrV2Resp(dst []byte, appliedSeq uint64, value int64) []byte {
+	dst = binary.AppendUvarint(dst, appliedSeq)
+	return binary.AppendVarint(dst, value)
+}
+
+// DecodeIncrV2Resp decodes an INCR2 success response.
+func DecodeIncrV2Resp(p []byte) (appliedSeq uint64, value int64, err error) {
+	appliedSeq, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	value, rest, err = getVarint(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return appliedSeq, value, nil
+}

@@ -24,6 +24,15 @@ func getUvarint(p []byte) (uint64, []byte, error) {
 	return v, p[n:], nil
 }
 
+// getVarint consumes one signed (zig-zag) varint from p.
+func getVarint(p []byte) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, ErrBadPayload
+	}
+	return v, p[n:], nil
+}
+
 // getBytes consumes one length-prefixed byte string. The result aliases p.
 // maxLen of 0 means "bounded only by the remaining payload".
 func getBytes(p []byte, maxLen int) ([]byte, []byte, error) {
@@ -77,23 +86,33 @@ func DecodeKeyReq(p []byte) ([]byte, error) {
 	return key, nil
 }
 
-// --- BATCH: count | per op: kind(0=put,1=del) | klen | key | [vlen | value] ---
+// --- BATCH: count | per op: kind(0=put,1=del,2=merge) | klen | key |
+//     [vlen | value]  (put) | [varint delta]  (merge) ---
 
-// BatchOp is one write in a BATCH request. Value is ignored for deletes.
+// BatchOp is one write in a BATCH request. Value is ignored for deletes and
+// merges; Delta is meaningful only when Merge is set. Merge and Delete are
+// mutually exclusive (Delete wins on encode, matching the engine's LWW).
 type BatchOp struct {
 	Key    []byte
 	Value  []byte
 	Delete bool
+	Merge  bool
+	Delta  int64
 }
 
 // AppendBatchReq encodes a BATCH request payload.
 func AppendBatchReq(dst []byte, ops []BatchOp) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(ops)))
 	for _, op := range ops {
-		if op.Delete {
+		switch {
+		case op.Delete:
 			dst = append(dst, 1)
 			dst = appendBytes(dst, op.Key)
-		} else {
+		case op.Merge:
+			dst = append(dst, 2)
+			dst = appendBytes(dst, op.Key)
+			dst = binary.AppendVarint(dst, op.Delta)
+		default:
 			dst = append(dst, 0)
 			dst = appendBytes(dst, op.Key)
 			dst = appendBytes(dst, op.Value)
@@ -122,11 +141,12 @@ func DecodeBatchReq(p []byte) ([]BatchOp, error) {
 		}
 		kind := rest[0]
 		rest = rest[1:]
-		if kind > 1 {
+		if kind > 2 {
 			return nil, fmt.Errorf("%w: batch op kind %d", ErrBadPayload, kind)
 		}
 		var op BatchOp
 		op.Delete = kind == 1
+		op.Merge = kind == 2
 		op.Key, rest, err = getBytes(rest, MaxKeyLen)
 		if err != nil {
 			return nil, err
@@ -134,8 +154,14 @@ func DecodeBatchReq(p []byte) ([]BatchOp, error) {
 		if len(op.Key) == 0 {
 			return nil, fmt.Errorf("%w: empty key", ErrBadPayload)
 		}
-		if !op.Delete {
+		switch kind {
+		case 0:
 			op.Value, rest, err = getBytes(rest, 0)
+			if err != nil {
+				return nil, err
+			}
+		case 2:
+			op.Delta, rest, err = getVarint(rest)
 			if err != nil {
 				return nil, err
 			}

@@ -61,6 +61,13 @@ const (
 	OpDelV2
 	OpBatchV2
 
+	// Merge ops. OpIncr adds an int64 delta to a counter key and returns
+	// the post-merge value; OpIncrV2 is the session variant whose response
+	// also carries the committed sequence. Deltas to the same key coalesce
+	// in the server drainer and commit as a single net-delta write.
+	OpIncr
+	OpIncrV2
+
 	opMax
 )
 
@@ -105,6 +112,10 @@ func (o Op) String() string {
 		return "DEL2"
 	case OpBatchV2:
 		return "BATCH2"
+	case OpIncr:
+		return "INCR"
+	case OpIncrV2:
+		return "INCR2"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -123,6 +134,10 @@ const (
 	// another node (typically falling back to the primary). The payload is
 	// the node's applied sequence at the time of the refusal.
 	StatusNotReady
+	// StatusRateLimited answers a request rejected by the connection's
+	// admission token bucket before it reached the drainer. The client may
+	// retry after backing off; the payload is the message text.
+	StatusRateLimited
 )
 
 func (s Status) String() string {
@@ -139,6 +154,8 @@ func (s Status) String() string {
 		return "shutting down"
 	case StatusNotReady:
 		return "not ready"
+	case StatusRateLimited:
+		return "rate limited"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
