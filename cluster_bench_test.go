@@ -1,0 +1,192 @@
+// End-to-end throughput benchmark for sharded serving: a 1- or 2-shard
+// cluster over real TCP serves a uniform 90/10 GET/PUT mix through routing
+// clients, which send every key directly to the node owning its slot. The
+// devices use the same read-constrained NVMe profile as the follower-read
+// benchmark, so each node is bound by its simulated read channels, not host
+// CPU — the regime where sharding pays: capacity grows with every shard
+// because each one serves a disjoint slice of the keyspace. CI runs these
+// with -benchtime=1x as a smoke test; BENCH_cluster.json records the
+// measured 1→2 shard trajectory.
+package hyperdb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperdb"
+	"hyperdb/internal/client"
+	"hyperdb/internal/cluster"
+	"hyperdb/internal/device"
+	"hyperdb/internal/repl"
+	"hyperdb/internal/server"
+	"hyperdb/internal/ycsb"
+)
+
+const (
+	clusterBenchKeys    = 1 << 14
+	clusterBenchValue   = 128
+	clusterBenchClients = 12
+	clusterBenchSlots   = 64
+)
+
+type shardBenchNode struct {
+	db   *hyperdb.DB
+	srv  *server.Server
+	addr string
+}
+
+// benchClusterNodes stands up an n-shard cluster: listeners are bound first
+// so the shared map can name every address, then each node serves a full
+// stack (engine + teed log + shard-aware server) off its listener.
+func benchClusterNodes(b *testing.B, n int) ([]*shardBenchNode, *cluster.Map) {
+	b.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	m, err := cluster.New(clusterBenchSlots, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]*shardBenchNode, n)
+	for i := range nodes {
+		node, err := cluster.NewNode(m, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		log := repl.NewLog(repl.LogConfig{})
+		p := device.NVMeProfile(256 << 20)
+		p.ReadLatency = 2 * time.Millisecond
+		p.Channels = 2
+		opts := hyperdb.Options{
+			Partitions: 4,
+			NVMeDevice: device.New(p),
+			SATADevice: device.New(device.SATAProfile(1 << 30)),
+			CacheBytes: 1 << 20, // small: keep reads on the simulated device
+			Tee:        log,
+		}
+		db, err := hyperdb.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := server.Config{
+			DB:      db,
+			OwnDB:   true,
+			Repl:    &repl.Primary{DB: db, Log: log},
+			Epoch:   log.Epoch,
+			Cluster: node,
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			db.Close()
+			b.Fatal(err)
+		}
+		go srv.Serve(lns[i])
+		nodes[i] = &shardBenchNode{db: db, srv: srv, addr: addrs[i]}
+	}
+	return nodes, m
+}
+
+// BenchmarkClusterShards is the acceptance metric: uniform keyed throughput
+// as the cluster grows from one shard to two. ns/op is per mixed operation;
+// its inverse is the aggregate ops/s the cluster sustained.
+func BenchmarkClusterShards(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchClusterShards(b, shards)
+		})
+	}
+}
+
+func benchClusterShards(b *testing.B, shards int) {
+	nodes, m := benchClusterNodes(b, shards)
+	defer func() {
+		for _, n := range nodes {
+			n.srv.Shutdown()
+		}
+	}()
+
+	// Preload each shard's slice of the keyspace directly through its
+	// engine — the same placement the routing clients will compute.
+	v := make([]byte, clusterBenchValue)
+	for i := range v {
+		v[i] = byte('a' + i%26)
+	}
+	batches := make([][]hyperdb.BatchOp, shards)
+	for i := int64(0); i < clusterBenchKeys; i++ {
+		k := ycsb.Key(i)
+		g := m.OwnerGroup(m.SlotOf(k))
+		batches[g] = append(batches[g], hyperdb.BatchOp{Key: k, Value: v})
+	}
+	for g, ops := range batches {
+		const chunk = 512
+		for lo := 0; lo < len(ops); lo += chunk {
+			hi := min(lo+chunk, len(ops))
+			if err := nodes[g].db.WriteBatch(ops[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	// One routing client per goroutine, each with its own connections.
+	seeds := make([]string, len(nodes))
+	for i, n := range nodes {
+		seeds[i] = n.addr
+	}
+	ccs := make([]*client.Cluster, clusterBenchClients)
+	for i := range ccs {
+		cc, err := client.DialCluster(client.ClusterOptions{Seeds: seeds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cc.Close()
+		ccs[i] = cc
+	}
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(clusterBenchClients)
+	for t := 0; t < clusterBenchClients; t++ {
+		go func(t int) {
+			defer wg.Done()
+			cc := ccs[t]
+			rng := rand.New(rand.NewSource(int64(2000 + t)))
+			const grab = 16
+			for {
+				lo := int(next.Add(grab)) - grab
+				if lo >= b.N {
+					return
+				}
+				hi := min(lo+grab, b.N)
+				for i := lo; i < hi; i++ {
+					key := ycsb.Key(int64(rng.Intn(clusterBenchKeys)))
+					if i%10 == 9 {
+						if err := cc.Put(key, v); err != nil {
+							failed.Add(1)
+						}
+					} else if _, err := cc.Get(key); err != nil {
+						failed.Add(1)
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d operations failed", n)
+	}
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hyperdb/internal/client"
+)
+
+// clusterCmd dispatches the sharded-cluster subcommands: shardmap prints a
+// node's map, handoff drives a slot migration, and cload/ccheck load and
+// verify keys through the client-side shard routing — the pair
+// scripts/cluster_smoke.sh uses to prove no acked key is lost across a
+// handoff.
+func clusterCmd(cmd string, args []string) {
+	switch cmd {
+	case "shardmap":
+		shardmapCmd(args)
+	case "handoff":
+		handoffCmd(args)
+	case "cload", "ccheck":
+		loadCheckCmd(cmd, args)
+	}
+}
+
+func shardmapCmd(args []string) {
+	fs := flag.NewFlagSet("shardmap", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4980", "any cluster node")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("usage: hyperctl shardmap [-addr A]")
+	}
+	c, err := client.Dial(client.Options{Addr: *addr, Conns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	m, err := c.ShardMap()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("version %d, %d slots, %d groups\n", m.Version, len(m.Slots), len(m.Groups))
+	for g, a := range m.Groups {
+		owned := m.SlotsOf(uint32(g))
+		fmt.Printf("  group %d %-24s %d slots %s\n", g, a, len(owned), formatSlots(owned))
+	}
+}
+
+func handoffCmd(args []string) {
+	fs := flag.NewFlagSet("handoff", flag.ExitOnError)
+	target := fs.String("target", "", "node that pulls ownership of the slots (required)")
+	fs.Parse(args)
+	if *target == "" || fs.NArg() == 0 {
+		fatalf("usage: hyperctl handoff -target A <slot|lo-hi>[,...] ...")
+	}
+	slots, err := parseSlots(fs.Args())
+	if err != nil {
+		fatal(err)
+	}
+	c, err := client.Dial(client.Options{Addr: *target, Conns: 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	m, err := c.Handoff(slots)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("moved %d slots to %s (map version %d)\n", len(slots), *target, m.Version)
+}
+
+// loadCheckCmd is cload and ccheck: write (or verify) n deterministic keys
+// through the routing client, so the same flags replayed after any number
+// of handoffs must find every key wherever its slot moved.
+func loadCheckCmd(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seeds := fs.String("seeds", "127.0.0.1:4980", "comma-separated cluster node addresses")
+	n := fs.Int("n", 1000, "key count")
+	start := fs.Int("start", 0, "first key index")
+	prefix := fs.String("prefix", "ck", "key prefix (keys are <prefix>-<i>)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fatalf("usage: hyperctl %s [-seeds A,B] [-n N] [-start I] [-prefix P]", cmd)
+	}
+	cc, err := client.DialCluster(client.ClusterOptions{Seeds: splitAddrs(*seeds)})
+	if err != nil {
+		fatal(err)
+	}
+	defer cc.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("%s-%08d", *prefix, i)) }
+	val := func(i int) string { return fmt.Sprintf("val-%s-%08d", *prefix, i) }
+	bad := 0
+	for i := *start; i < *start+*n; i++ {
+		if cmd == "cload" {
+			if err := cc.Put(key(i), []byte(val(i))); err != nil {
+				fatalf("put %s: %v", key(i), err)
+			}
+			continue
+		}
+		v, err := cc.Get(key(i))
+		switch {
+		case errors.Is(err, client.ErrNotFound):
+			fmt.Printf("MISSING %s\n", key(i))
+			bad++
+		case err != nil:
+			fatalf("get %s: %v", key(i), err)
+		case string(v) != val(i):
+			fmt.Printf("MISMATCH %s = %q, want %q\n", key(i), v, val(i))
+			bad++
+		}
+	}
+	verb := "loaded"
+	if cmd == "ccheck" {
+		verb = "checked"
+	}
+	fmt.Printf("%s %d keys (map v%d, %d wrong-shard retries, %d map refetches)\n",
+		verb, *n, cc.Map().Version, cc.Retries(), cc.Refetches())
+	if bad > 0 {
+		fatalf("%d keys missing or wrong", bad)
+	}
+}
+
+// parseSlots expands "3", "0-63", and comma-joined mixes of both.
+func parseSlots(args []string) ([]uint32, error) {
+	var out []uint32
+	for _, arg := range args {
+		for _, part := range strings.Split(arg, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			lo, hi, ranged := strings.Cut(part, "-")
+			l, err := strconv.ParseUint(lo, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad slot %q: %w", part, err)
+			}
+			h := l
+			if ranged {
+				if h, err = strconv.ParseUint(hi, 10, 32); err != nil {
+					return nil, fmt.Errorf("bad slot range %q: %w", part, err)
+				}
+				if h < l {
+					return nil, fmt.Errorf("bad slot range %q: empty", part)
+				}
+			}
+			for s := l; s <= h; s++ {
+				out = append(out, uint32(s))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no slots given")
+	}
+	return out, nil
+}
+
+// formatSlots renders a slot set compactly as ranges: "0-3,8,10-11".
+func formatSlots(slots []uint32) string {
+	if len(slots) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i := 0; i < len(slots); {
+		j := i
+		for j+1 < len(slots) && slots[j+1] == slots[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", slots[i], slots[j])
+		} else {
+			fmt.Fprintf(&b, "%d", slots[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

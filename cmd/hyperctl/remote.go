@@ -26,7 +26,7 @@ func remote(cmd string, args []string) {
 	policyName := fs.String("policy", "primary", "session read policy: primary, bounded, or any")
 	readPolicy := fs.String("read-policy", "", "alias for -policy")
 	followers := fs.String("followers", "", "comma-separated follower addresses for session reads")
-	token := fs.Uint64("token", 0, "seed session token from a previous invocation")
+	token := fs.String("token", "0", "seed session token from a previous invocation (SEQ or SEQ@EPOCH)")
 	fs.Parse(args)
 	rest := fs.Args()
 	if *readPolicy != "" {
@@ -140,8 +140,12 @@ func remote(cmd string, args []string) {
 // sessionRemote runs one subcommand through a client Session: reads route
 // follower-first per the policy, writes return a token, and the serving
 // node + token print to stderr so scripts can chain invocations.
-func sessionRemote(cmd string, primary *client.Client, policyName, followerList string, token uint64, limit int, rest []string) {
+func sessionRemote(cmd string, primary *client.Client, policyName, followerList, token string, limit int, rest []string) {
 	policy, err := client.ParseReadPolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	seed, err := client.ParseToken(token)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,12 +161,12 @@ func sessionRemote(cmd string, primary *client.Client, policyName, followerList 
 		}
 	}
 	sess := client.NewSession(primary, fcs, policy)
-	sess.SeedToken(token)
+	sess.SeedToken(seed)
 	note := func(read bool) {
 		if read {
-			fmt.Fprintf(os.Stderr, "(served by %s, token %d)\n", sess.LastNode(), sess.Token())
+			fmt.Fprintf(os.Stderr, "(served by %s, token %s)\n", sess.LastNode(), sess.Token())
 		} else {
-			fmt.Fprintf(os.Stderr, "(token %d)\n", sess.Token())
+			fmt.Fprintf(os.Stderr, "(token %s)\n", sess.Token())
 		}
 	}
 
@@ -330,7 +334,7 @@ func rywCmd(args []string) {
 		}
 		served[sess.LastNode()]++
 	}
-	fmt.Printf("ryw: %d round trips under policy %s (token %d)\n", *n, policy, sess.Token())
+	fmt.Printf("ryw: %d round trips under policy %s (token %s)\n", *n, policy, sess.Token())
 	for node, count := range served {
 		fmt.Printf("  %-14s served %d\n", node, count)
 	}

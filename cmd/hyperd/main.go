@@ -36,12 +36,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"hyperdb"
 	"hyperdb/internal/client"
+	"hyperdb/internal/cluster"
 	"hyperdb/internal/hotness"
 	"hyperdb/internal/repl"
 	"hyperdb/internal/server"
@@ -68,6 +70,9 @@ func main() {
 		connRate    = flag.Float64("conn-rate", 0, "per-connection request rate limit in ops/sec (0 = unlimited)")
 		connBurst   = flag.Int("conn-burst", 0, "per-connection rate-limit burst (0 = max(1, conn-rate))")
 		hotMode     = flag.String("hotness", "bloom", "hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory at huge key counts)")
+		peers       = flag.String("cluster", "", "comma-separated group addresses (all shard primaries, including this node) — enables cluster mode")
+		clusterSelf = flag.String("cluster-self", "", "this node's address as listed in -cluster (default: -addr)")
+		slots       = flag.Int("slots", cluster.DefaultSlots, "shard slot count (must match across the cluster)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -82,6 +87,10 @@ func main() {
 	}
 	if *role == "follower" && *upstream == "" {
 		fmt.Fprintln(os.Stderr, "hyperd: -role follower requires -upstream")
+		os.Exit(2)
+	}
+	if *peers != "" && *role == "follower" {
+		fmt.Fprintln(os.Stderr, "hyperd: -cluster nodes are shard primaries; -role follower is incompatible")
 		os.Exit(2)
 	}
 
@@ -104,8 +113,9 @@ func main() {
 	// Any replicating role ships a log: a primary feeds its followers, and
 	// a follower re-ships what it applies so replicas can chain — and so it
 	// has a live log the moment it is promoted.
+	// Cluster nodes always tee a log too: slot handoff streams from it.
 	var rlog *repl.Log
-	if *role != "" {
+	if *role != "" || *peers != "" {
 		rlog = repl.NewLog(repl.LogConfig{MaxEntries: *replEntries, SyncAck: *replSync})
 		opts.Tee = rlog
 	}
@@ -130,8 +140,50 @@ func main() {
 		ConnBurst:    *connBurst,
 		Logf:         logf,
 	}
+	// A follower serves session reads under the lineage it applies from —
+	// the upstream's epoch — not its own chaining log's epoch, which names
+	// the lineage it would ship after a promotion. The promotion itself
+	// flips IsFollower, switching the node to its own epoch.
+	var fol *repl.Follower
+	if *role == "follower" {
+		fol = &repl.Follower{DB: db, Log: rlog}
+	}
 	if rlog != nil {
 		cfg.Repl = &repl.Primary{DB: db, Log: rlog}
+		cfg.Epoch = func() uint64 {
+			if fol != nil && db.IsFollower() {
+				return fol.Epoch()
+			}
+			return rlog.Epoch()
+		}
+	}
+	if *peers != "" {
+		var groups []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				groups = append(groups, a)
+			}
+		}
+		self := *clusterSelf
+		if self == "" {
+			self = *addr
+		}
+		m, err := cluster.New(*slots, groups)
+		if err != nil {
+			db.Close()
+			log.Fatalf("hyperd: -cluster: %v", err)
+		}
+		g := m.GroupOf(self)
+		if g < 0 {
+			db.Close()
+			log.Fatalf("hyperd: -cluster does not list this node (%s); set -cluster-self", self)
+		}
+		node, err := cluster.NewNode(m, uint32(g))
+		if err != nil {
+			db.Close()
+			log.Fatalf("hyperd: -cluster: %v", err)
+		}
+		cfg.Cluster = node
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -148,6 +200,10 @@ func main() {
 	if *role != "" {
 		roleDesc = *role
 	}
+	if *peers != "" {
+		roleDesc = fmt.Sprintf("cluster shard %d/%d (%d slots)",
+			cfg.Cluster.Self(), len(cfg.Cluster.Map().Groups), *slots)
+	}
 	log.Printf("hyperd: serving on %s as %s (%d partitions, NVMe %d MiB, SATA %d MiB)",
 		bound, roleDesc, *partitions, *nvme>>20, *sata>>20)
 
@@ -157,7 +213,7 @@ func main() {
 	applierDone := make(chan struct{})
 	var stopApplier = func() {}
 	if *role == "follower" {
-		go runApplier(db, rlog, *upstream, applierStop, applierDone)
+		go runApplier(fol, *upstream, applierStop, applierDone)
 		var once sync.Once
 		stopApplier = func() {
 			once.Do(func() {
@@ -210,9 +266,8 @@ func main() {
 // with capped exponential backoff. Each reattach resumes from CommitSeq, so
 // a follower that fell off the retained window during an outage bootstraps
 // again via snapshot automatically.
-func runApplier(db *hyperdb.DB, rlog *repl.Log, upstream string, stop <-chan struct{}, done chan<- struct{}) {
+func runApplier(fol *repl.Follower, upstream string, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	fol := &repl.Follower{DB: db, Log: rlog}
 	var bo client.Backoff
 	wait := func() bool {
 		select {
@@ -237,7 +292,7 @@ func runApplier(db *hyperdb.DB, rlog *repl.Log, upstream string, stop <-chan str
 			continue
 		}
 		bo.Reset()
-		log.Printf("hyperd: attached to upstream %s at seq %d", upstream, db.CommitSeq())
+		log.Printf("hyperd: attached to upstream %s at seq %d", upstream, fol.DB.CommitSeq())
 		if err := fol.Run(nc, stop); err != nil {
 			log.Printf("hyperd: replication stream: %v", err)
 		}

@@ -1,0 +1,545 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperdb/internal/cluster"
+	"hyperdb/internal/wire"
+)
+
+// ClusterOptions configures DialCluster.
+type ClusterOptions struct {
+	// Seeds are node addresses to fetch the initial shard map from; the
+	// first reachable one wins. At least one is required. Seeds need not
+	// cover the cluster — the map names every group.
+	Seeds []string
+	// Conns is the pool size per node. Default 1.
+	Conns int
+	// MaxRetries caps WRONG_SHARD bounces per operation before giving up.
+	// Each bounce carries the server's map, so convergence normally takes
+	// one retry; the cap only bites when the map churns faster than the
+	// client can chase it. Default 8.
+	MaxRetries int
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Cluster routes every keyed operation directly to the node owning the
+// key's slot — nodes never proxy. It caches the shard map, learns newer
+// versions from WRONG_SHARD bounces (the refusal payload is the server's
+// map), and keeps a lazily dialed client per group address. Safe for
+// concurrent use.
+type Cluster struct {
+	opts ClusterOptions
+
+	mu   sync.Mutex
+	m    *cluster.Map
+	pool map[string]*Client
+
+	retries   atomic.Uint64 // WRONG_SHARD bounces retried
+	refetches atomic.Uint64 // explicit map refetches after no-progress bounces
+}
+
+// DialCluster fetches the shard map from the first reachable seed and
+// returns a routing client over it.
+func DialCluster(opts ClusterOptions) (*Cluster, error) {
+	if len(opts.Seeds) == 0 {
+		return nil, errors.New("client: ClusterOptions.Seeds is required")
+	}
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 8
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	cc := &Cluster{opts: opts, pool: make(map[string]*Client)}
+	var lastErr error
+	for _, addr := range opts.Seeds {
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := c.ShardMap()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.adopt(m)
+		return cc, nil
+	}
+	return nil, fmt.Errorf("client: no seed served a shard map: %w", lastErr)
+}
+
+// Close tears down every pooled per-node client.
+func (cc *Cluster) Close() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for addr, c := range cc.pool {
+		c.Close()
+		delete(cc.pool, addr)
+	}
+	return nil
+}
+
+// Map returns the currently cached shard map.
+func (cc *Cluster) Map() *cluster.Map {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.m
+}
+
+// Retries returns how many WRONG_SHARD bounces the client has retried.
+func (cc *Cluster) Retries() uint64 { return cc.retries.Load() }
+
+// Refetches returns how many explicit SHARDMAP refetches no-progress
+// bounces forced (bounces that taught the client nothing newer).
+func (cc *Cluster) Refetches() uint64 { return cc.refetches.Load() }
+
+// adopt installs m if it is newer than the cached map, reporting whether
+// the cache advanced.
+func (cc *Cluster) adopt(m *cluster.Map) bool {
+	if m == nil {
+		return false
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.m != nil && m.Version <= cc.m.Version {
+		return false
+	}
+	cc.m = m
+	return true
+}
+
+// clientFor returns the pooled client for addr, dialing on first use.
+func (cc *Cluster) clientFor(addr string) (*Client, error) {
+	cc.mu.Lock()
+	if c, ok := cc.pool[addr]; ok {
+		cc.mu.Unlock()
+		return c, nil
+	}
+	cc.mu.Unlock()
+	c, err := Dial(Options{Addr: addr, Conns: cc.opts.Conns, DialTimeout: cc.opts.DialTimeout})
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if prev, ok := cc.pool[addr]; ok {
+		c.Close()
+		return prev, nil
+	}
+	cc.pool[addr] = c
+	return c, nil
+}
+
+// refresh fetches the map from any group other than skip and adopts it —
+// the escape hatch when bounces stop teaching us anything newer (two nodes
+// disagreeing with maps no newer than ours).
+func (cc *Cluster) refresh(skip string) {
+	cc.refetches.Add(1)
+	m := cc.Map()
+	if m == nil {
+		return
+	}
+	for _, addr := range m.Groups {
+		if addr == skip {
+			continue
+		}
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			continue
+		}
+		if nm, err := c.ShardMap(); err == nil && cc.adopt(nm) {
+			return
+		}
+	}
+}
+
+// do routes one keyed operation: look up the owner under the cached map,
+// run fn against it, and on a WRONG_SHARD bounce adopt the carried map and
+// retry, up to MaxRetries. Two consecutive bounces that fail to advance
+// the map trigger a refetch from another group.
+func (cc *Cluster) do(key []byte, fn func(addr string, c *Client) error) error {
+	stuck := 0
+	for attempt := 0; attempt < cc.opts.MaxRetries; attempt++ {
+		m := cc.Map()
+		addr := m.Owner(key)
+		c, err := cc.clientFor(addr)
+		if err != nil {
+			return err
+		}
+		err = fn(addr, c)
+		var ws *WrongShardError
+		if !errors.As(err, &ws) {
+			return err
+		}
+		cc.retries.Add(1)
+		if cc.adopt(ws.Map) {
+			stuck = 0
+			continue
+		}
+		if stuck++; stuck >= 2 {
+			cc.refresh(addr)
+			stuck = 0
+		}
+	}
+	return fmt.Errorf("client: key still unrouted after %d wrong-shard bounces", cc.opts.MaxRetries)
+}
+
+// Put writes key=value on the key's owner.
+func (cc *Cluster) Put(key, value []byte) error {
+	return cc.do(key, func(_ string, c *Client) error { return c.Put(key, value) })
+}
+
+// Get reads key from its owner, or ErrNotFound.
+func (cc *Cluster) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := cc.do(key, func(_ string, c *Client) error {
+		v, err := c.Get(key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Delete removes key on its owner.
+func (cc *Cluster) Delete(key []byte) error {
+	return cc.do(key, func(_ string, c *Client) error { return c.Delete(key) })
+}
+
+// Incr adds delta to the counter at key on its owner.
+func (cc *Cluster) Incr(key []byte, delta int64) (int64, error) {
+	var out int64
+	err := cc.do(key, func(_ string, c *Client) error {
+		v, err := c.Incr(key, delta)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// MultiGet splits keys by owning group, issues one MGET per group, and
+// reassembles values positionally. Groups that bounce are re-split under
+// the adopted map and retried; already-fetched values are kept.
+func (cc *Cluster) MultiGet(keys [][]byte) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	done := make([]bool, len(keys))
+	remaining := len(keys)
+	for attempt := 0; attempt < cc.opts.MaxRetries; attempt++ {
+		if remaining == 0 {
+			return vals, nil
+		}
+		m := cc.Map()
+		groups := cc.splitKeys(m, keys, done)
+		bounced := false
+		for addr, idx := range groups {
+			c, err := cc.clientFor(addr)
+			if err != nil {
+				return nil, err
+			}
+			sub := make([][]byte, len(idx))
+			for j, i := range idx {
+				sub[j] = keys[i]
+			}
+			vs, err := c.MultiGet(sub)
+			var ws *WrongShardError
+			if errors.As(err, &ws) {
+				cc.retries.Add(1)
+				cc.adopt(ws.Map)
+				bounced = true
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			for j, i := range idx {
+				vals[i] = vs[j]
+				done[i] = true
+				remaining--
+			}
+		}
+		if !bounced {
+			return vals, nil
+		}
+	}
+	return nil, fmt.Errorf("client: multiget still unrouted after %d wrong-shard bounces", cc.opts.MaxRetries)
+}
+
+// WriteBatch splits ops by owning group and applies one sub-batch per
+// group. Atomicity holds per group, not across the whole batch — a
+// cross-shard batch is N independent group commits (see DESIGN.md).
+func (cc *Cluster) WriteBatch(ops []wire.BatchOp) error {
+	done := make([]bool, len(ops))
+	remaining := len(ops)
+	for attempt := 0; attempt < cc.opts.MaxRetries; attempt++ {
+		if remaining == 0 {
+			return nil
+		}
+		m := cc.Map()
+		groups := cc.splitOps(m, ops, done)
+		bounced := false
+		for addr, idx := range groups {
+			c, err := cc.clientFor(addr)
+			if err != nil {
+				return err
+			}
+			sub := make([]wire.BatchOp, len(idx))
+			for j, i := range idx {
+				sub[j] = ops[i]
+			}
+			err = c.WriteBatch(sub)
+			var ws *WrongShardError
+			if errors.As(err, &ws) {
+				cc.retries.Add(1)
+				cc.adopt(ws.Map)
+				bounced = true
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			for _, i := range idx {
+				done[i] = true
+				remaining--
+			}
+		}
+		if !bounced {
+			return nil
+		}
+	}
+	return fmt.Errorf("client: batch still unrouted after %d wrong-shard bounces", cc.opts.MaxRetries)
+}
+
+func (cc *Cluster) splitKeys(m *cluster.Map, keys [][]byte, done []bool) map[string][]int {
+	groups := make(map[string][]int)
+	for i, k := range keys {
+		if !done[i] {
+			addr := m.Owner(k)
+			groups[addr] = append(groups[addr], i)
+		}
+	}
+	return groups
+}
+
+func (cc *Cluster) splitOps(m *cluster.Map, ops []wire.BatchOp, done []bool) map[string][]int {
+	groups := make(map[string][]int)
+	for i := range ops {
+		if !done[i] {
+			addr := m.Owner(ops[i].Key)
+			groups[addr] = append(groups[addr], i)
+		}
+	}
+	return groups
+}
+
+// ClusterSession is session consistency over a sharded cluster: writes and
+// reads route per key, and the session token is kept per group — each
+// shard's primary mints its own (sequence, epoch) line, so one scalar
+// token cannot order positions across shards. A batch straddling shards
+// merges each group's applied position into that group's token only.
+//
+// singleToken mode collapses the map to one token merged across groups —
+// the legacy behaviour, kept as a fallback for single-group deployments
+// where it is exact (and cheaper to carry around).
+type ClusterSession struct {
+	cc          *Cluster
+	singleToken bool
+
+	mu   sync.Mutex
+	toks map[string]Token // per group address
+	tok  Token            // singleToken mode
+}
+
+// NewClusterSession builds a session over a routing client. perShard
+// selects the per-group token map (correct across shards); false falls
+// back to one merged token, exact only while every key lives in one group.
+func NewClusterSession(cc *Cluster, perShard bool) *ClusterSession {
+	return &ClusterSession{cc: cc, singleToken: !perShard, toks: make(map[string]Token)}
+}
+
+// Tokens returns a copy of the per-group token map (singleToken mode: one
+// entry keyed "").
+func (s *ClusterSession) Tokens() map[string]Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Token, len(s.toks)+1)
+	if s.singleToken {
+		out[""] = s.tok
+		return out
+	}
+	for a, t := range s.toks {
+		out[a] = t
+	}
+	return out
+}
+
+func (s *ClusterSession) gate(addr string) Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.singleToken {
+		return s.tok
+	}
+	return s.toks[addr]
+}
+
+func (s *ClusterSession) observe(addr string, t Token) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.singleToken {
+		s.tok = mergeToken(s.tok, t)
+		return
+	}
+	s.toks[addr] = mergeToken(s.toks[addr], t)
+}
+
+// Put writes through the key's owner and folds the committed position into
+// that group's token.
+func (s *ClusterSession) Put(key, value []byte) error {
+	return s.cc.do(key, func(addr string, c *Client) error {
+		tok, err := c.PutSeq(key, value)
+		if err == nil {
+			s.observe(addr, tok)
+		}
+		return err
+	})
+}
+
+// Delete removes key through its owner, updating that group's token.
+func (s *ClusterSession) Delete(key []byte) error {
+	return s.cc.do(key, func(addr string, c *Client) error {
+		tok, err := c.DeleteSeq(key)
+		if err == nil {
+			s.observe(addr, tok)
+		}
+		return err
+	})
+}
+
+// Incr adds delta to the counter at key through its owner.
+func (s *ClusterSession) Incr(key []byte, delta int64) (int64, error) {
+	var out int64
+	err := s.cc.do(key, func(addr string, c *Client) error {
+		v, tok, err := c.IncrSeq(key, delta)
+		if err == nil {
+			s.observe(addr, tok)
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// Get reads key from its owner, gated on the group's token.
+func (s *ClusterSession) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := s.cc.do(key, func(addr string, c *Client) error {
+		v, tok, err := c.GetSeq(key, s.gate(addr))
+		if err == nil || errors.Is(err, ErrNotFound) {
+			s.observe(addr, tok)
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// MultiGet splits keys by owning group, gates each sub-request on that
+// group's token, and merges each group's applied position back into its
+// own entry — the per-shard token merge for batches straddling shards.
+func (s *ClusterSession) MultiGet(keys [][]byte) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	done := make([]bool, len(keys))
+	remaining := len(keys)
+	for attempt := 0; attempt < s.cc.opts.MaxRetries; attempt++ {
+		if remaining == 0 {
+			return vals, nil
+		}
+		m := s.cc.Map()
+		groups := s.cc.splitKeys(m, keys, done)
+		bounced := false
+		for addr, idx := range groups {
+			c, err := s.cc.clientFor(addr)
+			if err != nil {
+				return nil, err
+			}
+			sub := make([][]byte, len(idx))
+			for j, i := range idx {
+				sub[j] = keys[i]
+			}
+			vs, tok, err := c.MultiGetSeq(sub, s.gate(addr))
+			var ws *WrongShardError
+			if errors.As(err, &ws) {
+				s.cc.retries.Add(1)
+				s.cc.adopt(ws.Map)
+				bounced = true
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.observe(addr, tok)
+			for j, i := range idx {
+				vals[i] = vs[j]
+				done[i] = true
+				remaining--
+			}
+		}
+		if !bounced {
+			return vals, nil
+		}
+	}
+	return nil, fmt.Errorf("client: multiget still unrouted after %d wrong-shard bounces", s.cc.opts.MaxRetries)
+}
+
+// WriteBatch splits ops by owning group and folds each group's committed
+// position into its own token. Atomicity holds per group only.
+func (s *ClusterSession) WriteBatch(ops []wire.BatchOp) error {
+	done := make([]bool, len(ops))
+	remaining := len(ops)
+	for attempt := 0; attempt < s.cc.opts.MaxRetries; attempt++ {
+		if remaining == 0 {
+			return nil
+		}
+		m := s.cc.Map()
+		groups := s.cc.splitOps(m, ops, done)
+		bounced := false
+		for addr, idx := range groups {
+			c, err := s.cc.clientFor(addr)
+			if err != nil {
+				return err
+			}
+			sub := make([]wire.BatchOp, len(idx))
+			for j, i := range idx {
+				sub[j] = ops[i]
+			}
+			tok, err := c.WriteBatchSeq(sub)
+			var ws *WrongShardError
+			if errors.As(err, &ws) {
+				s.cc.retries.Add(1)
+				s.cc.adopt(ws.Map)
+				bounced = true
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			s.observe(addr, tok)
+			for _, i := range idx {
+				done[i] = true
+				remaining--
+			}
+		}
+		if !bounced {
+			return nil
+		}
+	}
+	return fmt.Errorf("client: batch still unrouted after %d wrong-shard bounces", s.cc.opts.MaxRetries)
+}

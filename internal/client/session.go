@@ -3,6 +3,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"hyperdb/internal/wire"
@@ -60,10 +63,64 @@ func (p ReadPolicy) String() string {
 	return fmt.Sprintf("ReadPolicy(%d)", int(p))
 }
 
+// Token is a session's consistency position: the highest applied sequence
+// it has written or observed, qualified by the write-lineage epoch that
+// minted it. Epoch 0 means "lineage unknown" — a seeded or legacy token
+// that gates on sequence alone.
+type Token struct {
+	Seq   uint64
+	Epoch uint64
+}
+
+// String renders "SEQ" for epoch-0 tokens and "SEQ@EPOCH" otherwise — the
+// format ParseToken accepts and hyperctl prints.
+func (t Token) String() string {
+	if t.Epoch == 0 {
+		return fmt.Sprintf("%d", t.Seq)
+	}
+	return fmt.Sprintf("%d@%d", t.Seq, t.Epoch)
+}
+
+// ParseToken parses "SEQ" or "SEQ@EPOCH".
+func ParseToken(s string) (Token, error) {
+	var t Token
+	seqs, epochs, qualified := strings.Cut(s, "@")
+	seq, err := strconv.ParseUint(seqs, 10, 64)
+	if err != nil {
+		return t, fmt.Errorf("client: bad token %q: %w", s, err)
+	}
+	t.Seq = seq
+	if qualified {
+		if t.Epoch, err = strconv.ParseUint(epochs, 10, 64); err != nil {
+			return t, fmt.Errorf("client: bad token %q: %w", s, err)
+		}
+	}
+	return t, nil
+}
+
+// mergeToken folds an observed position into a session token. Same or
+// unknown lineage: the sequences are comparable, so keep the max (learning
+// the epoch when the current token lacks one). Different non-zero lineage:
+// the serving node's history replaced the one the token was minted against
+// (a failover, or a handoff target with its own log), sequences are not
+// comparable, and the observed position is adopted wholesale.
+func mergeToken(cur, t Token) Token {
+	if t.Epoch != 0 && cur.Epoch != 0 && t.Epoch != cur.Epoch {
+		return t
+	}
+	if t.Seq > cur.Seq {
+		cur.Seq = t.Seq
+	}
+	if cur.Epoch == 0 {
+		cur.Epoch = t.Epoch
+	}
+	return cur
+}
+
 // Session is one logical client with session consistency: read-your-writes
 // and monotonic reads across the whole replication group. It tracks a
-// token — the highest sequence it has written or observed — folds every v2
-// response into it, and sends it as the minSeq gate on follower reads.
+// token — the highest (sequence, epoch) it has written or observed — folds
+// every v2 response into it, and sends it as the gate on follower reads.
 // Writes always go to the primary. Safe for concurrent use, though the
 // session guarantee is per causal chain: concurrent calls on one Session
 // order only through the shared token.
@@ -72,7 +129,9 @@ type Session struct {
 	followers []*Client
 	policy    ReadPolicy
 
-	token     atomic.Uint64
+	mu  sync.Mutex
+	tok Token
+
 	rr        atomic.Uint64 // round-robin cursor over followers
 	fallbacks atomic.Uint64 // follower refusals retried on the primary
 	notReady  atomic.Uint64 // NOT_READY responses received
@@ -87,14 +146,19 @@ func NewSession(primary *Client, followers []*Client, policy ReadPolicy) *Sessio
 	return s
 }
 
-// Token returns the session's current token: the highest sequence it has
+// Token returns the session's current token: the highest position it has
 // written or observed.
-func (s *Session) Token() uint64 { return s.token.Load() }
+func (s *Session) Token() Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tok
+}
 
-// SeedToken lifts the session token to at least seq — used to resume a
-// session (e.g. across hyperctl invocations) from an externally carried
-// token.
-func (s *Session) SeedToken(seq uint64) { s.observe(seq) }
+// SeedToken folds an externally carried token into the session — used to
+// resume a session (e.g. across hyperctl invocations). An epoch-0 seed
+// gates on sequence alone, which is also the deliberate clamp after a
+// failover invalidated the token's lineage.
+func (s *Session) SeedToken(t Token) { s.observe(t) }
 
 // Fallbacks returns how many reads fell back to the primary after a
 // follower refused or failed.
@@ -112,33 +176,30 @@ func (s *Session) LastNode() string {
 	return "primary"
 }
 
-func (s *Session) observe(seq uint64) {
-	for {
-		cur := s.token.Load()
-		if cur >= seq || s.token.CompareAndSwap(cur, seq) {
-			return
-		}
-	}
+func (s *Session) observe(t Token) {
+	s.mu.Lock()
+	s.tok = mergeToken(s.tok, t)
+	s.mu.Unlock()
 }
 
-// Put writes through the primary and folds the committed sequence into the
+// Put writes through the primary and folds the committed position into the
 // session token, so a follower read issued next observes this write.
 func (s *Session) Put(key, value []byte) error {
-	seq, err := s.primary.PutSeq(key, value)
+	tok, err := s.primary.PutSeq(key, value)
 	if err != nil {
 		return err
 	}
-	s.observe(seq)
+	s.observe(tok)
 	return nil
 }
 
 // Delete removes key through the primary, updating the session token.
 func (s *Session) Delete(key []byte) error {
-	seq, err := s.primary.DeleteSeq(key)
+	tok, err := s.primary.DeleteSeq(key)
 	if err != nil {
 		return err
 	}
-	s.observe(seq)
+	s.observe(tok)
 	return nil
 }
 
@@ -146,21 +207,21 @@ func (s *Session) Delete(key []byte) error {
 // post-merge value and updating the session token so a follower read issued
 // next observes the new count.
 func (s *Session) Incr(key []byte, delta int64) (int64, error) {
-	v, seq, err := s.primary.IncrSeq(key, delta)
+	v, tok, err := s.primary.IncrSeq(key, delta)
 	if err != nil {
 		return 0, err
 	}
-	s.observe(seq)
+	s.observe(tok)
 	return v, nil
 }
 
 // WriteBatch applies ops through the primary, updating the session token.
 func (s *Session) WriteBatch(ops []wire.BatchOp) error {
-	seq, err := s.primary.WriteBatchSeq(ops)
+	tok, err := s.primary.WriteBatchSeq(ops)
 	if err != nil {
 		return err
 	}
-	s.observe(seq)
+	s.observe(tok)
 	return nil
 }
 
@@ -180,13 +241,13 @@ func (s *Session) readTarget() (*Client, int) {
 	return s.followers[i], i
 }
 
-// minSeq is the gate a follower read carries: the session token under the
+// gate is the token a follower read carries: the session token under the
 // bounded policy, zero (no gate) under any.
-func (s *Session) minSeq() uint64 {
+func (s *Session) gate() Token {
 	if s.policy == ReadBounded {
-		return s.token.Load()
+		return s.Token()
 	}
-	return 0
+	return Token{}
 }
 
 // fallthroughToPrimary reports whether a follower read error should retry
@@ -201,20 +262,20 @@ func fallthroughToPrimary(err error) bool {
 // writes, the new primary refuses too rather than serve a stale value, and
 // Get returns ErrNotReady.
 func (s *Session) Get(key []byte) ([]byte, error) {
-	var gate uint64 // deliberate primary reads carry no gate
+	var gate Token // deliberate primary reads carry no gate
 	if f, i := s.readTarget(); f != nil {
-		v, seq, err := f.GetSeq(key, s.minSeq())
+		v, tok, err := f.GetSeq(key, s.gate())
 		if !fallthroughToPrimary(err) {
-			s.observe(seq)
+			s.observe(tok)
 			s.lastNode.Store(int64(i))
 			return v, err
 		}
 		s.noteFallback(err)
-		gate = s.primaryMinSeq()
+		gate = s.primaryGate()
 	}
-	v, seq, err := s.primary.GetSeq(key, gate)
+	v, tok, err := s.primary.GetSeq(key, gate)
 	if err == nil || errors.Is(err, ErrNotFound) {
-		s.observe(seq)
+		s.observe(tok)
 		s.lastNode.Store(-1)
 	}
 	return v, err
@@ -222,20 +283,20 @@ func (s *Session) Get(key []byte) ([]byte, error) {
 
 // MultiGet is Get for many keys; absent keys yield nil entries.
 func (s *Session) MultiGet(keys [][]byte) ([][]byte, error) {
-	var gate uint64
+	var gate Token
 	if f, i := s.readTarget(); f != nil {
-		vals, seq, err := f.MultiGetSeq(keys, s.minSeq())
+		vals, tok, err := f.MultiGetSeq(keys, s.gate())
 		if !fallthroughToPrimary(err) {
-			s.observe(seq)
+			s.observe(tok)
 			s.lastNode.Store(int64(i))
 			return vals, err
 		}
 		s.noteFallback(err)
-		gate = s.primaryMinSeq()
+		gate = s.primaryGate()
 	}
-	vals, seq, err := s.primary.MultiGetSeq(keys, gate)
+	vals, tok, err := s.primary.MultiGetSeq(keys, gate)
 	if err == nil {
-		s.observe(seq)
+		s.observe(tok)
 		s.lastNode.Store(-1)
 	}
 	return vals, err
@@ -243,20 +304,20 @@ func (s *Session) MultiGet(keys [][]byte) ([][]byte, error) {
 
 // Scan reads up to limit pairs with key >= start under the session policy.
 func (s *Session) Scan(start []byte, limit int) ([]wire.KV, error) {
-	var gate uint64
+	var gate Token
 	if f, i := s.readTarget(); f != nil {
-		kvs, seq, err := f.ScanSeq(start, limit, s.minSeq())
+		kvs, tok, err := f.ScanSeq(start, limit, s.gate())
 		if !fallthroughToPrimary(err) {
-			s.observe(seq)
+			s.observe(tok)
 			s.lastNode.Store(int64(i))
 			return kvs, err
 		}
 		s.noteFallback(err)
-		gate = s.primaryMinSeq()
+		gate = s.primaryGate()
 	}
-	kvs, seq, err := s.primary.ScanSeq(start, limit, gate)
+	kvs, tok, err := s.primary.ScanSeq(start, limit, gate)
 	if err == nil {
-		s.observe(seq)
+		s.observe(tok)
 		s.lastNode.Store(-1)
 	}
 	return kvs, err
@@ -269,152 +330,154 @@ func (s *Session) noteFallback(err error) {
 	}
 }
 
-// primaryMinSeq is the gate a primary-routed read carries. A deliberate
-// primary read sends zero — the primary is definitionally current for its
-// own group, and zero is how the server distinguishes routed reads from
-// fallbacks. A bounded-policy session with followers only reaches the
+// primaryGate is the gate a primary-routed read carries. A deliberate
+// primary read sends a zero token — the primary is definitionally current
+// for its own group, and zero is how the server distinguishes routed reads
+// from fallbacks. A bounded-policy session with followers only reaches the
 // primary as a fallback, which keeps the token so a primary that lost the
 // session's writes (failover without sync acks) refuses instead of
 // silently rewinding the session.
-func (s *Session) primaryMinSeq() uint64 {
+func (s *Session) primaryGate() Token {
 	if s.policy == ReadBounded && len(s.followers) > 0 {
-		return s.token.Load()
+		return s.Token()
 	}
-	return 0
+	return Token{}
 }
 
 // --- v2 (session) calls on Client ---
 
-// PutSeq is Put returning the committed sequence (the write's session
+// PutSeq is Put returning the committed position (the write's session
 // token).
-func (c *Client) PutSeq(key, value []byte) (uint64, error) {
+func (c *Client) PutSeq(key, value []byte) (Token, error) {
 	p, err := c.callOK(wire.OpPutV2, wire.AppendPutReq(nil, key, value))
 	if err != nil {
-		return 0, err
+		return Token{}, err
 	}
-	return decodeSeq(p)
+	return decodeTok(p)
 }
 
-// DeleteSeq is Delete returning the committed sequence.
-func (c *Client) DeleteSeq(key []byte) (uint64, error) {
+// DeleteSeq is Delete returning the committed position.
+func (c *Client) DeleteSeq(key []byte) (Token, error) {
 	p, err := c.callOK(wire.OpDelV2, wire.AppendKeyReq(nil, key))
 	if err != nil {
-		return 0, err
+		return Token{}, err
 	}
-	return decodeSeq(p)
+	return decodeTok(p)
 }
 
-// WriteBatchSeq is WriteBatch returning the committed sequence.
-func (c *Client) WriteBatchSeq(ops []wire.BatchOp) (uint64, error) {
+// WriteBatchSeq is WriteBatch returning the committed position.
+func (c *Client) WriteBatchSeq(ops []wire.BatchOp) (Token, error) {
 	p, err := c.callOK(wire.OpBatchV2, wire.AppendBatchReq(nil, ops))
 	if err != nil {
-		return 0, err
+		return Token{}, err
 	}
-	return decodeSeq(p)
+	return decodeTok(p)
 }
 
 // IncrSeq is Incr returning the post-merge value and the committed
-// sequence (the merge's session token).
-func (c *Client) IncrSeq(key []byte, delta int64) (int64, uint64, error) {
+// position (the merge's session token).
+func (c *Client) IncrSeq(key []byte, delta int64) (int64, Token, error) {
 	p, err := c.callOK(wire.OpIncrV2, wire.AppendIncrReq(nil, key, delta))
 	if err != nil {
-		return 0, 0, err
+		return 0, Token{}, err
 	}
-	seq, v, err := wire.DecodeIncrV2Resp(p)
+	seq, epoch, v, err := wire.DecodeIncrV2Resp(p)
 	if err != nil {
-		return 0, 0, fmt.Errorf("client: bad INCR2 response: %w", err)
+		return 0, Token{}, fmt.Errorf("client: bad INCR2 response: %w", err)
 	}
-	return v, seq, nil
+	return v, Token{Seq: seq, Epoch: epoch}, nil
 }
 
 // GetSeq is the session read: the server answers only once its applied
-// position reaches minSeq (or refuses with ErrNotReady after its bounded
-// wait). The returned sequence is the serving node's applied position —
-// valid on success, ErrNotFound, and ErrNotReady alike.
-func (c *Client) GetSeq(key []byte, minSeq uint64) ([]byte, uint64, error) {
-	resp, err := c.call(wire.OpGetV2, wire.AppendGetV2Req(nil, key, minSeq))
+// position reaches the gate (or refuses with ErrNotReady after its bounded
+// wait, or because the gate names a different write lineage). The returned
+// token is the serving node's applied position — valid on success,
+// ErrNotFound, and ErrNotReady alike, though sessions must not fold
+// NOT_READY positions in (that would silently clamp the gate).
+func (c *Client) GetSeq(key []byte, gate Token) ([]byte, Token, error) {
+	resp, err := c.call(wire.OpGetV2, wire.AppendGetV2Req(nil, key, gate.Seq, gate.Epoch))
 	if err != nil {
-		return nil, 0, err
+		return nil, Token{}, err
 	}
 	switch resp.Status {
 	case wire.StatusOK:
-		seq, v, err := wire.DecodeGetV2Resp(resp.Payload)
+		seq, epoch, v, err := wire.DecodeGetV2Resp(resp.Payload)
 		if err != nil {
-			return nil, 0, fmt.Errorf("client: bad GET2 response: %w", err)
+			return nil, Token{}, fmt.Errorf("client: bad GET2 response: %w", err)
 		}
-		return v, seq, nil
+		return v, Token{Seq: seq, Epoch: epoch}, nil
 	case wire.StatusNotFound:
-		seq, err := decodeSeq(resp.Payload)
+		tok, err := decodeTok(resp.Payload)
 		if err != nil {
-			return nil, 0, err
+			return nil, Token{}, err
 		}
-		return nil, seq, ErrNotFound
+		return nil, tok, ErrNotFound
 	case wire.StatusNotReady:
-		seq, err := decodeSeq(resp.Payload)
+		tok, err := decodeTok(resp.Payload)
 		if err != nil {
-			return nil, 0, err
+			return nil, Token{}, err
 		}
-		return nil, seq, ErrNotReady
+		return nil, tok, ErrNotReady
 	}
-	return nil, 0, statusErr(resp)
+	return nil, Token{}, statusErr(resp)
 }
 
 // MultiGetSeq is the session MultiGet; absent keys yield nil entries.
-func (c *Client) MultiGetSeq(keys [][]byte, minSeq uint64) ([][]byte, uint64, error) {
-	resp, err := c.call(wire.OpMGetV2, wire.AppendMGetV2Req(nil, keys, minSeq))
+func (c *Client) MultiGetSeq(keys [][]byte, gate Token) ([][]byte, Token, error) {
+	resp, err := c.call(wire.OpMGetV2, wire.AppendMGetV2Req(nil, keys, gate.Seq, gate.Epoch))
 	if err != nil {
-		return nil, 0, err
+		return nil, Token{}, err
 	}
 	switch resp.Status {
 	case wire.StatusOK:
-		seq, vals, err := wire.DecodeMGetV2Resp(resp.Payload)
+		seq, epoch, vals, err := wire.DecodeMGetV2Resp(resp.Payload)
 		if err != nil {
-			return nil, 0, fmt.Errorf("client: bad MGET2 response: %w", err)
+			return nil, Token{}, fmt.Errorf("client: bad MGET2 response: %w", err)
 		}
 		if len(vals) != len(keys) {
-			return nil, 0, fmt.Errorf("client: MGET2 returned %d values for %d keys", len(vals), len(keys))
+			return nil, Token{}, fmt.Errorf("client: MGET2 returned %d values for %d keys", len(vals), len(keys))
 		}
-		return vals, seq, nil
+		return vals, Token{Seq: seq, Epoch: epoch}, nil
 	case wire.StatusNotReady:
-		seq, err := decodeSeq(resp.Payload)
+		tok, err := decodeTok(resp.Payload)
 		if err != nil {
-			return nil, 0, err
+			return nil, Token{}, err
 		}
-		return nil, seq, ErrNotReady
+		return nil, tok, ErrNotReady
 	}
-	return nil, 0, statusErr(resp)
+	return nil, Token{}, statusErr(resp)
 }
 
 // ScanSeq is the session Scan.
-func (c *Client) ScanSeq(start []byte, limit int, minSeq uint64) ([]wire.KV, uint64, error) {
+func (c *Client) ScanSeq(start []byte, limit int, gate Token) ([]wire.KV, Token, error) {
 	if limit < 0 {
 		limit = 0
 	}
-	resp, err := c.call(wire.OpScanV2, wire.AppendScanV2Req(nil, start, uint32(limit), minSeq))
+	resp, err := c.call(wire.OpScanV2, wire.AppendScanV2Req(nil, start, uint32(limit), gate.Seq, gate.Epoch))
 	if err != nil {
-		return nil, 0, err
+		return nil, Token{}, err
 	}
 	switch resp.Status {
 	case wire.StatusOK:
-		seq, kvs, err := wire.DecodeScanV2Resp(resp.Payload)
+		seq, epoch, kvs, err := wire.DecodeScanV2Resp(resp.Payload)
 		if err != nil {
-			return nil, 0, fmt.Errorf("client: bad SCAN2 response: %w", err)
+			return nil, Token{}, fmt.Errorf("client: bad SCAN2 response: %w", err)
 		}
-		return kvs, seq, nil
+		return kvs, Token{Seq: seq, Epoch: epoch}, nil
 	case wire.StatusNotReady:
-		seq, err := decodeSeq(resp.Payload)
+		tok, err := decodeTok(resp.Payload)
 		if err != nil {
-			return nil, 0, err
+			return nil, Token{}, err
 		}
-		return nil, seq, ErrNotReady
+		return nil, tok, ErrNotReady
 	}
-	return nil, 0, statusErr(resp)
+	return nil, Token{}, statusErr(resp)
 }
 
-func decodeSeq(p []byte) (uint64, error) {
-	seq, err := wire.DecodeAppliedSeq(p)
+func decodeTok(p []byte) (Token, error) {
+	seq, epoch, err := wire.DecodeAppliedSeq(p)
 	if err != nil {
-		return 0, fmt.Errorf("client: bad applied-seq payload: %w", err)
+		return Token{}, fmt.Errorf("client: bad applied-seq payload: %w", err)
 	}
-	return seq, nil
+	return Token{Seq: seq, Epoch: epoch}, nil
 }

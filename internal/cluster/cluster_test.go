@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewMapBalances(t *testing.T) {
+	m, err := New(128, []string{"a:1", "b:1", "c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint32]int)
+	for _, g := range m.Slots {
+		counts[g]++
+	}
+	for g := uint32(0); g < 3; g++ {
+		if counts[g] < 128/3 {
+			t.Fatalf("group %d owns %d slots", g, counts[g])
+		}
+	}
+}
+
+func TestSlotOfStableAndCovering(t *testing.T) {
+	m, _ := New(64, []string{"a:1", "b:1"})
+	hit := make(map[uint32]bool)
+	for i := 0; i < 4096; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i))
+		s := m.SlotOf(k)
+		if s != m.SlotOf(k) {
+			t.Fatal("SlotOf not deterministic")
+		}
+		if int(s) >= len(m.Slots) {
+			t.Fatalf("slot %d out of range", s)
+		}
+		hit[s] = true
+	}
+	if len(hit) < 60 {
+		t.Fatalf("only %d/64 slots hit by 4096 keys", len(hit))
+	}
+}
+
+func TestReassignBumpsVersion(t *testing.T) {
+	m, _ := New(8, []string{"a:1", "b:1"})
+	next, err := m.Reassign([]uint32{0, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != 2 || next.Slots[0] != 1 || next.Slots[2] != 1 {
+		t.Fatalf("reassign: %+v", next.ShardMap)
+	}
+	if m.Slots[0] != 0 {
+		t.Fatal("Reassign mutated the source map")
+	}
+	if _, err := m.Reassign([]uint32{99}, 1); err == nil {
+		t.Fatal("out-of-range slot reassigned")
+	}
+	if _, err := m.Reassign([]uint32{0}, 9); err == nil {
+		t.Fatal("out-of-range group reassigned")
+	}
+}
+
+func TestMapEncodeDecode(t *testing.T) {
+	m, _ := New(16, []string{"a:1", "b:1"})
+	got, err := Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || len(got.Slots) != len(m.Slots) {
+		t.Fatalf("decode: %+v", got.ShardMap)
+	}
+}
+
+func TestNodeOwnershipAndAcquire(t *testing.T) {
+	m, _ := New(8, []string{"a:1", "b:1"})
+	n, err := NewNode(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Owns(0) || n.Owns(1) {
+		t.Fatal("round-robin ownership wrong")
+	}
+
+	if err := n.BeginAcquire([]uint32{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BeginAcquire([]uint32{1}); err == nil {
+		t.Fatal("double acquire allowed")
+	}
+	if err := n.BeginAcquire([]uint32{0}); err == nil {
+		t.Fatal("acquiring an owned slot allowed")
+	}
+	acq, ch := n.Acquiring(1)
+	if !acq {
+		t.Fatal("slot 1 not acquiring")
+	}
+
+	next, _ := m.Reassign([]uint32{1, 3}, 0)
+	n.FinishAcquire([]uint32{1, 3}, next)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("FinishAcquire did not wake waiters")
+	}
+	if acq, _ := n.Acquiring(1); acq {
+		t.Fatal("slot 1 still acquiring after finish")
+	}
+	if !n.Owns(1) || !n.Owns(3) {
+		t.Fatal("flip did not grant ownership")
+	}
+	if n.Map().Version != 2 {
+		t.Fatalf("map version %d", n.Map().Version)
+	}
+
+	// Older maps never displace newer ones.
+	if n.Install(m) {
+		t.Fatal("stale map installed")
+	}
+
+	if err := n.BeginAcquire([]uint32{5}); err != nil {
+		t.Fatal(err)
+	}
+	n.AbortAcquire([]uint32{5})
+	if acq, _ := n.Acquiring(5); acq {
+		t.Fatal("slot 5 still acquiring after abort")
+	}
+}

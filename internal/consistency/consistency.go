@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyperdb"
@@ -199,6 +200,9 @@ type node struct {
 	srv  *server.Server
 	addr string
 	log  *repl.Log
+	// fol is the follower applier once attached; the server's Epoch hook
+	// reads it so v2 responses carry the lineage the applier is on.
+	fol atomic.Pointer[repl.Follower]
 }
 
 func newNode(follower, withLog bool, logCfg repl.LogConfig, cfg Config) (*node, error) {
@@ -219,6 +223,7 @@ func newNode(follower, withLog bool, logCfg repl.LogConfig, cfg Config) (*node, 
 	if err != nil {
 		return nil, err
 	}
+	n := &node{db: db, log: log}
 	scfg := server.Config{
 		DB:         db,
 		OwnDB:      true,
@@ -227,6 +232,23 @@ func newNode(follower, withLog bool, logCfg repl.LogConfig, cfg Config) (*node, 
 	}
 	if log != nil {
 		scfg.Repl = &repl.Primary{DB: db, Log: log}
+	}
+	// A node's serving epoch is the lineage of whatever it applies from:
+	// the upstream's while it runs as a follower (even when re-teeing into
+	// its own log for chaining — the re-tee log's distinct epoch only
+	// matters once this node is promoted and its log becomes the write
+	// lineage), its own log's once primary.
+	scfg.Epoch = func() uint64 {
+		if db.IsFollower() {
+			if f := n.fol.Load(); f != nil {
+				return f.Epoch()
+			}
+			return 0
+		}
+		if log != nil {
+			return log.Epoch()
+		}
+		return 0
 	}
 	srv, err := server.New(scfg)
 	if err != nil {
@@ -238,7 +260,8 @@ func newNode(follower, withLog bool, logCfg repl.LogConfig, cfg Config) (*node, 
 		db.Close()
 		return nil, err
 	}
-	return &node{db: db, srv: srv, addr: addr.String(), log: log}, nil
+	n.srv, n.addr = srv, addr.String()
+	return n, nil
 }
 
 // cluster is 1 primary + F followers with lag-injected appliers.
@@ -292,6 +315,7 @@ func newCluster(cfg Config) (*cluster, error) {
 			DB:         f.db,
 			ApplyDelay: func(uint64) { time.Sleep(cl.lag()) },
 		}
+		f.fol.Store(fol)
 		cl.appliers.Add(1)
 		go func() {
 			defer cl.appliers.Done()

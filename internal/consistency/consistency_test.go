@@ -172,6 +172,7 @@ func TestFailoverSessionNeverReadsBackward(t *testing.T) {
 			t.Fatal(err)
 		}
 		fol := &repl.Follower{DB: fols[i].db, Log: fols[i].log}
+		fols[i].fol.Store(fol)
 		appliers.Add(1)
 		go func() {
 			defer appliers.Done()
@@ -284,8 +285,10 @@ func TestFailoverSessionNeverReadsBackward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	refol := &repl.Follower{DB: fols[other].db, Log: fols[other].log}
+	fols[other].fol.Store(refol)
 	go func() {
-		rejoined <- (&repl.Follower{DB: fols[other].db, Log: fols[other].log}).Run(nc, stop2)
+		rejoined <- refol.Run(nc, stop2)
 	}()
 	deadline = time.Now().Add(10 * time.Second)
 	for len(fols[target].log.Status().Peers) == 0 {
@@ -325,13 +328,15 @@ func TestFailoverSessionNeverReadsBackward(t *testing.T) {
 		// A token referencing a lost write names a sequence of the dead
 		// lineage: no surviving node ever satisfies it, so every gated read
 		// would answer NOT_READY. Re-establishing a session across failover
-		// therefore clamps the token to the promoted node's position — the
-		// newest state that still exists (see DESIGN.md).
+		// therefore clamps the token to the promoted node's position — a
+		// deliberate epoch-0 seed, because carrying the dead lineage's epoch
+		// would make the new primary refuse the clamped gate too (see
+		// DESIGN.md and TestCrossLineageTokenRefused).
 		tok := fs.sess.Token()
-		if c := fols[target].db.CommitSeq(); c < tok {
-			tok = c
+		if c := fols[target].db.CommitSeq(); c < tok.Seq {
+			tok.Seq = c
 		}
-		ns.SeedToken(tok)
+		ns.SeedToken(client.Token{Seq: tok.Seq})
 		fs.sess = ns
 		key := func(k int) []byte { return []byte(fmt.Sprintf("f%02d-k%03d", id, k)) }
 		for k := 0; k < nKeys; k++ {
@@ -366,4 +371,76 @@ func TestFailoverSessionNeverReadsBackward(t *testing.T) {
 	}
 	fols[other].srv.Shutdown()
 	fols[target].srv.Shutdown()
+}
+
+// TestCrossLineageTokenRefused pins the epoch qualification of session
+// tokens: a gated read whose token was minted by a different write lineage
+// must be refused with NOT_READY, never silently satisfied by sequence
+// comparison alone. Two independent primaries stand in for "before and
+// after a failover that replaced the log": their sequence counters overlap
+// numerically but number different histories, which is precisely the state
+// a bare-sequence gate cannot detect.
+func TestCrossLineageTokenRefused(t *testing.T) {
+	cfg := Config{ReadWait: 100 * time.Millisecond}
+	cfg.fill()
+	a, err := newNode(false, true, repl.LogConfig{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.srv.Shutdown()
+	b, err := newNode(false, true, repl.LogConfig{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.srv.Shutdown()
+
+	ca, err := client.Dial(client.Options{Addr: a.addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := client.Dial(client.Options{Addr: b.addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	// Advance both lineages past each other's positions so a bare-sequence
+	// gate would be satisfied on either node.
+	sess := client.NewSession(ca, nil, client.ReadPrimary)
+	for i := 0; i < 5; i++ {
+		if err := sess.Put([]byte(fmt.Sprintf("a-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Put([]byte(fmt.Sprintf("b-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tok := sess.Token()
+	if tok.Seq == 0 || tok.Epoch == 0 {
+		t.Fatalf("session token %v lacks a sequence or epoch", tok)
+	}
+	if b.db.ReadableSeq() < tok.Seq {
+		t.Fatalf("test setup: node B readable %d below token seq %d", b.db.ReadableSeq(), tok.Seq)
+	}
+
+	// The cross-lineage gate must be refused even though B's sequence has
+	// numerically passed it.
+	if _, _, err := cb.GetSeq([]byte("b-0"), tok); !errors.Is(err, client.ErrNotReady) {
+		t.Fatalf("cross-lineage gated read: err=%v, want ErrNotReady", err)
+	}
+
+	// Deliberately clamping to epoch 0 re-enables sequence-only gating —
+	// the documented escape hatch a client uses after accepting a lineage
+	// change.
+	if v, btok, err := cb.GetSeq([]byte("b-0"), client.Token{Seq: tok.Seq}); err != nil || string(v) != "v" {
+		t.Fatalf("epoch-0 clamped read: %q %v", v, err)
+	} else if btok.Epoch == 0 || btok.Epoch == tok.Epoch {
+		t.Fatalf("node B response epoch %d; want a non-zero epoch distinct from A's %d", btok.Epoch, tok.Epoch)
+	}
+
+	// Same-lineage gating still works end to end.
+	if v, _, err := ca.GetSeq([]byte("a-0"), tok); err != nil || string(v) != "v" {
+		t.Fatalf("same-lineage gated read: %q %v", v, err)
+	}
 }

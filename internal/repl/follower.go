@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"sync/atomic"
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/keys"
@@ -43,9 +44,16 @@ type Follower struct {
 	// epoch is the upstream log's lineage ID from the last hello response
 	// (0 until first attach); applied is the stream position this Follower
 	// has applied through (0 means "unknown: fall back to CommitSeq").
-	epoch   uint64
+	// epoch is atomic because the serving drainer reads it concurrently to
+	// stamp session replies while Run keeps replicating.
+	epoch   atomic.Uint64
 	applied uint64
 }
+
+// Epoch returns the upstream write-lineage ID this follower last attached
+// under, 0 before the first successful hello. Safe to call concurrently
+// with Run.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
 
 // Run replicates from the upstream connection until it fails or stop
 // closes. It returns nil on stop, the transport or apply error otherwise;
@@ -84,7 +92,7 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 	}
 	err := writeFrame(bw, wire.Frame{
 		Op:      wire.OpReplHello,
-		Payload: wire.AppendReplHelloReq(nil, f.epoch, lastApplied),
+		Payload: wire.AppendReplHelloReq(nil, f.epoch.Load(), lastApplied),
 	})
 	if err != nil {
 		if isStop() {
@@ -118,7 +126,7 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 	}
 	// Attached: adopt the upstream's lineage and resume point (in tail mode
 	// startSeq echoes lastApplied; after a bootstrap it is the snapshot seq).
-	f.epoch = epoch
+	f.epoch.Store(epoch)
 	f.applied = startSeq
 
 	for {

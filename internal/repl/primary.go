@@ -184,7 +184,15 @@ func (p *Primary) streamSnapshot(bw *bufio.Writer, snapSeq uint64) error {
 	if err != nil {
 		return err
 	}
+	return p.StreamSnapshotChunks(bw, snapSeq, nil)
+}
 
+// StreamSnapshotChunks streams the store's live pairs in key order as
+// REPL_SNAPSHOT frames tagged with snapSeq, ending with the done chunk.
+// keep, when non-nil, filters which keys ship — the slot-handoff driver
+// passes the moving range's membership test so only migrating keys travel.
+// The caller owns the pin on snapSeq and any preceding hello.
+func (p *Primary) StreamSnapshotChunks(bw *bufio.Writer, snapSeq uint64, keep func(key []byte) bool) error {
 	var pageStart []byte
 	for {
 		kvs, err := p.DB.Scan(pageStart, p.snapshotPairs())
@@ -196,6 +204,16 @@ func (p *Primary) streamSnapshot(bw *bufio.Writer, snapSeq uint64) error {
 		}
 		fullPage := len(kvs) == p.snapshotPairs()
 		pageStart = keys.Successor(kvs[len(kvs)-1].Key)
+		if keep != nil {
+			n := 0
+			for _, kv := range kvs {
+				if keep(kv.Key) {
+					kvs[n] = kv
+					n++
+				}
+			}
+			kvs = kvs[:n]
+		}
 		// Split the page into byte-bounded chunks so one frame never
 		// approaches the wire's frame cap.
 		for len(kvs) > 0 {
@@ -225,6 +243,25 @@ func (p *Primary) streamSnapshot(bw *bufio.Writer, snapSeq uint64) error {
 		Op: wire.OpReplSnapshot, Status: wire.StatusOK,
 		Payload: wire.AppendReplSnapshot(nil, snapSeq, nil, true),
 	})
+}
+
+// AppendFilteredFrame encodes one log entry as a REPL_FRAME2 payload
+// covering [base, base+len(ops)-1], keeping only ops whose key passes keep
+// (nil keeps everything). It returns nil when no op survives the filter —
+// the window moved nothing the handoff target needs, so shipping it would
+// only burn bandwidth.
+func AppendFilteredFrame(base uint64, ops []core.BatchOp, keep func(key []byte) bool) []byte {
+	kept := make([]wire.BatchOp, 0, len(ops))
+	for _, op := range ops {
+		if keep != nil && !keep(op.Key) {
+			continue
+		}
+		kept = append(kept, wire.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete, Merge: op.Merge, Delta: op.Delta})
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return wire.AppendReplFrame2(nil, base, base+uint64(len(ops))-1, kept)
 }
 
 // Status reports the log's view for stats rendering.

@@ -74,20 +74,50 @@ func (s *Server) collect(first *request) []*request {
 func (s *Server) process(batch []*request) {
 	s.stats.Drains.Inc()
 	s.stats.DrainedRequests.Add(uint64(len(batch)))
+	epoch := s.epoch()
 
-	// Phase 0: park session reads whose minSeq token is ahead of the node's
+	// Phase 0a: handoff barriers and shard ownership. Closing a barrier
+	// proves every write acked in an earlier cycle has committed: cycles are
+	// serial, and the flip driver installs the successor map before
+	// enqueueing its barrier, so any moved-slot write in this or a later
+	// cycle is checked under the new map and bounced rather than committed.
+	if s.cfg.Cluster != nil {
+		kept := batch[:0]
+		for _, r := range batch {
+			if r.barrier != nil {
+				close(r.barrier)
+				continue
+			}
+			if !s.checkOwnership(r) {
+				continue // bounced WRONG_SHARD or parked on an acquiring slot
+			}
+			kept = append(kept, r)
+		}
+		batch = kept
+	}
+
+	// Phase 0b: park session reads whose minSeq token is ahead of the node's
 	// applied position. Parking moves the wait onto a per-request goroutine
 	// so the drainer — the engine's only driver — never blocks on
 	// replication progress. NoReadGate (the consistency harness's control
-	// knob) serves them stale instead.
+	// knob) serves them stale instead. A token naming a different non-zero
+	// write lineage is refused outright: its sequence is meaningless against
+	// this node's history, and waiting would dress the mismatch up as lag.
 	if !s.cfg.NoReadGate {
 		kept := batch[:0]
 		for _, r := range batch {
 			if r.sess && r.op != wire.OpPutV2 && r.op != wire.OpDelV2 && r.op != wire.OpBatchV2 &&
-				r.op != wire.OpIncrV2 &&
-				r.minSeq > s.cfg.DB.ReadableSeq() {
-				s.park(r)
-				continue
+				r.op != wire.OpIncrV2 {
+				if r.minEpoch != 0 && epoch != 0 && r.minEpoch != epoch {
+					s.stats.EpochRejected.Inc()
+					s.stats.ReplReadNotReady.Inc()
+					r.reply(wire.StatusNotReady, wire.AppendAppliedSeq(nil, s.cfg.DB.ReadableSeq(), epoch))
+					continue
+				}
+				if r.minSeq > s.cfg.DB.ReadableSeq() {
+					s.park(r)
+					continue
+				}
 			}
 			kept = append(kept, r)
 		}
@@ -177,7 +207,7 @@ func (s *Server) process(batch []*request) {
 				// side of the prefix it landed on.
 				r.fail(err)
 			case r.sess:
-				r.reply(wire.StatusOK, wire.AppendAppliedSeq(nil, seq))
+				r.reply(wire.StatusOK, wire.AppendAppliedSeq(nil, seq, epoch))
 			default:
 				r.reply(wire.StatusOK, nil)
 			}
@@ -199,7 +229,7 @@ func (s *Server) process(batch []*request) {
 			// each reply stays clamped to the same bound the engine hit.
 			val := satSub(final, satSub(wops[ir.entry].Delta, ir.prefix))
 			if ir.r.sess {
-				ir.r.reply(wire.StatusOK, wire.AppendIncrV2Resp(nil, seq, val))
+				ir.r.reply(wire.StatusOK, wire.AppendIncrV2Resp(nil, seq, epoch, val))
 			} else {
 				ir.r.reply(wire.StatusOK, wire.AppendIncrResp(nil, val))
 			}
@@ -254,11 +284,11 @@ func (s *Server) process(batch []*request) {
 				off++
 				switch {
 				case v == nil && r.sess:
-					r.reply(wire.StatusNotFound, wire.AppendAppliedSeq(nil, seq))
+					r.reply(wire.StatusNotFound, wire.AppendAppliedSeq(nil, seq, epoch))
 				case v == nil:
 					r.reply(wire.StatusNotFound, nil)
 				case r.sess:
-					r.reply(wire.StatusOK, wire.AppendGetV2Resp(nil, seq, v))
+					r.reply(wire.StatusOK, wire.AppendGetV2Resp(nil, seq, epoch, v))
 				default:
 					r.reply(wire.StatusOK, v)
 				}
@@ -266,7 +296,7 @@ func (s *Server) process(batch []*request) {
 				sub := vals[off : off+len(r.keys)]
 				off += len(r.keys)
 				if r.sess {
-					r.reply(wire.StatusOK, wire.AppendMGetV2Resp(nil, seq, sub))
+					r.reply(wire.StatusOK, wire.AppendMGetV2Resp(nil, seq, epoch, sub))
 				} else {
 					r.reply(wire.StatusOK, wire.AppendMGetResp(nil, sub))
 				}
@@ -289,7 +319,7 @@ func (s *Server) process(batch []*request) {
 					r.fail(err)
 					continue
 				}
-				r.reply(wire.StatusOK, wire.AppendScanV2Resp(nil, seq, toWireKVs(kvs)))
+				r.reply(wire.StatusOK, wire.AppendScanV2Resp(nil, seq, epoch, toWireKVs(kvs)))
 				continue
 			}
 			kvs, err := s.cfg.DB.Scan(r.key, r.limit)
@@ -301,6 +331,13 @@ func (s *Server) process(batch []*request) {
 		case wire.OpStats:
 			s.stats.countOp(r.op)
 			r.reply(wire.StatusOK, []byte(s.statsText()))
+		case wire.OpShardMap:
+			s.stats.countOp(r.op)
+			if s.cfg.Cluster == nil {
+				r.reply(wire.StatusBadRequest, []byte("cluster mode not enabled"))
+				continue
+			}
+			r.reply(wire.StatusOK, s.cfg.Cluster.Map().Encode(nil))
 		}
 	}
 }
@@ -347,7 +384,88 @@ func (s *Server) park(r *request) {
 			return
 		}
 		s.stats.ReplReadNotReady.Inc()
-		r.reply(wire.StatusNotReady, wire.AppendAppliedSeq(nil, s.cfg.DB.ReadableSeq()))
+		r.reply(wire.StatusNotReady, wire.AppendAppliedSeq(nil, s.cfg.DB.ReadableSeq(), s.epoch()))
+	}()
+}
+
+// epoch reports the node's current write-lineage identifier, 0 when the
+// deployment never configured one (which disables epoch checking).
+func (s *Server) epoch() uint64 {
+	if s.cfg.Epoch == nil {
+		return 0
+	}
+	return s.cfg.Epoch()
+}
+
+// checkOwnership admits a request whose every key this node owns under the
+// current shard map. A request touching a foreign slot is answered
+// StatusWrongShard with the map as payload — the redirect doubles as the
+// client's refresh — unless a handoff into this node covers the slot, in
+// which case the request parks briefly: the flip is imminent, and bouncing
+// would ping-pong the client between two nodes that both disown the slot.
+// Only called with cfg.Cluster set; returns whether the request proceeds.
+func (s *Server) checkOwnership(r *request) bool {
+	n := s.cfg.Cluster
+	m := n.Map()
+	self := n.Self()
+	owned := true
+	var foreign uint32
+	check := func(key []byte) {
+		if slot := m.SlotOf(key); owned && m.Slots[slot] != self {
+			owned, foreign = false, slot
+		}
+	}
+	switch r.op {
+	case wire.OpPut, wire.OpPutV2, wire.OpGet, wire.OpGetV2,
+		wire.OpDel, wire.OpDelV2, wire.OpIncr, wire.OpIncrV2:
+		check(r.key)
+	case wire.OpBatch, wire.OpBatchV2:
+		for _, b := range r.batch {
+			check(b.Key)
+		}
+	case wire.OpMGet, wire.OpMGetV2:
+		for _, k := range r.keys {
+			check(k)
+		}
+	default:
+		// Scans deliberately skip the check: a range spans slots, so a
+		// cluster scan is per-shard by contract (the client merges).
+		return true
+	}
+	if owned {
+		return true
+	}
+	if acq, ch := n.Acquiring(foreign); acq && s.cfg.ReadWait > 0 {
+		if r.acqDeadline.IsZero() {
+			r.acqDeadline = time.Now().Add(s.cfg.ReadWait)
+		}
+		if time.Now().Before(r.acqDeadline) {
+			s.parkAcquiring(r, ch)
+			return false
+		}
+	}
+	s.stats.WrongShard.Inc()
+	r.reply(wire.StatusWrongShard, n.Map().Encode(nil))
+	return false
+}
+
+// parkAcquiring shelves a request for a slot this node is mid-way through
+// acquiring until the acquiring set changes (flip or abort), the deadline
+// passes, or shutdown — then requeues it for a fresh ownership check. The
+// same shutdown-safety argument as park applies: the request holds its
+// connection's in-flight slot, so the requeue strictly precedes the queue
+// close.
+func (s *Server) parkAcquiring(r *request, ch <-chan struct{}) {
+	s.stats.AcquireParked.Inc()
+	go func() {
+		t := time.NewTimer(time.Until(r.acqDeadline))
+		defer t.Stop()
+		select {
+		case <-ch:
+		case <-t.C:
+		case <-s.stopWait:
+		}
+		s.queue <- r
 	}()
 }
 
@@ -358,6 +476,7 @@ func (s *Server) statsText() string {
 	var b strings.Builder
 	b.WriteString(s.stats.String())
 	b.WriteString(s.replText())
+	b.WriteString(s.clusterText())
 	b.WriteString("\n")
 	b.WriteString(s.cfg.DB.Stats().String())
 	return b.String()
@@ -386,6 +505,30 @@ func (s *Server) replText() string {
 			fmt.Fprintf(&b, "repl.follower %s acked %d lag %d\n", p.Name, p.Acked, p.Lag)
 		}
 	}
+	return b.String()
+}
+
+// clusterText renders the "cluster.*" stats lines when the node serves in
+// cluster mode. hyperctl's `shardmap` and the smoke scripts parse these.
+func (s *Server) clusterText() string {
+	if s.cfg.Cluster == nil {
+		return ""
+	}
+	n := s.cfg.Cluster
+	m := n.Map()
+	owned := 0
+	for _, g := range m.Slots {
+		if g == n.Self() {
+			owned++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster.self %d\n", n.Self())
+	fmt.Fprintf(&b, "cluster.map_version %d\n", m.Version)
+	fmt.Fprintf(&b, "cluster.groups %d\n", len(m.Groups))
+	fmt.Fprintf(&b, "cluster.slots %d\n", len(m.Slots))
+	fmt.Fprintf(&b, "cluster.slots_owned %d\n", owned)
+	fmt.Fprintf(&b, "cluster.epoch %d\n", s.epoch())
 	return b.String()
 }
 

@@ -28,14 +28,14 @@ func TestServeIncr(t *testing.T) {
 		t.Fatalf("get after incr: %x %v", v, err)
 	}
 	// The session variant carries a usable token.
-	v, seq, err := c.IncrSeq([]byte("hits"), 7)
+	v, tok, err := c.IncrSeq([]byte("hits"), 7)
 	if err != nil || v != 10 {
 		t.Fatalf("incr2: %d %v, want 10", v, err)
 	}
-	if seq == 0 {
+	if tok.Seq == 0 {
 		t.Fatal("incr2 returned zero sequence")
 	}
-	if got, _, err := c.GetSeq([]byte("hits"), seq); err != nil || !bytes.Equal(got, hyperdb.EncodeCounter(10)) {
+	if got, _, err := c.GetSeq([]byte("hits"), tok); err != nil || !bytes.Equal(got, hyperdb.EncodeCounter(10)) {
 		t.Fatalf("gated read after incr2: %x %v", got, err)
 	}
 }
@@ -170,7 +170,7 @@ func TestServeSessionIncr(t *testing.T) {
 	if v, err := sess.Incr([]byte("sc"), 9); err != nil || v != 9 {
 		t.Fatalf("session incr: %d %v, want 9", v, err)
 	}
-	if sess.Token() == 0 {
+	if sess.Token().Seq == 0 {
 		t.Fatal("session incr did not advance the token")
 	}
 	if v, err := sess.Get([]byte("sc")); err != nil || !bytes.Equal(v, hyperdb.EncodeCounter(9)) {

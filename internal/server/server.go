@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hyperdb"
+	"hyperdb/internal/cluster"
 	"hyperdb/internal/repl"
 	"hyperdb/internal/stats"
 	"hyperdb/internal/wire"
@@ -82,6 +83,20 @@ type Config struct {
 	// handshake. A follower-mode node may also set it (with its own log as
 	// the engine tee) to serve downstream replicas after promotion.
 	Repl *repl.Primary
+	// Cluster, when non-nil, puts the node in sharded-cluster mode: every
+	// keyed op is checked against the shard map before it touches the
+	// engine, mis-routed ops bounce with StatusWrongShard plus the current
+	// map, OpShardMap serves the map, and the handoff ops drive slot
+	// migration (Repl must also be set — handoff reuses its snapshot
+	// stream). Nil serves the whole keyspace, exactly as before.
+	Cluster *cluster.Node
+	// Epoch reports the node's current write-lineage identifier: the
+	// replication log's epoch on a primary, the upstream epoch on a
+	// follower. Session (v2) responses carry it next to the applied
+	// sequence, and v2 reads whose token names a different non-zero epoch
+	// are refused NOT_READY — their sequences are not comparable to this
+	// lineage. Nil reports 0, which disables the check.
+	Epoch func() uint64
 	// Logf receives connection-level diagnostics. Nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -318,10 +333,25 @@ type request struct {
 	delta int64          // INCR
 
 	// sess marks a session (v2) request: its response carries the node's
-	// applied sequence, and for reads minSeq is the client's session token —
-	// the position the node must have applied before answering.
-	sess   bool
-	minSeq uint64
+	// applied (sequence, epoch), and for reads (minSeq, minEpoch) is the
+	// client's session token — the position the node must have applied, in
+	// the lineage it must share, before answering.
+	sess     bool
+	minSeq   uint64
+	minEpoch uint64
+
+	// slots carries a HANDOFF request's migrating slot list.
+	slots []uint32
+
+	// barrier marks a synthetic drainer-barrier request (no conn, no op):
+	// the drainer closes the channel when it reaches the request, proving
+	// every earlier cycle's writes have committed. The handoff flip uses it
+	// to order the ownership swap against in-flight writes.
+	barrier chan struct{}
+
+	// acqDeadline bounds how long an op for a slot this node is still
+	// acquiring may be re-parked before it bounces WRONG_SHARD anyway.
+	acqDeadline time.Time
 }
 
 // bufferedReader sizes the per-connection read buffer.
@@ -405,6 +435,26 @@ func (c *conn) readLoop() {
 			// is interleaved with the push stream.
 			c.serveRepl(f, first)
 			return
+		}
+		if f.Op == wire.OpHandoffHello {
+			// Same contract as REPL_HELLO: a handoff stream owns its
+			// connection from the first frame on.
+			c.serveHandoffSource(f, first)
+			return
+		}
+		if f.Op == wire.OpHandoff {
+			// The admin trigger runs a whole slot migration — far too long
+			// for the drainer. It occupies one in-flight slot on its own
+			// goroutine; the reply releases it like any queued request.
+			first = false
+			if req, perr := c.decodeHandoff(f); perr != nil {
+				c.srv.stats.BadRequests.Inc()
+				c.respondError(f.ID, f.Op, wire.StatusBadRequest, perr.Error())
+			} else {
+				c.inflight <- struct{}{}
+				go c.srv.runHandoffTarget(req)
+			}
+			continue
 		}
 		first = false
 		if c.limiter != nil && !c.limiter.allow() {
@@ -556,15 +606,16 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		req.batch = ops
 		req.sess = true
 	case wire.OpGetV2:
-		k, minSeq, err := wire.DecodeGetV2Req(f.Payload)
+		k, minSeq, minEpoch, err := wire.DecodeGetV2Req(f.Payload)
 		if err != nil {
 			return nil, err
 		}
 		req.key = append([]byte(nil), k...)
 		req.sess = true
 		req.minSeq = minSeq
+		req.minEpoch = minEpoch
 	case wire.OpMGetV2:
-		ks, minSeq, err := wire.DecodeMGetV2Req(f.Payload)
+		ks, minSeq, minEpoch, err := wire.DecodeMGetV2Req(f.Payload)
 		if err != nil {
 			return nil, err
 		}
@@ -574,8 +625,9 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		req.keys = ks
 		req.sess = true
 		req.minSeq = minSeq
+		req.minEpoch = minEpoch
 	case wire.OpScanV2:
-		start, limit, minSeq, err := wire.DecodeScanV2Req(f.Payload)
+		start, limit, minSeq, minEpoch, err := wire.DecodeScanV2Req(f.Payload)
 		if err != nil {
 			return nil, err
 		}
@@ -586,6 +638,7 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		}
 		req.sess = true
 		req.minSeq = minSeq
+		req.minEpoch = minEpoch
 	case wire.OpIncr:
 		k, delta, err := wire.DecodeIncrReq(f.Payload)
 		if err != nil {
@@ -601,12 +654,36 @@ func (c *conn) decode(f wire.Frame) (*request, error) {
 		req.key = append([]byte(nil), k...)
 		req.delta = delta
 		req.sess = true
-	case wire.OpReplFrame, wire.OpReplAck, wire.OpReplSnapshot:
-		// Push-stream ops are only meaningful after a REPL_HELLO handoff;
-		// as requests they have no response protocol.
+	case wire.OpShardMap:
+		if len(f.Payload) != 0 {
+			return nil, errors.New("shardmap takes no payload")
+		}
+	case wire.OpReplFrame, wire.OpReplAck, wire.OpReplSnapshot,
+		wire.OpReplFrame2, wire.OpHandoffFlip:
+		// Push-stream ops are only meaningful inside a REPL_HELLO or
+		// HANDOFF_HELLO stream; as requests they have no response protocol.
 		return nil, fmt.Errorf("%s outside a replication stream", f.Op)
 	}
 	return req, nil
+}
+
+// decodeHandoff validates a HANDOFF admin request into a request that the
+// target-side migration driver answers.
+func (c *conn) decodeHandoff(f wire.Frame) (*request, error) {
+	if c.srv.cfg.Cluster == nil || c.srv.cfg.Repl == nil {
+		return nil, errors.New("cluster mode not enabled")
+	}
+	slots, err := wire.DecodeHandoffReq(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	nslots := uint32(len(c.srv.cfg.Cluster.Map().Slots))
+	for _, s := range slots {
+		if s >= nslots {
+			return nil, fmt.Errorf("slot %d out of range (map has %d)", s, nslots)
+		}
+	}
+	return &request{c: c, id: f.ID, op: f.Op, slots: slots}, nil
 }
 
 // send enqueues an encoded response frame, dropping it if the writer died.

@@ -67,6 +67,17 @@ type Stats struct {
 	// RateLimited counts requests refused by the per-connection token
 	// bucket (Config.ConnRate).
 	RateLimited stats.Counter
+
+	// Cluster accounting. WrongShard counts keyed ops bounced with
+	// StatusWrongShard (each carried the current map back to the client);
+	// AcquireParked those parked because a handoff into this node covered
+	// their slot; EpochRejected v2 reads refused because their token named a
+	// different write lineage. Handoffs* count target-side slot migrations.
+	WrongShard     stats.Counter
+	AcquireParked  stats.Counter
+	EpochRejected  stats.Counter
+	Handoffs       stats.Counter
+	HandoffsFailed stats.Counter
 }
 
 // ActiveConns returns the number of currently served connections.
@@ -135,7 +146,7 @@ func (s *Stats) String() string {
 	for _, op := range []wire.Op{
 		wire.OpPing, wire.OpPut, wire.OpGet, wire.OpDel, wire.OpBatch, wire.OpMGet, wire.OpScan, wire.OpStats,
 		wire.OpPutV2, wire.OpDelV2, wire.OpBatchV2, wire.OpGetV2, wire.OpMGetV2, wire.OpScanV2,
-		wire.OpIncr, wire.OpIncrV2,
+		wire.OpIncr, wire.OpIncrV2, wire.OpShardMap, wire.OpHandoff,
 	} {
 		fmt.Fprintf(&b, "server.ops.%s %d\n", strings.ToLower(op.String()), s.OpCount(op))
 	}
@@ -160,5 +171,10 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "server.merge_folded %d\n", s.MergeFolded.Load())
 	fmt.Fprintf(&b, "server.logical_writes_per_dbcall %.3f\n", s.LogicalWritesPerDBCall())
 	fmt.Fprintf(&b, "server.rate_limited %d\n", s.RateLimited.Load())
+	fmt.Fprintf(&b, "server.wrong_shard %d\n", s.WrongShard.Load())
+	fmt.Fprintf(&b, "server.acquire_parked %d\n", s.AcquireParked.Load())
+	fmt.Fprintf(&b, "server.epoch_rejected %d\n", s.EpochRejected.Load())
+	fmt.Fprintf(&b, "server.handoffs %d\n", s.Handoffs.Load())
+	fmt.Fprintf(&b, "server.handoffs_failed %d\n", s.HandoffsFailed.Load())
 	return b.String()
 }

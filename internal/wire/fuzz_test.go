@@ -33,15 +33,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Session (v2) payloads: read requests with minSeq tokens, responses
 	// with appliedSeq prefixes, and the bare-seq bodies shared by v2 write
 	// responses and NOT_READY refusals.
-	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 11, Payload: AppendGetV2Req(nil, []byte("k"), 99)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusOK, ID: 11, Payload: AppendGetV2Resp(nil, 104, []byte("v"))}))
-	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusNotReady, ID: 11, Payload: AppendAppliedSeq(nil, 52)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, ID: 12, Payload: AppendMGetV2Req(nil, [][]byte{[]byte("a"), []byte("b")}, 7)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, Status: StatusOK, ID: 12, Payload: AppendMGetV2Resp(nil, 8, [][]byte{[]byte("1"), nil})}))
-	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, ID: 13, Payload: AppendScanV2Req(nil, []byte("s"), 10, 3)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, Status: StatusOK, ID: 13, Payload: AppendScanV2Resp(nil, 20, []KV{{Key: []byte("k"), Value: []byte("v")}})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 11, Payload: AppendGetV2Req(nil, []byte("k"), 99, 17)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusOK, ID: 11, Payload: AppendGetV2Resp(nil, 104, 17, []byte("v"))}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, Status: StatusNotReady, ID: 11, Payload: AppendAppliedSeq(nil, 52, 17)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, ID: 12, Payload: AppendMGetV2Req(nil, [][]byte{[]byte("a"), []byte("b")}, 7, 0)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpMGetV2, Status: StatusOK, ID: 12, Payload: AppendMGetV2Resp(nil, 8, 17, [][]byte{[]byte("1"), nil})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, ID: 13, Payload: AppendScanV2Req(nil, []byte("s"), 10, 3, 17)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpScanV2, Status: StatusOK, ID: 13, Payload: AppendScanV2Resp(nil, 20, 17, []KV{{Key: []byte("k"), Value: []byte("v")}})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpPutV2, ID: 14, Payload: AppendPutReq(nil, []byte("k"), []byte("v"))}))
-	f.Add(AppendFrame(nil, Frame{Op: OpPutV2, Status: StatusOK, ID: 14, Payload: AppendAppliedSeq(nil, 105)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpPutV2, Status: StatusOK, ID: 14, Payload: AppendAppliedSeq(nil, 105, 17)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpBatchV2, ID: 15, Payload: AppendBatchReq(nil, []BatchOp{{Key: []byte("a"), Value: []byte("1")}})}))
 	// A truncated minSeq varint (continuation bit set, nothing follows).
 	f.Add(AppendFrame(nil, Frame{Op: OpGetV2, ID: 16, Payload: []byte{0x80}}))
@@ -50,7 +50,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpIncr, ID: 17, Payload: AppendIncrReq(nil, []byte("c"), -42)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpIncr, Status: StatusOK, ID: 17, Payload: AppendIncrResp(nil, 1<<62)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpIncrV2, ID: 18, Payload: AppendIncrReq(nil, []byte("c"), 9223372036854775807)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpIncrV2, Status: StatusOK, ID: 18, Payload: AppendIncrV2Resp(nil, 7, -9223372036854775808)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpIncrV2, Status: StatusOK, ID: 18, Payload: AppendIncrV2Resp(nil, 7, 17, -9223372036854775808)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 19, Payload: AppendBatchReq(nil, []BatchOp{
 		{Key: []byte("c"), Merge: true, Delta: 5}, {Key: []byte("d"), Value: []byte("v")},
 	})}))
@@ -63,6 +63,25 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpBatch, ID: 22, Payload: []byte{
 		1, 2, 1, 'c', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
 	}}))
+	// Cluster frames: shard maps (standalone and as WRONG_SHARD payloads),
+	// handoff admin/stream messages, and filtered REPL_FRAME2 windows —
+	// including the zero-op window only FRAME2 allows.
+	sm := &ShardMap{Version: 3, Groups: []string{"127.0.0.1:4100", "127.0.0.1:4200"}, Slots: []uint32{0, 1, 0, 1}}
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMap, ID: 23}))
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMap, Status: StatusOK, ID: 23, Payload: AppendShardMap(nil, sm)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpGet, Status: StatusWrongShard, ID: 24, Payload: AppendShardMap(nil, sm)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoff, ID: 25, Payload: AppendHandoffReq(nil, []uint32{1, 3})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoff, Status: StatusOK, ID: 25, Payload: AppendShardMap(nil, sm)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoffHello, ID: 26, Payload: AppendHandoffHelloReq(nil, 1, []uint32{1, 3})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoffHello, Status: StatusOK, ID: 26, Payload: AppendHandoffHelloResp(nil, 3, 1000)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoffFlip, ID: 27}))
+	f.Add(AppendFrame(nil, Frame{Op: OpHandoffFlip, Status: StatusOK, ID: 27, Payload: AppendShardMap(nil, sm)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame2, ID: 28, Payload: AppendReplFrame2(nil, 9, 12, []BatchOp{
+		{Key: []byte("r"), Value: []byte("1")}, {Key: []byte("s"), Delete: true},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame2, ID: 29, Payload: AppendReplFrame2(nil, 13, 13, nil)}))
+	// A shard map whose slot table names a group beyond the group table.
+	f.Add(AppendFrame(nil, Frame{Op: OpShardMap, Status: StatusOK, ID: 30, Payload: []byte{1, 1, 1, 'a', 1, 5}}))
 	// A valid frame with a corrupted interior byte.
 	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
 	corrupt[len(corrupt)/2] ^= 0x5a
@@ -133,6 +152,21 @@ func FuzzDecodeFrame(f *testing.F) {
 		case OpIncrV2:
 			DecodeIncrReq(fr.Payload)
 			DecodeIncrV2Resp(fr.Payload)
+		case OpShardMap:
+			DecodeShardMap(fr.Payload)
+		case OpHandoff:
+			DecodeHandoffReq(fr.Payload)
+			DecodeShardMap(fr.Payload)
+		case OpHandoffHello:
+			DecodeHandoffHelloReq(fr.Payload)
+			DecodeHandoffHelloResp(fr.Payload)
+		case OpHandoffFlip:
+			DecodeShardMap(fr.Payload)
+		case OpReplFrame2:
+			DecodeReplFrame2(fr.Payload)
+		}
+		if fr.Status == StatusWrongShard {
+			DecodeShardMap(fr.Payload)
 		}
 		// The stream reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data[:n]), maxFrame)

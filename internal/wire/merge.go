@@ -58,26 +58,27 @@ func DecodeIncrResp(p []byte) (int64, error) {
 	return value, nil
 }
 
-// --- INCR2 response: uvarint appliedSeq | varint post-merge value ---
+// --- INCR2 response: uvarint appliedSeq | uvarint epoch | varint value ---
 
 // AppendIncrV2Resp encodes an INCR2 success response.
-func AppendIncrV2Resp(dst []byte, appliedSeq uint64, value int64) []byte {
+func AppendIncrV2Resp(dst []byte, appliedSeq, epoch uint64, value int64) []byte {
 	dst = binary.AppendUvarint(dst, appliedSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return binary.AppendVarint(dst, value)
 }
 
 // DecodeIncrV2Resp decodes an INCR2 success response.
-func DecodeIncrV2Resp(p []byte) (appliedSeq uint64, value int64, err error) {
-	appliedSeq, rest, err := getUvarint(p)
+func DecodeIncrV2Resp(p []byte) (appliedSeq, epoch uint64, value int64, err error) {
+	appliedSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	value, rest, err = getVarint(rest)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if len(rest) != 0 {
-		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+		return 0, 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
 	}
-	return appliedSeq, value, nil
+	return appliedSeq, epoch, value, nil
 }

@@ -17,9 +17,9 @@ func TestIncrRoundTrips(t *testing.T) {
 		if err != nil || v != delta {
 			t.Fatalf("incr resp %d: %v %d", delta, err, v)
 		}
-		seq, v2, err := DecodeIncrV2Resp(AppendIncrV2Resp(nil, 42, delta))
-		if err != nil || seq != 42 || v2 != delta {
-			t.Fatalf("incr v2 resp %d: %v %d %d", delta, err, seq, v2)
+		seq, ep, v2, err := DecodeIncrV2Resp(AppendIncrV2Resp(nil, 42, 7, delta))
+		if err != nil || seq != 42 || ep != 7 || v2 != delta {
+			t.Fatalf("incr v2 resp %d: %v %d %d %d", delta, err, seq, ep, v2)
 		}
 	}
 }
@@ -49,7 +49,7 @@ func TestIncrMalformed(t *testing.T) {
 	if _, err := DecodeIncrResp(nil); !errors.Is(err, ErrBadPayload) {
 		t.Error("empty incr resp decoded")
 	}
-	if _, _, err := DecodeIncrV2Resp([]byte{1}); !errors.Is(err, ErrBadPayload) {
+	if _, _, _, err := DecodeIncrV2Resp([]byte{1, 2}); !errors.Is(err, ErrBadPayload) {
 		t.Error("v2 resp missing value decoded")
 	}
 }

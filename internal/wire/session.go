@@ -6,146 +6,179 @@ import (
 )
 
 // Session (payload version 2) codecs. The v2 read requests prefix the v1
-// payload with a minSeq token — "answer only once your applied replication
-// position is ≥ minSeq" — and every v2 response prefixes its v1 payload with
-// the node's applied sequence, which clients fold into their session token
-// for read-your-writes and monotonic reads. A StatusNotReady (and a GET2
-// StatusNotFound) response carries the bare applied sequence.
+// payload with a (minSeq, epoch) token — "answer only once your applied
+// replication position is ≥ minSeq, and only if your write lineage matches
+// epoch" — and every v2 response prefixes its v1 payload with the node's
+// (appliedSeq, epoch), which clients fold into their session token for
+// read-your-writes and monotonic reads. A StatusNotReady (and a GET2
+// StatusNotFound) response carries the bare applied pair.
+//
+// The epoch is the write-lineage identifier minted by the replication log
+// (see package repl). An epoch of 0 in a request means "no lineage claim":
+// the node applies the seq gate alone, which keeps pre-epoch clients and
+// freshly seeded sessions working. A non-zero request epoch that differs
+// from the node's is answered StatusNotReady — sequences from different
+// lineages are not comparable, so clamping would silently break the
+// session guarantee instead of surfacing the failover.
 //
 // The v2 write ops (PUT2, DEL2, BATCH2) reuse the v1 request payloads; their
-// StatusOK responses carry the committed batch's last sequence, which is the
-// token a session gates subsequent follower reads on.
+// StatusOK responses carry the committed batch's last sequence plus the
+// epoch it was minted under, which is the token a session gates subsequent
+// follower reads on.
 
-// --- v2 read requests: minSeq | <v1 request payload> ---
+// --- v2 read requests: minSeq | epoch | <v1 request payload> ---
 
-// AppendGetV2Req encodes a GET2 request: minSeq | klen | key.
-func AppendGetV2Req(dst, key []byte, minSeq uint64) []byte {
+// AppendGetV2Req encodes a GET2 request: minSeq | epoch | klen | key.
+func AppendGetV2Req(dst, key []byte, minSeq, epoch uint64) []byte {
 	dst = binary.AppendUvarint(dst, minSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return AppendKeyReq(dst, key)
 }
 
 // DecodeGetV2Req decodes a GET2 payload; key aliases p.
-func DecodeGetV2Req(p []byte) (key []byte, minSeq uint64, err error) {
-	minSeq, rest, err := getUvarint(p)
+func DecodeGetV2Req(p []byte) (key []byte, minSeq, epoch uint64, err error) {
+	minSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	key, err = DecodeKeyReq(rest)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return key, minSeq, nil
+	return key, minSeq, epoch, nil
 }
 
-// AppendMGetV2Req encodes an MGET2 request: minSeq | count | keys.
-func AppendMGetV2Req(dst []byte, keyList [][]byte, minSeq uint64) []byte {
+// AppendMGetV2Req encodes an MGET2 request: minSeq | epoch | count | keys.
+func AppendMGetV2Req(dst []byte, keyList [][]byte, minSeq, epoch uint64) []byte {
 	dst = binary.AppendUvarint(dst, minSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return AppendMGetReq(dst, keyList)
 }
 
 // DecodeMGetV2Req decodes an MGET2 payload; key slices alias p.
-func DecodeMGetV2Req(p []byte) (keyList [][]byte, minSeq uint64, err error) {
-	minSeq, rest, err := getUvarint(p)
+func DecodeMGetV2Req(p []byte) (keyList [][]byte, minSeq, epoch uint64, err error) {
+	minSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	keyList, err = DecodeMGetReq(rest)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return keyList, minSeq, nil
+	return keyList, minSeq, epoch, nil
 }
 
-// AppendScanV2Req encodes a SCAN2 request: minSeq | klen | start | limit.
-func AppendScanV2Req(dst, start []byte, limit uint32, minSeq uint64) []byte {
+// AppendScanV2Req encodes a SCAN2 request: minSeq | epoch | klen | start | limit.
+func AppendScanV2Req(dst, start []byte, limit uint32, minSeq, epoch uint64) []byte {
 	dst = binary.AppendUvarint(dst, minSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return AppendScanReq(dst, start, limit)
 }
 
 // DecodeScanV2Req decodes a SCAN2 payload; start aliases p.
-func DecodeScanV2Req(p []byte) (start []byte, limit uint32, minSeq uint64, err error) {
-	minSeq, rest, err := getUvarint(p)
+func DecodeScanV2Req(p []byte) (start []byte, limit uint32, minSeq, epoch uint64, err error) {
+	minSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	start, limit, err = DecodeScanReq(rest)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	return start, limit, minSeq, nil
+	return start, limit, minSeq, epoch, nil
 }
 
-// --- v2 responses: appliedSeq | <v1 response payload> ---
-
-// AppendAppliedSeq encodes a bare applied-sequence payload: the whole body
-// of a v2 write response, a NOT_READY refusal, or a GET2 miss.
-func AppendAppliedSeq(dst []byte, appliedSeq uint64) []byte {
-	return binary.AppendUvarint(dst, appliedSeq)
-}
-
-// DecodeAppliedSeq decodes a bare applied-sequence payload; trailing bytes
-// are an error.
-func DecodeAppliedSeq(p []byte) (appliedSeq uint64, err error) {
-	appliedSeq, rest, err := getUvarint(p)
+// getSeqEpoch consumes the leading (seq, epoch) pair every v2 payload opens
+// with.
+func getSeqEpoch(p []byte) (seq, epoch uint64, rest []byte, err error) {
+	seq, rest, err = getUvarint(p)
 	if err != nil {
-		return 0, err
+		return 0, 0, nil, err
+	}
+	epoch, rest, err = getUvarint(rest)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return seq, epoch, rest, nil
+}
+
+// --- v2 responses: appliedSeq | epoch | <v1 response payload> ---
+
+// AppendAppliedSeq encodes a bare applied (seq, epoch) payload: the whole
+// body of a v2 write response, a NOT_READY refusal, or a GET2 miss.
+func AppendAppliedSeq(dst []byte, appliedSeq, epoch uint64) []byte {
+	dst = binary.AppendUvarint(dst, appliedSeq)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// DecodeAppliedSeq decodes a bare applied (seq, epoch) payload; trailing
+// bytes are an error.
+func DecodeAppliedSeq(p []byte) (appliedSeq, epoch uint64, err error) {
+	appliedSeq, epoch, rest, err := getSeqEpoch(p)
+	if err != nil {
+		return 0, 0, err
 	}
 	if len(rest) != 0 {
-		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
 	}
-	return appliedSeq, nil
+	return appliedSeq, epoch, nil
 }
 
-// AppendGetV2Resp encodes a GET2 hit: appliedSeq | value (value runs to the
-// end of the payload, exactly like the v1 GET response body).
-func AppendGetV2Resp(dst []byte, appliedSeq uint64, value []byte) []byte {
+// AppendGetV2Resp encodes a GET2 hit: appliedSeq | epoch | value (value runs
+// to the end of the payload, exactly like the v1 GET response body).
+func AppendGetV2Resp(dst []byte, appliedSeq, epoch uint64, value []byte) []byte {
 	dst = binary.AppendUvarint(dst, appliedSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return append(dst, value...)
 }
 
 // DecodeGetV2Resp decodes a GET2 hit; value aliases p and may be empty.
-func DecodeGetV2Resp(p []byte) (appliedSeq uint64, value []byte, err error) {
-	appliedSeq, rest, err := getUvarint(p)
+func DecodeGetV2Resp(p []byte) (appliedSeq, epoch uint64, value []byte, err error) {
+	appliedSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return appliedSeq, rest, nil
+	return appliedSeq, epoch, rest, nil
 }
 
-// AppendMGetV2Resp encodes an MGET2 response: appliedSeq | v1 MGET response.
-func AppendMGetV2Resp(dst []byte, appliedSeq uint64, vals [][]byte) []byte {
+// AppendMGetV2Resp encodes an MGET2 response: appliedSeq | epoch | v1 MGET
+// response.
+func AppendMGetV2Resp(dst []byte, appliedSeq, epoch uint64, vals [][]byte) []byte {
 	dst = binary.AppendUvarint(dst, appliedSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return AppendMGetResp(dst, vals)
 }
 
 // DecodeMGetV2Resp decodes an MGET2 response; value slices alias p.
-func DecodeMGetV2Resp(p []byte) (appliedSeq uint64, vals [][]byte, err error) {
-	appliedSeq, rest, err := getUvarint(p)
+func DecodeMGetV2Resp(p []byte) (appliedSeq, epoch uint64, vals [][]byte, err error) {
+	appliedSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	vals, err = DecodeMGetResp(rest)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return appliedSeq, vals, nil
+	return appliedSeq, epoch, vals, nil
 }
 
-// AppendScanV2Resp encodes a SCAN2 response: appliedSeq | v1 SCAN response.
-func AppendScanV2Resp(dst []byte, appliedSeq uint64, kvs []KV) []byte {
+// AppendScanV2Resp encodes a SCAN2 response: appliedSeq | epoch | v1 SCAN
+// response.
+func AppendScanV2Resp(dst []byte, appliedSeq, epoch uint64, kvs []KV) []byte {
 	dst = binary.AppendUvarint(dst, appliedSeq)
+	dst = binary.AppendUvarint(dst, epoch)
 	return AppendScanResp(dst, kvs)
 }
 
 // DecodeScanV2Resp decodes a SCAN2 response; pair slices alias p.
-func DecodeScanV2Resp(p []byte) (appliedSeq uint64, kvs []KV, err error) {
-	appliedSeq, rest, err := getUvarint(p)
+func DecodeScanV2Resp(p []byte) (appliedSeq, epoch uint64, kvs []KV, err error) {
+	appliedSeq, epoch, rest, err := getSeqEpoch(p)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	kvs, err = DecodeScanResp(rest)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return appliedSeq, kvs, nil
+	return appliedSeq, epoch, kvs, nil
 }

@@ -7,60 +7,70 @@ import (
 )
 
 func TestSessionReadReqRoundTrip(t *testing.T) {
-	key, minSeq := []byte("some-key"), uint64(123456)
-	p := AppendGetV2Req(nil, key, minSeq)
-	gk, gs, err := DecodeGetV2Req(p)
-	if err != nil || !bytes.Equal(gk, key) || gs != minSeq {
-		t.Fatalf("GET2 round trip: %q %d %v", gk, gs, err)
+	key, minSeq, epoch := []byte("some-key"), uint64(123456), uint64(0xdead)
+	p := AppendGetV2Req(nil, key, minSeq, epoch)
+	gk, gs, ge, err := DecodeGetV2Req(p)
+	if err != nil || !bytes.Equal(gk, key) || gs != minSeq || ge != epoch {
+		t.Fatalf("GET2 round trip: %q %d %d %v", gk, gs, ge, err)
 	}
 
 	keyList := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
-	p = AppendMGetV2Req(nil, keyList, minSeq)
-	mk, ms, err := DecodeMGetV2Req(p)
-	if err != nil || ms != minSeq || len(mk) != 3 || !bytes.Equal(mk[2], []byte("ccc")) {
-		t.Fatalf("MGET2 round trip: %v %d %v", mk, ms, err)
+	p = AppendMGetV2Req(nil, keyList, minSeq, epoch)
+	mk, ms, me, err := DecodeMGetV2Req(p)
+	if err != nil || ms != minSeq || me != epoch || len(mk) != 3 || !bytes.Equal(mk[2], []byte("ccc")) {
+		t.Fatalf("MGET2 round trip: %v %d %d %v", mk, ms, me, err)
 	}
 
-	p = AppendScanV2Req(nil, []byte("start"), 77, minSeq)
-	st, lim, ss, err := DecodeScanV2Req(p)
-	if err != nil || !bytes.Equal(st, []byte("start")) || lim != 77 || ss != minSeq {
-		t.Fatalf("SCAN2 round trip: %q %d %d %v", st, lim, ss, err)
+	p = AppendScanV2Req(nil, []byte("start"), 77, minSeq, epoch)
+	st, lim, ss, se, err := DecodeScanV2Req(p)
+	if err != nil || !bytes.Equal(st, []byte("start")) || lim != 77 || ss != minSeq || se != epoch {
+		t.Fatalf("SCAN2 round trip: %q %d %d %d %v", st, lim, ss, se, err)
+	}
+
+	// Epoch 0 — "no lineage claim" — round-trips like any other value.
+	gk, gs, ge, err = DecodeGetV2Req(AppendGetV2Req(nil, key, 5, 0))
+	if err != nil || gs != 5 || ge != 0 {
+		t.Fatalf("GET2 epoch-0 round trip: %q %d %d %v", gk, gs, ge, err)
 	}
 }
 
 func TestSessionRespRoundTrip(t *testing.T) {
-	p := AppendAppliedSeq(nil, 42)
-	if got, err := DecodeAppliedSeq(p); err != nil || got != 42 {
-		t.Fatalf("applied seq round trip: %d %v", got, err)
+	p := AppendAppliedSeq(nil, 42, 9)
+	if got, ep, err := DecodeAppliedSeq(p); err != nil || got != 42 || ep != 9 {
+		t.Fatalf("applied seq round trip: %d %d %v", got, ep, err)
 	}
-	if _, err := DecodeAppliedSeq(append(p, 0)); !errors.Is(err, ErrBadPayload) {
+	if _, _, err := DecodeAppliedSeq(append(p, 0)); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("trailing bytes accepted: %v", err)
 	}
-	if _, err := DecodeAppliedSeq(nil); !errors.Is(err, ErrBadPayload) {
+	if _, _, err := DecodeAppliedSeq(nil); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("empty applied seq accepted: %v", err)
 	}
+	// A seq with no epoch is a truncated payload now.
+	if _, _, err := DecodeAppliedSeq([]byte{42}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("epochless applied seq accepted: %v", err)
+	}
 
-	p = AppendGetV2Resp(nil, 9, []byte("value"))
-	seq, v, err := DecodeGetV2Resp(p)
-	if err != nil || seq != 9 || !bytes.Equal(v, []byte("value")) {
-		t.Fatalf("GET2 resp: %d %q %v", seq, v, err)
+	p = AppendGetV2Resp(nil, 9, 3, []byte("value"))
+	seq, ep, v, err := DecodeGetV2Resp(p)
+	if err != nil || seq != 9 || ep != 3 || !bytes.Equal(v, []byte("value")) {
+		t.Fatalf("GET2 resp: %d %d %q %v", seq, ep, v, err)
 	}
 	// Empty value is legal (a present key may hold no bytes).
-	seq, v, err = DecodeGetV2Resp(AppendGetV2Resp(nil, 3, nil))
-	if err != nil || seq != 3 || len(v) != 0 {
-		t.Fatalf("GET2 empty resp: %d %q %v", seq, v, err)
+	seq, ep, v, err = DecodeGetV2Resp(AppendGetV2Resp(nil, 3, 1, nil))
+	if err != nil || seq != 3 || ep != 1 || len(v) != 0 {
+		t.Fatalf("GET2 empty resp: %d %d %q %v", seq, ep, v, err)
 	}
 
-	p = AppendMGetV2Resp(nil, 8, [][]byte{[]byte("x"), nil, {}})
-	seq, vals, err := DecodeMGetV2Resp(p)
-	if err != nil || seq != 8 || len(vals) != 3 || vals[1] != nil || vals[2] == nil {
-		t.Fatalf("MGET2 resp: %d %v %v", seq, vals, err)
+	p = AppendMGetV2Resp(nil, 8, 2, [][]byte{[]byte("x"), nil, {}})
+	seq, ep, vals, err := DecodeMGetV2Resp(p)
+	if err != nil || seq != 8 || ep != 2 || len(vals) != 3 || vals[1] != nil || vals[2] == nil {
+		t.Fatalf("MGET2 resp: %d %d %v %v", seq, ep, vals, err)
 	}
 
-	p = AppendScanV2Resp(nil, 15, []KV{{Key: []byte("k"), Value: []byte("v")}})
-	seq, kvs, err := DecodeScanV2Resp(p)
-	if err != nil || seq != 15 || len(kvs) != 1 || !bytes.Equal(kvs[0].Key, []byte("k")) {
-		t.Fatalf("SCAN2 resp: %d %v %v", seq, kvs, err)
+	p = AppendScanV2Resp(nil, 15, 4, []KV{{Key: []byte("k"), Value: []byte("v")}})
+	seq, ep, kvs, err := DecodeScanV2Resp(p)
+	if err != nil || seq != 15 || ep != 4 || len(kvs) != 1 || !bytes.Equal(kvs[0].Key, []byte("k")) {
+		t.Fatalf("SCAN2 resp: %d %d %v %v", seq, ep, kvs, err)
 	}
 }
 
@@ -69,33 +79,37 @@ func TestSessionRespRoundTrip(t *testing.T) {
 func TestSessionCodecsStrict(t *testing.T) {
 	// Truncated minSeq varint (0x80 declares a continuation that never comes).
 	cont := []byte{0x80}
-	if _, _, err := DecodeGetV2Req(cont); err == nil {
+	if _, _, _, err := DecodeGetV2Req(cont); err == nil {
 		t.Fatal("truncated GET2 minSeq accepted")
 	}
-	if _, _, err := DecodeMGetV2Req(cont); err == nil {
+	if _, _, _, err := DecodeMGetV2Req(cont); err == nil {
 		t.Fatal("truncated MGET2 minSeq accepted")
 	}
-	if _, _, _, err := DecodeScanV2Req(cont); err == nil {
+	if _, _, _, _, err := DecodeScanV2Req(cont); err == nil {
 		t.Fatal("truncated SCAN2 minSeq accepted")
 	}
-	if _, _, err := DecodeMGetV2Resp(cont); err == nil {
+	if _, _, _, err := DecodeMGetV2Resp(cont); err == nil {
 		t.Fatal("truncated MGET2 resp accepted")
 	}
-	if _, _, err := DecodeScanV2Resp(cont); err == nil {
+	if _, _, _, err := DecodeScanV2Resp(cont); err == nil {
 		t.Fatal("truncated SCAN2 resp accepted")
 	}
+	// minSeq present but the epoch varint is truncated.
+	if _, _, _, err := DecodeGetV2Req([]byte{5, 0x80}); err == nil {
+		t.Fatal("truncated GET2 epoch accepted")
+	}
 
-	// minSeq present but the inner payload is missing or malformed.
-	if _, _, err := DecodeGetV2Req(AppendAppliedSeq(nil, 7)); err == nil {
+	// Token pair present but the inner payload is missing or malformed.
+	if _, _, _, err := DecodeGetV2Req(AppendAppliedSeq(nil, 7, 1)); err == nil {
 		t.Fatal("GET2 with no key accepted")
 	}
-	if _, _, err := DecodeGetV2Req(append(AppendGetV2Req(nil, []byte("k"), 7), 'x')); err == nil {
+	if _, _, _, err := DecodeGetV2Req(append(AppendGetV2Req(nil, []byte("k"), 7, 1), 'x')); err == nil {
 		t.Fatal("GET2 with trailing bytes accepted")
 	}
-	if _, _, _, err := DecodeScanV2Req(append(AppendScanV2Req(nil, []byte("s"), 1, 7), 'x')); err == nil {
+	if _, _, _, _, err := DecodeScanV2Req(append(AppendScanV2Req(nil, []byte("s"), 1, 7, 1), 'x')); err == nil {
 		t.Fatal("SCAN2 with trailing bytes accepted")
 	}
-	if _, _, err := DecodeMGetV2Req(append(AppendMGetV2Req(nil, [][]byte{[]byte("k")}, 7), 'x')); err == nil {
+	if _, _, _, err := DecodeMGetV2Req(append(AppendMGetV2Req(nil, [][]byte{[]byte("k")}, 7, 1), 'x')); err == nil {
 		t.Fatal("MGET2 with trailing bytes accepted")
 	}
 }

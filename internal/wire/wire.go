@@ -68,6 +68,22 @@ const (
 	OpIncr
 	OpIncrV2
 
+	// Cluster ops (package cluster). OpShardMap fetches the node's current
+	// shard map; every StatusWrongShard response also carries one, so a
+	// stale client refreshes for free. OpHandoff is the admin trigger: the
+	// receiving node becomes the *target* of a slot migration and pulls the
+	// range from its current owner. OpHandoffHello opens a handoff stream
+	// (target→source, first frame on its connection, like OpReplHello);
+	// OpHandoffFlip is the target's in-stream request for the source to
+	// flip ownership; OpReplFrame2 is the handoff variant of OpReplFrame
+	// whose explicit [base,last] window may contain zero surviving ops
+	// after slot filtering.
+	OpShardMap
+	OpHandoff
+	OpHandoffHello
+	OpHandoffFlip
+	OpReplFrame2
+
 	opMax
 )
 
@@ -116,6 +132,16 @@ func (o Op) String() string {
 		return "INCR"
 	case OpIncrV2:
 		return "INCR2"
+	case OpShardMap:
+		return "SHARDMAP"
+	case OpHandoff:
+		return "HANDOFF"
+	case OpHandoffHello:
+		return "HANDOFF_HELLO"
+	case OpHandoffFlip:
+		return "HANDOFF_FLIP"
+	case OpReplFrame2:
+		return "REPL_FRAME2"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -138,6 +164,11 @@ const (
 	// admission token bucket before it reached the drainer. The client may
 	// retry after backing off; the payload is the message text.
 	StatusRateLimited
+	// StatusWrongShard answers a keyed op whose slot this node does not
+	// own. The payload is the node's current shard map (EncodeShardMap),
+	// so the client refreshes its routing table and retries against the
+	// real owner without an extra round trip.
+	StatusWrongShard
 )
 
 func (s Status) String() string {
@@ -156,6 +187,8 @@ func (s Status) String() string {
 		return "not ready"
 	case StatusRateLimited:
 		return "rate limited"
+	case StatusWrongShard:
+		return "wrong shard"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -86,8 +86,10 @@ echo "== staleness assertion: token-gated follower read returns the write =="
 # session seeded from that token. The first read of a fresh session always
 # routes to the follower, which must serve the just-written value — the
 # gate holds it until the write has applied — and say so on stderr.
-TOK=$("$BIN/hyperctl" put -addr "$PRIMARY" -policy bounded stale-probe v2 2>&1 >/dev/null | sed -n 's/.*token \([0-9]*\).*/\1/p')
-[ -n "$TOK" ] || { echo "session put printed no token" >&2; exit 1; }
+# Tokens are epoch-qualified (SEQ@EPOCH); carry the whole thing so the
+# lineage check is exercised end to end, and require the epoch half.
+TOK=$("$BIN/hyperctl" put -addr "$PRIMARY" -policy bounded stale-probe v2 2>&1 >/dev/null | sed -n 's/.*token \([0-9]*@[0-9]*\).*/\1/p')
+[ -n "$TOK" ] || { echo "session put printed no epoch-qualified token" >&2; exit 1; }
 got=$("$BIN/hyperctl" get -addr "$PRIMARY" -followers "$FOLLOWER" -policy bounded -token "$TOK" stale-probe 2>"$BIN/get.err")
 if [ "$got" != "v2" ]; then
   echo "stale follower read: got '$got', want 'v2' (token $TOK)" >&2; exit 1
