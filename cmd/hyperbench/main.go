@@ -14,6 +14,14 @@
 // benchmark form):
 //
 //	hyperbench -workload=counter -clients 32 -inflight 16 -counter-ops 200000
+//
+// -workload=compress runs the capacity-tier codec A/B instead (the
+// LevelDB+Snappy runbook shape): compressible values loaded past the NVMe
+// tier, contrasting on-disk bytes, compaction traffic and read latency
+// with the block codec on vs off. -compress=on|off picks one side; for
+// figure runs the same flag applies the codec to every engine:
+//
+//	hyperbench -workload=compress [-compress on|off] [-compress-keys 20000]
 package main
 
 import (
@@ -36,15 +44,43 @@ func main() {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
 	hotMode := flag.String("hotness", "bloom", "HyperDB hotness tracker mode: bloom (paper-faithful) or sketch (O(1) memory)")
-	workload := flag.String("workload", "", "alternative workload instead of paper figures: counter")
+	workload := flag.String("workload", "", "alternative workload instead of paper figures: counter, compress")
 	clients := flag.Int("clients", 32, "counter workload: client connections")
 	inflight := flag.Int("inflight", 16, "counter workload: pipelined increments per connection")
 	counterKeys := flag.Int("counter-keys", 64, "counter workload: counter keyspace size")
 	counterOps := flag.Int("counter-ops", 200_000, "counter workload: total increments per A/B side")
 	hotPct := flag.Int("hot", 50, "counter workload: percent of increments on the hottest key")
+	compressArg := flag.String("compress", "", "capacity-tier block codec: on or off (figures: applies to every engine; -workload=compress: picks one A/B side, empty runs both)")
+	compressKeys := flag.Int("compress-keys", 20_000, "compress workload: loaded keys")
+	compressVal := flag.Int("compress-value", 1024, "compress workload: value size in bytes")
+	compressReads := flag.Int("compress-reads", 4_000, "compress workload: measured point reads")
 	flag.Parse()
+	switch *compressArg {
+	case "", "on", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "hyperbench: -compress must be on or off, got %q\n", *compressArg)
+		os.Exit(2)
+	}
 	switch *workload {
 	case "":
+	case "compress":
+		if flag.NArg() != 0 || *compressKeys < 1 || *compressVal < 16 || *compressReads < 1 {
+			compressUsage()
+		}
+		sides := []string{"off", "on"}
+		if *compressArg != "" {
+			sides = []string{*compressArg}
+		}
+		if err := runCompressWorkload(compressConfig{
+			keys:  *compressKeys,
+			value: *compressVal,
+			reads: *compressReads,
+			sides: sides,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperbench:", err)
+			os.Exit(1)
+		}
+		return
 	case "counter":
 		if flag.NArg() != 0 || *clients < 1 || *inflight < 1 || *counterKeys < 2 ||
 			*counterOps < 1 || *hotPct < 0 || *hotPct > 100 {
@@ -101,6 +137,7 @@ func main() {
 		scale.Throttled = false
 	}
 	scale.TrackerMode = hotness.Mode(*hotMode)
+	scale.Compress = *compressArg
 
 	figs := flag.Args()
 	if len(figs) == 0 {

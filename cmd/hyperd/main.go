@@ -66,6 +66,10 @@ func main() {
 		upstream    = flag.String("upstream", "", "primary address to replicate from (follower role)")
 		replSync    = flag.Bool("repl-sync", false, "writes wait for every attached follower's ack")
 		replEntries = flag.Int("repl-log-entries", 0, "retained replication log entries (0 = default)")
+		replAckWait = flag.Duration("repl-ack-timeout", 0, "synchronous-ack wait before evicting a stalled follower (0 = default, negative = forever)")
+		antiEntropy = flag.Bool("anti-entropy", false, "maintain a Merkle tree so diverged replicas rejoin via O(divergence) range repair")
+		compressArg = flag.String("compress", "", "capacity-tier block codec: off (default) or on/lz; the NVMe zone tier always stays raw")
+		compressMin = flag.Int("compress-min-level", 0, "shallowest LSM level the codec applies to (0 = default 1)")
 		readWait    = flag.Duration("read-wait", 0, "max wait for a session read's token before NOT_READY (0 = default)")
 		connRate    = flag.Float64("conn-rate", 0, "per-connection request rate limit in ops/sec (0 = unlimited)")
 		connBurst   = flag.Int("conn-burst", 0, "per-connection rate-limit burst (0 = max(1, conn-rate))")
@@ -102,12 +106,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := hyperdb.Options{
-		Partitions:   *partitions,
-		NVMeCapacity: *nvme,
-		SATACapacity: *sata,
-		CacheBytes:   *cacheBytes,
-		Unthrottled:  *unthrottled,
-		Follower:     *role == "follower",
+		Partitions:       *partitions,
+		NVMeCapacity:     *nvme,
+		SATACapacity:     *sata,
+		CacheBytes:       *cacheBytes,
+		Unthrottled:      *unthrottled,
+		Follower:         *role == "follower",
+		Compress:         *compressArg,
+		CompressMinLevel: *compressMin,
+		AntiEntropy:      *antiEntropy,
 	}
 	opts.Tracker.Mode = hotness.Mode(*hotMode)
 	// Any replicating role ships a log: a primary feeds its followers, and
@@ -116,7 +123,7 @@ func main() {
 	// Cluster nodes always tee a log too: slot handoff streams from it.
 	var rlog *repl.Log
 	if *role != "" || *peers != "" {
-		rlog = repl.NewLog(repl.LogConfig{MaxEntries: *replEntries, SyncAck: *replSync})
+		rlog = repl.NewLog(repl.LogConfig{MaxEntries: *replEntries, SyncAck: *replSync, AckTimeout: *replAckWait})
 		opts.Tee = rlog
 	}
 	db, err := hyperdb.Open(opts)
@@ -146,10 +153,10 @@ func main() {
 	// flips IsFollower, switching the node to its own epoch.
 	var fol *repl.Follower
 	if *role == "follower" {
-		fol = &repl.Follower{DB: db, Log: rlog}
+		fol = &repl.Follower{DB: db, Log: rlog, Tree: db.MerkleTree()}
 	}
 	if rlog != nil {
-		cfg.Repl = &repl.Primary{DB: db, Log: rlog}
+		cfg.Repl = &repl.Primary{DB: db, Log: rlog, Tree: db.MerkleTree()}
 		cfg.Epoch = func() uint64 {
 			if fol != nil && db.IsFollower() {
 				return fol.Epoch()

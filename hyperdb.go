@@ -34,6 +34,7 @@ import (
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
+	"hyperdb/internal/merkle"
 )
 
 // ErrNotFound is returned by Get when a key does not exist or was deleted.
@@ -235,6 +236,11 @@ func (db *DB) MultiGetSession(keys [][]byte) ([][]byte, uint64, error) {
 func (db *DB) ScanSession(start []byte, limit int) ([]KV, uint64, error) {
 	return db.inner.ScanSession(start, limit)
 }
+
+// MerkleTree returns the incremental anti-entropy tree, nil unless
+// Options.AntiEntropy was set. The replication layer snapshots it to serve
+// O(divergence) replica rejoin.
+func (db *DB) MerkleTree() *merkle.Tree { return db.inner.MerkleTree() }
 
 // Engine exposes the underlying core engine for advanced instrumentation.
 func (db *DB) Engine() *core.DB { return db.inner }

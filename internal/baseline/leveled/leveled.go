@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 	"hyperdb/internal/sstable"
@@ -52,6 +53,9 @@ type Options struct {
 	PageCache cache.BlockCache
 	// BloomBits per key for table filters.
 	BloomBits int
+	// Compress picks the block codec per level; levels below the policy's
+	// MinLevel write the legacy raw format.
+	Compress compress.Policy
 }
 
 func (o *Options) fill() {
@@ -104,11 +108,15 @@ func (t *table) release() {
 
 func (t *table) rang() keys.Range { return t.meta.Range() }
 
-// LevelTraffic tallies compaction I/O per level (Figure 3b).
+// LevelTraffic tallies compaction I/O per level (Figure 3b). RawBytes and
+// StoredBytes compare uncompressed vs on-device data-block sizes written at
+// the level; their ratio is the level's compression ratio.
 type LevelTraffic struct {
 	ReadBytes   stats.Counter
 	WriteBytes  stats.Counter
 	Compactions stats.Counter
+	RawBytes    stats.Counter
+	StoredBytes stats.Counter
 }
 
 // LSM is the leveled tree. Mutations (Ingest, CompactOnce) must come from
@@ -251,6 +259,7 @@ func (l *LSM) buildTableOn(dev *device.Device, level int, gen uint64, entries []
 		BloomBitsPerKey: l.opts.BloomBits,
 		ExpectedKeys:    int(l.opts.FileSize / 64),
 		Op:              op,
+		Codec:           l.opts.Compress.CodecFor(level),
 	})
 	written := int64(0)
 	i := 0
@@ -271,6 +280,8 @@ func (l *LSM) buildTableOn(dev *device.Device, level int, gen uint64, entries []
 		dev.Remove(name)
 		return nil, nil, err
 	}
+	l.traffic[level].RawBytes.Add(uint64(meta.RawSize))
+	l.traffic[level].StoredBytes.Add(uint64(meta.DataSize))
 	r, err := sstable.OpenReader(f, l.opts.PageCache, op)
 	if err != nil {
 		dev.Remove(name)

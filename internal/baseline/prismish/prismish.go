@@ -22,6 +22,7 @@ import (
 	"hyperdb/internal/baseline/leveled"
 	"hyperdb/internal/btree"
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/stats"
 )
@@ -50,6 +51,8 @@ type Options struct {
 	MaxLevels int
 	// BackgroundThreads compacts the SATA LSM (paper default 8).
 	BackgroundThreads int
+	// Compress picks the SSTable block codec per level (zero: raw).
+	Compress compress.Policy
 	// DisableBackground turns workers off.
 	DisableBackground bool
 	// BackgroundInterval is the workers' poll period.
@@ -182,6 +185,7 @@ func Open(opts Options) (*DB, error) {
 		Ratio:     opts.Ratio,
 		MaxLevels: opts.MaxLevels,
 		PageCache: db.dram,
+		Compress:  opts.Compress,
 	})
 	if err != nil {
 		return nil, err

@@ -59,6 +59,7 @@ func Recover(opts Options) (*DB, error) {
 		Ratio:     opts.Ratio,
 		MaxLevels: opts.MaxLevels,
 		PageCache: db.dram,
+		Compress:  opts.Compress,
 	}, opts.SATA)
 	if err != nil {
 		return nil, err

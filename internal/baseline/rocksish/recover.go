@@ -57,6 +57,7 @@ func Recover(opts Options) (*DB, error) {
 		Ratio:     opts.Ratio,
 		MaxLevels: opts.MaxLevels,
 		PageCache: db.bc,
+		Compress:  opts.Compress,
 	}, opts.NVMe, opts.SATA)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 
 	"hyperdb/internal/baseline/leveled"
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 	"hyperdb/internal/skiplist"
@@ -48,6 +49,8 @@ type Options struct {
 	MaxLevels int
 	// BackgroundThreads is the compaction thread count (paper default 8).
 	BackgroundThreads int
+	// Compress picks the SSTable block codec per level (zero: raw).
+	Compress compress.Policy
 	// DisableBackground turns workers off (tests drive CompactOnce).
 	DisableBackground bool
 	// BackgroundInterval is the workers' poll period.
@@ -132,6 +135,7 @@ func Open(opts Options) (*DB, error) {
 		Ratio:     opts.Ratio,
 		MaxLevels: opts.MaxLevels,
 		PageCache: db.bc,
+		Compress:  opts.Compress,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,36 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode is the compressed-block decode contract: no payload panics,
+// allocation stays under the cap, and every Encode output round-trips.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 0, 0, 0, 0})
+	f.Add(Encode(nil, None, []byte("seed")))
+	f.Add(Encode(nil, LZ, bytes.Repeat([]byte("seed value "), 64)))
+	f.Add(Encode(nil, LZ, bytes.Repeat([]byte{0}, 512)))
+	f.Add([]byte{1, 255, 255, 255, 255, 127}) // huge declared rawLen
+	f.Fuzz(func(t *testing.T, p []byte) {
+		const cap = 1 << 16
+		out, err := Decode(p, cap) // must never panic
+		if err == nil && len(out) > cap {
+			t.Fatalf("decode produced %d bytes past cap %d", len(out), cap)
+		}
+		// Treat the input as raw data too: encoding must round-trip.
+		for _, c := range []Codec{None, LZ} {
+			enc := Encode(nil, c, p)
+			dec, err := Decode(enc, len(p)+1)
+			if err != nil {
+				t.Fatalf("codec %v: decode of fresh encode failed: %v", c, err)
+			}
+			if !bytes.Equal(dec, p) {
+				t.Fatalf("codec %v: round trip mismatch", c)
+			}
+		}
+	})
+}

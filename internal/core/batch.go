@@ -95,6 +95,14 @@ func (db *DB) WriteBatchSeq(ops []BatchOp) (uint64, error) {
 // Shared by the foreground WriteBatch path and the replication appliers, so
 // replicated writes exercise the identical tracker/zone/stall machinery.
 func (db *DB) applyAt(ops []BatchOp, seqOf func(int) uint64) error {
+	if db.tree != nil {
+		// Every apply path dirties the written keys' Merkle leaves, so the
+		// tree stays consistent on primaries, followers, and across
+		// snapshot bootstraps alike.
+		for i := range ops {
+			db.tree.MarkKey(ops[i].Key)
+		}
+	}
 	// Group op indices per partition, preserving slice order within a group.
 	groups := make(map[*partition][]int, len(db.parts))
 	for i := range ops {

@@ -12,6 +12,7 @@ import (
 	"hyperdb/internal/hotness"
 	"hyperdb/internal/keys"
 	"hyperdb/internal/lsm"
+	"hyperdb/internal/merkle"
 	"hyperdb/internal/zone"
 )
 
@@ -99,6 +100,10 @@ type DB struct {
 	// mergeOps counts merge ops resolved through the batch path.
 	mergeOps atomic.Uint64
 
+	// tree is the incremental Merkle tree over the keyspace, maintained
+	// from every apply path when Options.AntiEntropy is set; nil otherwise.
+	tree *merkle.Tree
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -118,6 +123,9 @@ func Open(opts Options) (*DB, error) {
 		readCh: make(chan struct{}),
 	}
 	db.follower.Store(opts.Follower)
+	if opts.AntiEntropy {
+		db.tree = merkle.New(merkle.DefaultBits)
+	}
 
 	p := uint64(opts.Partitions)
 	width := math.MaxUint64/p + 1
@@ -160,6 +168,7 @@ func Open(opts Options) (*DB, error) {
 			PowerK:        opts.PowerK,
 			PageCache:     db.cache,
 			MetaBackup:    metaDev,
+			Compress:      opts.CompressPolicy,
 			Seed:          uint64(i + 1),
 		})
 		part := &partition{
@@ -430,6 +439,10 @@ func (db *DB) CommitSeq() uint64 { return db.seq.Load() }
 
 // Partitions returns the partition count (for harness introspection).
 func (db *DB) Partitions() int { return len(db.parts) }
+
+// MerkleTree returns the anti-entropy Merkle tree, nil unless
+// Options.AntiEntropy was set.
+func (db *DB) MerkleTree() *merkle.Tree { return db.tree }
 
 // Options returns the resolved configuration.
 func (db *DB) Options() Options { return db.opts }

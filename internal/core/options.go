@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/hotness"
 )
@@ -81,6 +82,13 @@ type Options struct {
 	// reproduces the paper's "no improvement" result; the ablation measures
 	// what it buys.
 	ScanPrefetch bool
+	// AntiEntropy maintains an incremental Merkle tree from every apply
+	// path, enabling O(divergence) replica rejoin (package merkle + repl).
+	AntiEntropy bool
+	// CompressPolicy compresses capacity-tier data blocks from MinLevel
+	// down; the zone tier (NVMe slots) always stays raw — cold data pays the
+	// CPU, the hot path does not. Zero value disables compression.
+	CompressPolicy compress.Policy
 	// Follower opens the DB in replica mode: foreground writes are rejected
 	// with ErrFollower and reads never enqueue promotions (promotion would
 	// mint local sequences that could collide with the primary's). Writes

@@ -8,6 +8,7 @@ import (
 	"hyperdb/internal/device"
 	"hyperdb/internal/hotness"
 	"hyperdb/internal/lsm"
+	"hyperdb/internal/merkle"
 	"hyperdb/internal/zone"
 )
 
@@ -29,6 +30,9 @@ func Recover(opts Options) (*DB, error) {
 		readCh: make(chan struct{}),
 	}
 	db.follower.Store(opts.Follower)
+	if opts.AntiEntropy {
+		db.tree = merkle.New(merkle.DefaultBits)
+	}
 
 	p := uint64(opts.Partitions)
 	width := math.MaxUint64/p + 1
@@ -72,6 +76,7 @@ func Recover(opts Options) (*DB, error) {
 			PowerK:        opts.PowerK,
 			PageCache:     db.cache,
 			MetaBackup:    metaDev,
+			Compress:      opts.CompressPolicy,
 			Seed:          uint64(i + 1),
 		})
 		if err != nil {

@@ -19,6 +19,11 @@ type LevelStats struct {
 	CompactWrite uint64
 	Compactions  uint64
 	FullRewrites uint64
+	// RawBytes/StoredBytes are uncompressed vs on-device sizes of every
+	// data block written at the level; raw/stored is the compression ratio
+	// and raw-stored is the compaction traffic the codec saved.
+	RawBytes    uint64
+	StoredBytes uint64
 }
 
 // Stats is a point-in-time view of the engine for the experiment harness.
@@ -91,6 +96,8 @@ func (db *DB) Stats() Stats {
 			ls.CompactWrite += tr.WriteBytes.Load()
 			ls.Compactions += tr.Compactions.Load()
 			ls.FullRewrites += tr.FullRewrites.Load()
+			ls.RawBytes += tr.RawBytes.Load()
+			ls.StoredBytes += tr.StoredBytes.Load()
 		}
 	}
 	if live > 0 {
@@ -115,9 +122,15 @@ func (s Stats) String() string {
 		if l.Tables == 0 && l.CompactWrite == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "L%d: tables=%d live=%s file=%s compactIO{r=%s w=%s} compactions=%d rewrites=%d\n",
+		fmt.Fprintf(&b, "L%d: tables=%d live=%s file=%s compactIO{r=%s w=%s} compactions=%d rewrites=%d",
 			l.Level, l.Tables, stats.FormatBytes(uint64(l.LiveBytes)), stats.FormatBytes(uint64(l.FileBytes)),
 			stats.FormatBytes(l.CompactReads), stats.FormatBytes(l.CompactWrite), l.Compactions, l.FullRewrites)
+		if l.StoredBytes > 0 && l.RawBytes != l.StoredBytes {
+			fmt.Fprintf(&b, " compress{raw=%s stored=%s ratio=%.2f}",
+				stats.FormatBytes(l.RawBytes), stats.FormatBytes(l.StoredBytes),
+				float64(l.RawBytes)/float64(l.StoredBytes))
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d  spaceAmp=%.2f promoDropped=%d mergeOps=%d\n",
 		s.CacheHits, s.CacheMisses, s.SpaceAmp, s.PromotionsDropped, s.MergeOps)

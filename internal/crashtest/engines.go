@@ -5,9 +5,16 @@ import (
 
 	"hyperdb/internal/baseline/prismish"
 	"hyperdb/internal/baseline/rocksish"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
 )
+
+// crashCompress is the codec policy every engine runs its crash cycles
+// under: compressed capacity-tier blocks from L1 down, so torn writes land
+// inside compressed payloads and recovery must fail them closed (drop the
+// torn table, keep serving) rather than decode garbage.
+var crashCompress = compress.Policy{Codec: compress.LZ, MinLevel: 1}
 
 // Config carries the two simulated devices a cycle runs against. Capacities
 // are deliberately tiny so a short trace forces flushes, migrations and
@@ -136,6 +143,7 @@ func hyperOpts(c Config) core.Options {
 		MaxLevels:         3,
 		MirrorIndexToNVMe: true,
 		DisableBackground: true,
+		CompressPolicy:    crashCompress,
 	}
 }
 
@@ -189,6 +197,7 @@ func rocksOpts(c Config) rocksish.Options {
 		Ratio:             4,
 		MaxLevels:         3,
 		DisableBackground: true,
+		Compress:          crashCompress,
 	}
 }
 
@@ -234,6 +243,7 @@ func prismOpts(c Config) prismish.Options {
 		Ratio:             4,
 		MaxLevels:         3,
 		DisableBackground: true,
+		Compress:          crashCompress,
 	}
 }
 

@@ -13,9 +13,10 @@ import (
 	"hyperdb"
 	"hyperdb/internal/baseline/prismish"
 	"hyperdb/internal/baseline/rocksish"
-	"hyperdb/internal/hotness"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
+	"hyperdb/internal/hotness"
 )
 
 // KV is one scan result.
@@ -92,6 +93,10 @@ type Config struct {
 	// Tracker overrides HyperDB's hotness-tracker configuration (zero =
 	// paper defaults, bloom mode). Baseline engines ignore it.
 	Tracker hotness.Config
+	// Compress names the capacity-tier block codec for every engine (same
+	// syntax as hyperdb.Options.Compress: "" / "off" disables, "on" / "lz"
+	// enables). The zone tier and memtables stay raw either way.
+	Compress string
 }
 
 // Fill applies scaled defaults.
@@ -130,6 +135,11 @@ type Instance struct {
 // Build constructs a fresh engine of the given kind over new devices.
 func Build(kind EngineKind, cfg Config) (*Instance, error) {
 	cfg.Fill()
+	codec, err := compress.Parse(cfg.Compress)
+	if err != nil {
+		return nil, err
+	}
+	policy := compress.Policy{Codec: codec, MinLevel: 1}
 	var nvme, sata *device.Device
 	if cfg.Unthrottled {
 		nvme = device.New(device.UnthrottledProfile("nvme", cfg.NVMeCapacity))
@@ -149,6 +159,7 @@ func Build(kind EngineKind, cfg Config) (*Instance, error) {
 			MigrationBatch:    cfg.FileSize,
 			DisableBackground: cfg.DisableBackground,
 			Tracker:           cfg.Tracker,
+			Compress:          cfg.Compress,
 		})
 		if err != nil {
 			return nil, err
@@ -177,6 +188,7 @@ func Build(kind EngineKind, cfg Config) (*Instance, error) {
 			MaxLevels:         5,
 			BackgroundThreads: cfg.BackgroundThreads,
 			DisableBackground: cfg.DisableBackground,
+			Compress:          policy,
 		})
 		if err != nil {
 			return nil, err
@@ -193,6 +205,7 @@ func Build(kind EngineKind, cfg Config) (*Instance, error) {
 			MaxLevels:         4,
 			BackgroundThreads: cfg.BackgroundThreads,
 			DisableBackground: cfg.DisableBackground,
+			Compress:          policy,
 		})
 		if err != nil {
 			return nil, err

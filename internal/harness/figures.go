@@ -26,6 +26,9 @@ type Scale struct {
 	// TrackerMode selects HyperDB's hotness-tracker representation for
 	// every figure (empty = bloom, the paper default).
 	TrackerMode hotness.Mode
+	// Compress names the capacity-tier block codec for every engine
+	// (hyperbench -compress; empty = raw blocks, the paper default).
+	Compress string
 }
 
 // DefaultScale is used by hyperbench; benchmarks use a smaller one.
@@ -66,6 +69,7 @@ func (s Scale) config() Config {
 		CacheBytes:   s.datasetBytes() / 16,
 		FileSize:     512 << 10,
 		Tracker:      hotness.Config{Mode: s.TrackerMode},
+		Compress:     s.Compress,
 	}
 	c.Fill()
 	return c

@@ -83,10 +83,7 @@ func Recover(opts Options) (*Tree, uint64, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			tbl, err := semisst.Open(f, semisst.Options{
-				PageCache:  opts.PageCache,
-				MetaBackup: metaDev,
-			}, device.BgSeq)
+			tbl, err := semisst.Open(f, t.tableOptions(c.level, metaDev), device.BgSeq)
 			if err != nil {
 				if device.IsIOError(err) {
 					// The medium errored; the file may be perfectly good.

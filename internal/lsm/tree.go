@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 	"hyperdb/internal/semisst"
@@ -56,6 +57,11 @@ type Options struct {
 	PageCache cache.BlockCache
 	// MetaBackup mirrors semi-SSTable indexes to the performance tier.
 	MetaBackup *device.Device
+	// Compress is the per-tier block compression policy: every level this
+	// tree writes lives on the capacity (SATA) tier, so the policy's
+	// per-level codec applies here and the zone tier stays raw by
+	// construction. Reads are mixed-format regardless of the policy.
+	Compress compress.Policy
 	// Seed makes victim sampling deterministic.
 	Seed uint64
 }
@@ -120,11 +126,17 @@ func (fe *fileEntry) release() {
 }
 
 // LevelTraffic tallies compaction I/O per level — the Figure 3b breakdown.
+// RawBytes/StoredBytes track uncompressed vs on-device sizes of every data
+// block written at the level; their ratio is the level's compression
+// ratio, and StoredBytes vs RawBytes is the compaction traffic the codec
+// saved.
 type LevelTraffic struct {
 	ReadBytes    stats.Counter
 	WriteBytes   stats.Counter
 	Compactions  stats.Counter
 	FullRewrites stats.Counter
+	RawBytes     stats.Counter
+	StoredBytes  stats.Counter
 }
 
 // Tree is the capacity-tier LSM for one partition.
@@ -259,6 +271,20 @@ func (t *Tree) TableCount(level int) int {
 	return len(t.levels[level])
 }
 
+// tableOptions assembles the semisst options for a table at the given
+// level: the policy's per-level codec plus the level's raw/stored byte
+// counters, so every append (build or merge) feeds the compression stats.
+func (t *Tree) tableOptions(level int, metaDev *device.Device) semisst.Options {
+	tr := t.traffic[level]
+	return semisst.Options{
+		PageCache:   t.opts.PageCache,
+		MetaBackup:  metaDev,
+		Codec:       t.opts.Compress.CodecFor(level),
+		RawBytes:    &tr.RawBytes,
+		StoredBytes: &tr.StoredBytes,
+	}
+}
+
 // newTable creates a semi-SSTable for (level, seg) from sorted entries.
 // Caller holds mu.
 func (t *Tree) newTable(level, seg int, entries []semisst.Entry, op device.Op) (*fileEntry, error) {
@@ -276,10 +302,7 @@ func (t *Tree) newTable(level, seg int, entries []semisst.Entry, op device.Op) (
 	if level <= mirrorDepth {
 		metaDev = t.opts.MetaBackup
 	}
-	tbl, err := semisst.Build(f, semisst.Options{
-		PageCache:  t.opts.PageCache,
-		MetaBackup: metaDev,
-	}, entries, op)
+	tbl, err := semisst.Build(f, t.tableOptions(level, metaDev), entries, op)
 	if err != nil {
 		// Don't leak the half-built file (or its mirror): a later build
 		// would collide on the name and recovery would have to discard it.

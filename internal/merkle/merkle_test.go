@@ -1,0 +1,226 @@
+package merkle
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// mapScan adapts a sorted in-memory map to ScanFunc.
+type mapScan struct {
+	keys [][]byte
+	vals map[string][]byte
+}
+
+func newMapScan() *mapScan { return &mapScan{vals: map[string][]byte{}} }
+
+func (m *mapScan) put(k, v string) {
+	if _, ok := m.vals[k]; !ok {
+		m.keys = append(m.keys, []byte(k))
+		sort.Slice(m.keys, func(a, b int) bool { return bytes.Compare(m.keys[a], m.keys[b]) < 0 })
+	}
+	m.vals[k] = []byte(v)
+}
+
+func (m *mapScan) scan(start []byte, limit int) ([]Pair, error) {
+	var out []Pair
+	for _, k := range m.keys {
+		if bytes.Compare(k, start) < 0 {
+			continue
+		}
+		out = append(out, Pair{Key: k, Value: m.vals[string(k)]})
+		if len(out) == limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+func TestLeafSpanBoundaries(t *testing.T) {
+	const bits = 4
+	lo, hi := LeafSpan(bits, 0)
+	if lo != nil {
+		t.Fatalf("bucket 0 lo = %x, want nil", lo)
+	}
+	if want := []byte{0x10}; !bytes.Equal(hi, want) {
+		t.Fatalf("bucket 0 hi = %x, want %x", hi, want)
+	}
+	lo, hi = LeafSpan(bits, 15)
+	if want := []byte{0xf0}; !bytes.Equal(lo, want) {
+		t.Fatalf("last bucket lo = %x, want %x", lo, want)
+	}
+	if hi != nil {
+		t.Fatalf("last bucket hi = %x, want nil", hi)
+	}
+	// A short key equal to a padded boundary must land in the bucket the
+	// trimmed boundary assigns it to.
+	if b := BucketOf(bits, []byte{0x10}); b != 1 {
+		t.Fatalf("BucketOf(0x10) = %d, want 1", b)
+	}
+	if b := BucketOf(bits, []byte{0x0f, 0xff}); b != 0 {
+		t.Fatalf("BucketOf(0x0fff) = %d, want 0", b)
+	}
+}
+
+func TestSnapshotMatchesBuild(t *testing.T) {
+	m := newMapScan()
+	for i := 0; i < 500; i++ {
+		m.put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i))
+	}
+	tr := New(6)
+	snap, err := tr.Snapshot(m.scan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildSnapshot(6, m.scan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Root() != built.Root() {
+		t.Fatalf("incremental root != from-scratch root")
+	}
+	if snap.Root() == (Hash{}) {
+		t.Fatalf("root is zero for non-empty data")
+	}
+}
+
+func TestIncrementalUpdate(t *testing.T) {
+	m := newMapScan()
+	for i := 0; i < 200; i++ {
+		m.put(fmt.Sprintf("key-%04d", i), "v0")
+	}
+	tr := New(6)
+	s1, err := tr.Snapshot(m.scan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one key; only its leaf is marked.
+	m.put("key-0042", "v1")
+	tr.MarkKey([]byte("key-0042"))
+	s2, err := tr.Snapshot(m.scan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Root() == s2.Root() {
+		t.Fatalf("root unchanged after mutation")
+	}
+	// Rebuild from scratch must agree with the incremental result.
+	built, err := BuildSnapshot(6, m.scan, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Root() != built.Root() {
+		t.Fatalf("incremental update diverged from rebuild")
+	}
+	// Exactly the mutated key's leaf differs between s1 and s2.
+	want := LeafID(6, BucketOf(6, []byte("key-0042")))
+	diffs := 0
+	for id := uint32(1 << 6); id < 2<<6; id++ {
+		h1, _ := s1.Node(id)
+		h2, _ := s2.Node(id)
+		if h1 != h2 {
+			diffs++
+			if id != want {
+				t.Fatalf("unexpected leaf %d differs", id)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d leaves differ, want 1", diffs)
+	}
+}
+
+func TestDivergenceWalk(t *testing.T) {
+	a, b := newMapScan(), newMapScan()
+	for i := 0; i < 1000; i++ {
+		k, v := fmt.Sprintf("key-%05d", i), fmt.Sprintf("val-%d", i)
+		a.put(k, v)
+		b.put(k, v)
+	}
+	// Diverge k keys on b.
+	divergent := map[uint32]bool{}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%05d", i*137)
+		b.put(k, "stale")
+		divergent[BucketOf(DefaultBits, []byte(k))] = true
+	}
+	sa, err := BuildSnapshot(DefaultBits, a.scan, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := BuildSnapshot(DefaultBits, b.scan, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS walk exactly as the anti-entropy follower does.
+	var leaves []uint32
+	queue := []uint32{1}
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		visited++
+		ha, _ := sa.Node(id)
+		hb, _ := sb.Node(id)
+		if ha == hb {
+			continue
+		}
+		if sa.IsLeaf(id) {
+			leaves = append(leaves, id)
+			continue
+		}
+		queue = append(queue, 2*id, 2*id+1)
+	}
+	if len(leaves) != len(divergent) {
+		t.Fatalf("walk found %d divergent leaves, want %d", len(leaves), len(divergent))
+	}
+	for _, id := range leaves {
+		if !divergent[sa.LeafBucket(id)] {
+			t.Fatalf("leaf %d not actually divergent", id)
+		}
+	}
+	// O(divergence): visits bounded by ~2 * leaves * depth, far below the
+	// 2048-node full tree.
+	if visited > 2*len(divergent)*(DefaultBits+1)+1 {
+		t.Fatalf("walk visited %d nodes for %d divergent leaves", visited, len(divergent))
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	m := newMapScan()
+	tr := New(4)
+	s, err := tr.Snapshot(m.scan, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != (Hash{}) {
+		t.Fatalf("empty tree root = %x, want zero", s.Root())
+	}
+}
+
+func TestLeafSpanScanEquivalence(t *testing.T) {
+	// Per-leaf hashRange over spans must agree with the bucketed full pass,
+	// including short keys that sit exactly on padded boundaries.
+	m := newMapScan()
+	m.put(string([]byte{0x10}), "edge") // equals bucket-1 boundary at bits=4
+	m.put(string([]byte{0x0f, 0xff}), "below")
+	for i := 0; i < 300; i++ {
+		m.put(fmt.Sprintf("k%03d", i), "v")
+	}
+	const bits = 4
+	all, err := hashAllLeaves(bits, m.scan, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := uint32(0); b < 1<<bits; b++ {
+		lo, hi := LeafSpan(bits, b)
+		h, err := hashRange(m.scan, lo, hi, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != all[b] {
+			t.Fatalf("bucket %d: per-leaf hash != full-pass hash", b)
+		}
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"sort"
 	"sync/atomic"
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/keys"
+	"hyperdb/internal/merkle"
 	"hyperdb/internal/wire"
 )
 
@@ -40,6 +42,12 @@ type Follower struct {
 	// with it (the consistency checker stalls appliers to force session
 	// reads into the gate); production leaves it nil.
 	ApplyDelay func(base uint64)
+	// Tree, when non-nil, advertises the anti-entropy capability on hello:
+	// a re-attach that fell off the primary's retained window then runs the
+	// Merkle repair conversation (fetching only divergent leaf ranges)
+	// instead of a full snapshot. Wire it to the engine's tree
+	// (db.MerkleTree()) so every local apply keeps it fresh.
+	Tree *merkle.Tree
 
 	// epoch is the upstream log's lineage ID from the last hello response
 	// (0 until first attach); applied is the stream position this Follower
@@ -90,9 +98,13 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 	if lastApplied == 0 {
 		lastApplied = f.DB.CommitSeq()
 	}
+	var helloFlags uint8
+	if f.Tree != nil {
+		helloFlags |= wire.ReplFlagAntiEntropy
+	}
 	err := writeFrame(bw, wire.Frame{
 		Op:      wire.OpReplHello,
-		Payload: wire.AppendReplHelloReq(nil, f.epoch.Load(), lastApplied),
+		Payload: wire.AppendReplHelloReq(nil, f.epoch.Load(), lastApplied, helloFlags),
 	})
 	if err != nil {
 		if isStop() {
@@ -116,8 +128,16 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 		return err
 	}
 
-	if mode == wire.ReplModeSnapshot {
+	switch mode {
+	case wire.ReplModeSnapshot:
 		if err := f.bootstrap(br, startSeq); err != nil {
+			if isStop() {
+				return nil
+			}
+			return err
+		}
+	case wire.ReplModeAntiEntropy:
+		if err := f.antiEntropy(br, bw, startSeq); err != nil {
 			if isStop() {
 				return nil
 			}
@@ -175,7 +195,19 @@ func (f *Follower) Run(nc net.Conn, stop <-chan struct{}) error {
 // converges exactly — keys deleted on the primary during the gap do not
 // resurrect.
 func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
-	var cursor []byte // lowest local key not yet reconciled against the stream
+	if err := f.consumeSnapshot(br, snapSeq, nil, nil, nil); err != nil {
+		return err
+	}
+	return f.finishBootstrap(snapSeq)
+}
+
+// consumeSnapshot applies a REPL_SNAPSHOT chunk stream. cursor is the
+// lowest local key not yet reconciled against the stream (nil: keyspace
+// start); inScope, when non-nil, restricts the sweep to keys the stream
+// covers (anti-entropy fetches only divergent leaf ranges, so local keys
+// outside them must survive); finalHi, when non-nil, bounds the final
+// chunk's sweep instead of the end of the keyspace.
+func (f *Follower) consumeSnapshot(br *bufio.Reader, snapSeq uint64, cursor []byte, inScope func([]byte) bool, finalHi []byte) error {
 	for {
 		fr, err := wire.ReadFrame(br, wire.MaxFrame)
 		if err != nil {
@@ -191,7 +223,7 @@ func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
 		if seq != snapSeq {
 			return fmt.Errorf("repl: snapshot seq changed mid-stream: %d then %d", snapSeq, seq)
 		}
-		if err := f.sweepStale(cursor, kvs, snapSeq, done); err != nil {
+		if err := f.sweepStale(cursor, kvs, snapSeq, done, inScope, finalHi); err != nil {
 			return err
 		}
 		if len(kvs) > 0 {
@@ -201,11 +233,15 @@ func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
 			cursor = keys.Successor(kvs[len(kvs)-1].Key)
 		}
 		if done {
-			break
+			return nil
 		}
 	}
-	// Stamp the bootstrap position even when the stream carried no pairs
-	// and nothing needed sweeping, so the tail handoff starts from snapSeq.
+}
+
+// finishBootstrap stamps the bootstrap position even when the stream
+// carried no pairs and nothing needed sweeping, so the tail handoff starts
+// from snapSeq, and resets this node's own log.
+func (f *Follower) finishBootstrap(snapSeq uint64) error {
 	if err := f.DB.ApplySnapshotChunk(nil, snapSeq); err != nil {
 		return err
 	}
@@ -220,10 +256,12 @@ func (f *Follower) bootstrap(br *bufio.Reader, snapSeq uint64) error {
 
 // sweepStale deletes every local key covered by this chunk's range that
 // the chunk does not contain: keys in [cursor, last chunk key], or from
-// cursor to the end of the keyspace for the final chunk. Local keys past
-// the range are left for later chunks. Deletes apply at the snapshot
-// sequence, exactly like the snapshot's own pairs.
-func (f *Follower) sweepStale(cursor []byte, kvs []wire.KV, snapSeq uint64, final bool) error {
+// cursor to the end of the keyspace (bounded by finalHi when set) for the
+// final chunk. Local keys past the range are left for later chunks; keys
+// outside inScope (when non-nil) are never deleted — the stream does not
+// speak for their ranges. Deletes apply at the snapshot sequence, exactly
+// like the snapshot's own pairs.
+func (f *Follower) sweepStale(cursor []byte, kvs []wire.KV, snapSeq uint64, final bool, inScope func([]byte) bool, finalHi []byte) error {
 	var hi []byte
 	if n := len(kvs); n > 0 {
 		hi = kvs[n-1].Key
@@ -243,11 +281,18 @@ func (f *Follower) sweepStale(cursor []byte, kvs []wire.KV, snapSeq uint64, fina
 				inRange = i
 				break
 			}
+			if final && finalHi != nil && bytes.Compare(kv.Key, finalHi) >= 0 {
+				inRange = i
+				break
+			}
 			for ki < len(kvs) && bytes.Compare(kvs[ki].Key, kv.Key) < 0 {
 				ki++
 			}
 			if ki < len(kvs) && bytes.Equal(kvs[ki].Key, kv.Key) {
 				continue // retained: the chunk overwrites it
+			}
+			if inScope != nil && !inScope(kv.Key) {
+				continue // the stream does not cover this key's range
 			}
 			dels = append(dels, core.BatchOp{Key: append([]byte(nil), kv.Key...), Delete: true})
 		}
@@ -261,6 +306,143 @@ func (f *Follower) sweepStale(cursor []byte, kvs []wire.KV, snapSeq uint64, fina
 		}
 		cursor = keys.Successor(page[len(page)-1].Key)
 	}
+}
+
+// antiEntropy drives the follower side of the Merkle repair conversation
+// (the mirror of Primary.serveAntiEntropy): read the primary's TREE_ROOT,
+// snapshot the local tree at the same geometry, walk mismatched subtrees
+// top-down with TREE_DIFF hash queries, then fetch exactly the divergent
+// leaf ranges as a scoped snapshot stream. Keys outside those ranges are
+// provably identical on both sides — the sweep never touches them — so
+// the transfer is O(divergence), not O(dataset).
+func (f *Follower) antiEntropy(br *bufio.Reader, bw *bufio.Writer, snapSeq uint64) error {
+	fr, err := wire.ReadFrame(br, wire.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if fr.Op != wire.OpTreeRoot {
+		return fmt.Errorf("repl: expected TREE_ROOT, got %s", fr.Op)
+	}
+	bits, root, err := wire.DecodeTreeRoot(fr.Payload)
+	if err != nil {
+		return err
+	}
+	var snap *merkle.Snapshot
+	if f.Tree != nil && f.Tree.Bits() == bits {
+		snap, err = f.Tree.Snapshot(f.scanPairs, sweepPairs)
+	} else {
+		// Geometry mismatch: rebuild from scratch at the primary's bits so
+		// the hashes compare node-for-node.
+		snap, err = merkle.BuildSnapshot(bits, f.scanPairs, sweepPairs)
+	}
+	if err != nil {
+		return fmt.Errorf("repl: merkle snapshot: %w", err)
+	}
+
+	var divergent []uint32
+	if snap.Root() != root {
+		mismatched := []uint32{1}
+		for len(mismatched) > 0 {
+			query := make([]uint32, 0, 2*len(mismatched))
+			for _, id := range mismatched {
+				query = append(query, 2*id, 2*id+1)
+			}
+			err = writeFrame(bw, wire.Frame{
+				Op: wire.OpTreeDiff, Status: wire.StatusOK,
+				Payload: wire.AppendTreeDiff(nil, 0, query, nil),
+			})
+			if err != nil {
+				return err
+			}
+			resp, err := wire.ReadFrame(br, wire.MaxFrame)
+			if err != nil {
+				return err
+			}
+			if resp.Op != wire.OpTreeDiff {
+				return fmt.Errorf("repl: unexpected op %s during anti-entropy", resp.Op)
+			}
+			flags, ids, hashes, err := wire.DecodeTreeDiff(resp.Payload)
+			if err != nil {
+				return err
+			}
+			if flags != wire.TreeDiffHashes || len(ids) != len(query) {
+				return fmt.Errorf("repl: bad tree diff response: flags %#x, %d ids for %d queried", flags, len(ids), len(query))
+			}
+			mismatched = mismatched[:0]
+			for i, id := range ids {
+				if id != query[i] {
+					return fmt.Errorf("repl: tree diff response id %d, queried %d", id, query[i])
+				}
+				local, ok := snap.Node(id)
+				if !ok {
+					return fmt.Errorf("repl: tree diff response for node %d outside tree", id)
+				}
+				if local == hashes[i] {
+					continue
+				}
+				if snap.IsLeaf(id) {
+					divergent = append(divergent, id)
+				} else {
+					mismatched = append(mismatched, id)
+				}
+			}
+		}
+	}
+
+	sort.Slice(divergent, func(a, b int) bool { return divergent[a] < divergent[b] })
+	err = writeFrame(bw, wire.Frame{
+		Op: wire.OpTreeDiff, Status: wire.StatusOK,
+		Payload: wire.AppendTreeDiff(nil, wire.TreeDiffFetch, divergent, nil),
+	})
+	if err != nil {
+		return err
+	}
+	if len(divergent) == 0 {
+		// Nothing diverged: the primary answers the empty fetch with just the
+		// done chunk. No sweeping — local state is proven identical.
+		fr, err := wire.ReadFrame(br, wire.MaxFrame)
+		if err != nil {
+			return err
+		}
+		if fr.Op != wire.OpReplSnapshot {
+			return fmt.Errorf("repl: unexpected op %s during snapshot", fr.Op)
+		}
+		seq, kvs, done, err := wire.DecodeReplSnapshot(fr.Payload)
+		if err != nil {
+			return err
+		}
+		if !done || len(kvs) != 0 || seq != snapSeq {
+			return fmt.Errorf("repl: expected bare done chunk after empty fetch (seq=%d done=%v pairs=%d)", seq, done, len(kvs))
+		}
+		return f.finishBootstrap(snapSeq)
+	}
+	buckets := make(map[uint32]struct{}, len(divergent))
+	for _, id := range divergent {
+		buckets[snap.LeafBucket(id)] = struct{}{}
+	}
+	inScope := func(key []byte) bool {
+		_, ok := buckets[merkle.BucketOf(uint(bits), key)]
+		return ok
+	}
+	cursor, _ := snap.LeafSpan(divergent[0])
+	_, finalHi := snap.LeafSpan(divergent[len(divergent)-1])
+	if err := f.consumeSnapshot(br, snapSeq, cursor, inScope, finalHi); err != nil {
+		return err
+	}
+	return f.finishBootstrap(snapSeq)
+}
+
+// scanPairs adapts DB.Scan to the merkle package's pair stream.
+func (f *Follower) scanPairs(start []byte, limit int) ([]merkle.Pair, error) {
+	kvs, err := f.DB.Scan(start, limit)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]merkle.Pair, len(kvs))
+	for i, kv := range kvs {
+		pairs[i] = merkle.Pair{Key: kv.Key, Value: kv.Value}
+	}
+	return pairs, nil
 }
 
 func kvsToBatch(kvs []wire.KV) []core.BatchOp {

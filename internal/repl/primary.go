@@ -2,12 +2,16 @@ package repl
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 
 	"hyperdb/internal/core"
 	"hyperdb/internal/keys"
+	"hyperdb/internal/merkle"
+	"hyperdb/internal/stats"
 	"hyperdb/internal/wire"
 )
 
@@ -29,11 +33,44 @@ type DB interface {
 type Primary struct {
 	DB  DB
 	Log *Log
+	// Tree, when non-nil, lets diverged followers rejoin via the Merkle
+	// anti-entropy conversation instead of a full snapshot. Wire it to the
+	// engine's tree (db.MerkleTree()) so committed writes keep it fresh.
+	Tree *merkle.Tree
 	// SnapshotPairs bounds pairs per snapshot scan page. Default 256.
 	SnapshotPairs int
 	// SnapshotChunkBytes splits scan pages into frames no bigger than
 	// roughly this payload size. Default 512 KiB.
 	SnapshotChunkBytes int
+
+	// Transfer accounting: full-snapshot payload bytes vs anti-entropy
+	// payload bytes — their gap is what Merkle rejoin saved — plus the
+	// hash-walk effort (nodes served, leaf ranges fetched, sessions run).
+	snapBytes  stats.Counter
+	aeBytes    stats.Counter
+	aeNodes    stats.Counter
+	aeLeaves   stats.Counter
+	aeSessions stats.Counter
+}
+
+// AEStats is a point-in-time view of the primary's transfer accounting.
+type AEStats struct {
+	SnapshotBytes uint64 // key+value bytes streamed by full snapshots
+	AEBytes       uint64 // key+value bytes streamed by anti-entropy fetches
+	AENodes       uint64 // tree node hashes served to diff queries
+	AELeaves      uint64 // divergent leaf ranges fetched
+	AESessions    uint64 // anti-entropy conversations served
+}
+
+// AEStatsSnapshot reads the transfer counters.
+func (p *Primary) AEStatsSnapshot() AEStats {
+	return AEStats{
+		SnapshotBytes: p.snapBytes.Load(),
+		AEBytes:       p.aeBytes.Load(),
+		AENodes:       p.aeNodes.Load(),
+		AELeaves:      p.aeLeaves.Load(),
+		AESessions:    p.aeSessions.Load(),
+	}
 }
 
 func (p *Primary) snapshotPairs() int {
@@ -64,12 +101,12 @@ func (p *Primary) Serve(nc net.Conn) error {
 		nc.Close()
 		return fmt.Errorf("repl: expected REPL_HELLO, got %s", f.Op)
 	}
-	epoch, lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
+	epoch, lastApplied, flags, err := wire.DecodeReplHelloReq(f.Payload)
 	if err != nil {
 		nc.Close()
 		return err
 	}
-	return p.ServeConn(nc, br, epoch, lastApplied)
+	return p.ServeConn(nc, br, epoch, lastApplied, flags)
 }
 
 // ServeConn drives the primary side of one follower connection: subscribe
@@ -80,7 +117,13 @@ func (p *Primary) Serve(nc net.Conn) error {
 // this log — then tail-ship committed entries and consume acks until the
 // connection dies or the cursor overruns. br carries any bytes already
 // buffered past the hello; nil wraps nc directly. ServeConn closes nc.
-func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, epoch, lastApplied uint64) error {
+//
+// flags carries the follower hello's capability bits: when it advertises
+// anti-entropy, this primary has a Tree, and the follower holds state that
+// fell off the retained window, the bootstrap runs the Merkle repair
+// conversation — only divergent leaf ranges travel — instead of a full
+// snapshot.
+func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, epoch, lastApplied uint64, flags uint8) error {
 	defer nc.Close()
 	if br == nil {
 		br = bufio.NewReader(nc)
@@ -112,7 +155,15 @@ func (p *Primary) ServeConn(nc net.Conn, br *bufio.Reader, epoch, lastApplied ui
 		// truncation racing the stream can never raise the floor past the
 		// snapshot sequence between the last chunk and the handoff.
 		snapSeq := p.Log.PinHead()
-		err := p.streamSnapshot(bw, snapSeq)
+		var err error
+		if flags&wire.ReplFlagAntiEntropy != 0 && p.Tree != nil && lastApplied > 0 {
+			// The follower has state and can diff it: ship only divergence.
+			// Epoch mismatch does not disqualify — the hash walk finds every
+			// range where the lineages differ, whatever their sequences say.
+			err = p.serveAntiEntropy(bw, br, snapSeq)
+		} else {
+			err = p.streamSnapshot(bw, snapSeq)
+		}
 		if err != nil {
 			p.Log.Unpin(snapSeq)
 			return err
@@ -214,26 +265,8 @@ func (p *Primary) StreamSnapshotChunks(bw *bufio.Writer, snapSeq uint64, keep fu
 			}
 			kvs = kvs[:n]
 		}
-		// Split the page into byte-bounded chunks so one frame never
-		// approaches the wire's frame cap.
-		for len(kvs) > 0 {
-			n, size := 0, 0
-			for n < len(kvs) && (n == 0 || size < p.chunkBytes()) {
-				size += len(kvs[n].Key) + len(kvs[n].Value)
-				n++
-			}
-			chunk := make([]wire.KV, n)
-			for i := 0; i < n; i++ {
-				chunk[i] = wire.KV{Key: kvs[i].Key, Value: kvs[i].Value}
-			}
-			err = writeFrame(bw, wire.Frame{
-				Op: wire.OpReplSnapshot, Status: wire.StatusOK,
-				Payload: wire.AppendReplSnapshot(nil, snapSeq, chunk, false),
-			})
-			if err != nil {
-				return err
-			}
-			kvs = kvs[n:]
+		if err := p.writeSnapshotKVs(bw, kvs, snapSeq, &p.snapBytes); err != nil {
+			return err
 		}
 		if !fullPage {
 			break
@@ -243,6 +276,164 @@ func (p *Primary) StreamSnapshotChunks(bw *bufio.Writer, snapSeq uint64, keep fu
 		Op: wire.OpReplSnapshot, Status: wire.StatusOK,
 		Payload: wire.AppendReplSnapshot(nil, snapSeq, nil, true),
 	})
+}
+
+// writeSnapshotKVs splits one scan page into byte-bounded REPL_SNAPSHOT
+// frames so no frame approaches the wire's cap, feeding the payload bytes
+// into counter.
+func (p *Primary) writeSnapshotKVs(bw *bufio.Writer, kvs []core.KV, snapSeq uint64, counter *stats.Counter) error {
+	for len(kvs) > 0 {
+		n, size := 0, 0
+		for n < len(kvs) && (n == 0 || size < p.chunkBytes()) {
+			size += len(kvs[n].Key) + len(kvs[n].Value)
+			n++
+		}
+		chunk := make([]wire.KV, n)
+		for i := 0; i < n; i++ {
+			chunk[i] = wire.KV{Key: kvs[i].Key, Value: kvs[i].Value}
+		}
+		err := writeFrame(bw, wire.Frame{
+			Op: wire.OpReplSnapshot, Status: wire.StatusOK,
+			Payload: wire.AppendReplSnapshot(nil, snapSeq, chunk, false),
+		})
+		if err != nil {
+			return err
+		}
+		counter.Add(uint64(size))
+		kvs = kvs[n:]
+	}
+	return nil
+}
+
+// serveAntiEntropy drives the primary side of the Merkle repair
+// conversation, called with snapSeq pinned and before the ack reader
+// starts, so this is the only reader of br. Protocol:
+//
+//  1. hello response, mode anti-entropy, carrying the pinned sequence;
+//  2. TREE_ROOT push with the primary tree's geometry and root digest;
+//  3. the follower walks: TREE_DIFF queries name node ids, the primary
+//     answers each with the digests;
+//  4. the walk ends with a TREE_DIFF carrying TreeDiffFetch and the
+//     divergent leaf ids (possibly none); the primary streams exactly
+//     those leaves' key ranges as REPL_SNAPSHOT chunks and finishes with
+//     the done chunk, after which the caller hands off to tailing.
+func (p *Primary) serveAntiEntropy(bw *bufio.Writer, br *bufio.Reader, snapSeq uint64) error {
+	snap, err := p.Tree.Snapshot(p.scanPairs, p.snapshotPairs())
+	if err != nil {
+		return fmt.Errorf("repl: merkle snapshot: %w", err)
+	}
+	p.aeSessions.Inc()
+	err = writeFrame(bw, wire.Frame{
+		Op: wire.OpReplHello, Status: wire.StatusOK,
+		Payload: wire.AppendReplHelloResp(nil, wire.ReplModeAntiEntropy, p.Log.Epoch(), snapSeq),
+	})
+	if err != nil {
+		return err
+	}
+	err = writeFrame(bw, wire.Frame{
+		Op: wire.OpTreeRoot, Status: wire.StatusOK,
+		Payload: wire.AppendTreeRoot(nil, snap.Bits(), snap.Root()),
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		f, err := wire.ReadFrame(br, wire.MaxFrame)
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpTreeDiff {
+			return fmt.Errorf("repl: unexpected op %s during anti-entropy", f.Op)
+		}
+		flags, ids, _, err := wire.DecodeTreeDiff(f.Payload)
+		if err != nil {
+			return err
+		}
+		if flags&wire.TreeDiffFetch != 0 {
+			return p.streamLeafRanges(bw, snap, ids, snapSeq)
+		}
+		hashes := make([][wire.TreeHashLen]byte, len(ids))
+		for i, id := range ids {
+			h, ok := snap.Node(id)
+			if !ok {
+				return fmt.Errorf("repl: tree diff for node %d outside tree", id)
+			}
+			hashes[i] = h
+		}
+		p.aeNodes.Add(uint64(len(ids)))
+		err = writeFrame(bw, wire.Frame{
+			Op: wire.OpTreeDiff, Status: wire.StatusOK,
+			Payload: wire.AppendTreeDiff(nil, wire.TreeDiffHashes, ids, hashes),
+		})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// streamLeafRanges ships the named leaves' key ranges as snapshot chunks —
+// the primary-side I/O is bounded by the divergent ranges, not the
+// dataset — then the done chunk.
+func (p *Primary) streamLeafRanges(bw *bufio.Writer, snap *merkle.Snapshot, leafIDs []uint32, snapSeq uint64) error {
+	for _, id := range leafIDs {
+		if !snap.IsLeaf(id) {
+			return fmt.Errorf("repl: fetch of non-leaf node %d", id)
+		}
+	}
+	// Leaves sort by id == bucket order == global key order, so the stream
+	// stays ordered for the follower's sweep.
+	sorted := append([]uint32(nil), leafIDs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	p.aeLeaves.Add(uint64(len(sorted)))
+	for _, id := range sorted {
+		lo, hi := snap.LeafSpan(id)
+		start := lo
+		for {
+			kvs, err := p.DB.Scan(start, p.snapshotPairs())
+			if err != nil {
+				return fmt.Errorf("repl: anti-entropy scan: %w", err)
+			}
+			fullPage := len(kvs) == p.snapshotPairs()
+			if len(kvs) > 0 {
+				start = keys.Successor(kvs[len(kvs)-1].Key)
+			}
+			if hi != nil {
+				n := 0
+				for _, kv := range kvs {
+					if bytes.Compare(kv.Key, hi) >= 0 {
+						fullPage = false // past the leaf: stop paging
+						break
+					}
+					kvs[n] = kv
+					n++
+				}
+				kvs = kvs[:n]
+			}
+			if err := p.writeSnapshotKVs(bw, kvs, snapSeq, &p.aeBytes); err != nil {
+				return err
+			}
+			if !fullPage {
+				break
+			}
+		}
+	}
+	return writeFrame(bw, wire.Frame{
+		Op: wire.OpReplSnapshot, Status: wire.StatusOK,
+		Payload: wire.AppendReplSnapshot(nil, snapSeq, nil, true),
+	})
+}
+
+// scanPairs adapts DB.Scan to the merkle package's pair stream.
+func (p *Primary) scanPairs(start []byte, limit int) ([]merkle.Pair, error) {
+	kvs, err := p.DB.Scan(start, limit)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]merkle.Pair, len(kvs))
+	for i, kv := range kvs {
+		pairs[i] = merkle.Pair{Key: kv.Key, Value: kv.Value}
+	}
+	return pairs, nil
 }
 
 // AppendFilteredFrame encodes one log entry as a REPL_FRAME2 payload

@@ -1,0 +1,157 @@
+package semisst
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperdb/internal/compress"
+	"hyperdb/internal/device"
+	"hyperdb/internal/keys"
+	"hyperdb/internal/stats"
+)
+
+// compressibleEntries builds sorted entries with padded values that an LZ
+// codec shrinks well, YCSB-style.
+func compressibleEntries(n int, seqBase uint64) []Entry {
+	out := make([]Entry, 0, n)
+	pad := strings.Repeat("field0=webpage-content-padding-0123456789;", 4)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		out = append(out, entry(k, seqBase+uint64(i), pad+k))
+	}
+	return out
+}
+
+func TestCompressedBuildAndGet(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("c1")
+	var raw, stored stats.Counter
+	opts := Options{Codec: compress.LZ, RawBytes: &raw, StoredBytes: &stored}
+	tbl, err := Build(f, opts, compressibleEntries(500, 1), device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v, kind, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil || !found || kind != keys.KindSet {
+			t.Fatalf("get %s: %v %v %v", k, kind, found, err)
+		}
+		if !strings.HasSuffix(string(v), k) {
+			t.Fatalf("get %s: wrong value", k)
+		}
+	}
+	if raw.Load() == 0 || stored.Load() == 0 {
+		t.Fatalf("compression counters not fed: raw=%d stored=%d", raw.Load(), stored.Load())
+	}
+	if float64(raw.Load())/float64(stored.Load()) < 1.5 {
+		t.Fatalf("weak compression on padded values: raw=%d stored=%d", raw.Load(), stored.Load())
+	}
+}
+
+func TestCompressedReopen(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("c2")
+	opts := Options{Codec: compress.LZ}
+	if _, err := Build(f, opts, compressibleEntries(300, 1), device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen WITHOUT the codec option: block tags live in the index, so
+	// reads must not depend on the writer-side setting.
+	tbl, err := Open(f, Options{}, device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumEntries() != 300 {
+		t.Fatalf("entries after reopen = %d", tbl.NumEntries())
+	}
+	for _, i := range []int{0, 150, 299} {
+		k := fmt.Sprintf("key-%05d", i)
+		if _, _, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg); err != nil || !found {
+			t.Fatalf("get %s after reopen: found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+// TestMixedFormatMerge proves mixed-format reads: a table built raw gains
+// compressed blocks from a later merge, and both kinds serve lookups.
+func TestMixedFormatMerge(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("c3")
+	tbl, err := Build(f, Options{}, compressibleEntries(200, 1), device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the codec on (as compaction does when the policy changes) and
+	// merge a disjoint run: old blocks stay raw, new blocks are tagged.
+	tbl.opts.Codec = compress.LZ
+	var newer []Entry
+	pad := strings.Repeat("tail-padding-tail-padding-", 8)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("zkey-%05d", i)
+		newer = append(newer, entry(k, 1000+uint64(i), pad+k))
+	}
+	if _, err := tbl.Merge(newer, false, device.Bg); err != nil {
+		t.Fatal(err)
+	}
+	var sawRaw, sawTagged bool
+	for _, bm := range tbl.LiveBlockMetas() {
+		if bm.Tagged {
+			sawTagged = true
+		} else {
+			sawRaw = true
+		}
+	}
+	if !sawRaw || !sawTagged {
+		t.Fatalf("expected mixed formats, raw=%v tagged=%v", sawRaw, sawTagged)
+	}
+	for _, k := range []string{"key-00000", "key-00199", "zkey-00000", "zkey-00199"} {
+		if _, _, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg); err != nil || !found {
+			t.Fatalf("mixed get %s: found=%v err=%v", k, found, err)
+		}
+	}
+	// Reopen and re-check both formats decode from the persisted index.
+	re, err := Open(f, Options{}, device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"key-00100", "zkey-00100"} {
+		if _, _, found, err := re.Get([]byte(k), keys.MaxSeq, device.Fg); err != nil || !found {
+			t.Fatalf("reopened mixed get %s: found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+// TestTornCompressedBlockFailsClosed corrupts a compressed block's stored
+// bytes in place; reads must error, not return garbage or panic.
+func TestTornCompressedBlockFailsClosed(t *testing.T) {
+	dev := newDev()
+	f, _ := dev.Create("c4")
+	tbl, err := Build(f, Options{Codec: compress.LZ}, compressibleEntries(100, 1), device.Bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := tbl.LiveBlockMetas()[0]
+	if !bm.Tagged {
+		t.Fatalf("block not tagged")
+	}
+	// Flip bytes in the middle of the stored payload (past the tag and
+	// header) so framing survives but the content is wrong.
+	mid := int64(bm.Handle.Offset) + int64(bm.Handle.Size)/2
+	junk := []byte{0xde, 0xad, 0xbe, 0xef}
+	if err := f.WriteAt(junk, mid, device.Fg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < bm.Entries; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v, _, found, err := tbl.Get([]byte(k), keys.MaxSeq, device.Fg)
+		if err != nil {
+			return // failed closed: good
+		}
+		if found && !strings.HasSuffix(string(v), k) {
+			t.Fatalf("corrupted block served garbage for %s", k)
+		}
+	}
+	t.Fatalf("no read of the corrupted block reported an error")
+}

@@ -28,10 +28,17 @@ import (
 	"hyperdb/internal/block"
 	"hyperdb/internal/bloom"
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 	"hyperdb/internal/sstable"
+	"hyperdb/internal/stats"
 )
+
+// maxRawBlock caps the decoded size a compressed block may declare; it
+// bounds the allocation a corrupted rawLen can trigger. Values and blocks
+// are bounded far below the wire's 16 MiB frame cap.
+const maxRawBlock = 16 << 20
 
 // Magic identifies a semi-SSTable footer.
 const Magic = 0x5e3915ab1e5e3900
@@ -80,7 +87,12 @@ type BlockMeta struct {
 	Last    []byte // last user key in the block
 	Entries int
 	Valid   bool
-	Filter  *bloom.Filter
+	// Tagged marks a block stored as a self-describing compress payload
+	// (index flags byte 2). Legacy blocks (flags byte 1) hold raw block
+	// bytes with no tag, so tables written before compression existed —
+	// or with the codec off — read back unchanged.
+	Tagged bool
+	Filter *bloom.Filter
 	// Keys holds the block's live user keys in sorted order. It mirrors the
 	// persisted index content so compaction never reads data blocks to
 	// discover overlap (§3.4).
@@ -107,6 +119,17 @@ type Options struct {
 	// MetaBackup, if set, mirrors the index block to this (performance-tier)
 	// device so index reads are charged there instead of the capacity tier.
 	MetaBackup *device.Device
+	// Codec compresses freshly written data blocks. None (the zero value)
+	// keeps the legacy untagged format byte-for-byte. Reads are
+	// mixed-format regardless: each block's index flags say how it is
+	// stored, so a table built raw stays readable after the codec turns
+	// on and compaction rewrites it transparently.
+	Codec compress.Codec
+	// RawBytes/StoredBytes, when set, accumulate the uncompressed vs
+	// on-device sizes of every data block this table appends — the
+	// compression-ratio feed for the level traffic stats.
+	RawBytes    *stats.Counter
+	StoredBytes *stats.Counter
 }
 
 func (o *Options) fill() {
@@ -321,6 +344,17 @@ func (t *Table) appendMerge(entries []Entry, dirtyIdx []int, op device.Op) error
 			return nil
 		}
 		content := bb.Finish()
+		rawLen := len(content)
+		tagged := t.opts.Codec != compress.None
+		if tagged {
+			content = compress.Encode(nil, t.opts.Codec, content)
+		}
+		if t.opts.RawBytes != nil {
+			t.opts.RawBytes.Add(uint64(rawLen))
+		}
+		if t.opts.StoredBytes != nil {
+			t.opts.StoredBytes.Add(uint64(len(content)))
+		}
 		off, err := t.f.Append(content)
 		if err != nil {
 			return err
@@ -337,6 +371,7 @@ func (t *Table) appendMerge(entries []Entry, dirtyIdx []int, op device.Op) error
 			Last:    blockKeys[len(blockKeys)-1],
 			Entries: len(blockKeys),
 			Valid:   true,
+			Tagged:  tagged,
 			Filter:  filter,
 			Keys:    blockKeys,
 		})
@@ -490,7 +525,10 @@ func (t *Table) encodeMirrorLocked() []byte {
 }
 
 // encodeBlockSegment serialises one valid block's index entry (handle,
-// entry count, validity, bounds, filter, key list).
+// entry count, flags, bounds, filter, key list). The flags byte doubles as
+// the validity marker: 0 dirty, 1 valid raw block, 2 valid tagged
+// (compress-payload) block. Old indexes never contain 2, so decoding stays
+// backward compatible.
 func encodeBlockSegment(b *BlockMeta) []byte {
 	var out []byte
 	var tmp [binary.MaxVarintLen64]byte
@@ -505,7 +543,11 @@ func encodeBlockSegment(b *BlockMeta) []byte {
 	putUv(b.Handle.Offset)
 	putUv(b.Handle.Size)
 	putUv(uint64(b.Entries))
-	out = append(out, 1)
+	if b.Tagged {
+		out = append(out, 2)
+	} else {
+		out = append(out, 1)
+	}
 	putBytes(b.First)
 	putBytes(b.Last)
 	putBytes(b.Filter.Marshal())
@@ -565,7 +607,15 @@ func (t *Table) decodeIndex(idx []byte) error {
 		if off >= len(idx) {
 			return fmt.Errorf("semisst: truncated index validity")
 		}
-		b.Valid = idx[off] == 1
+		switch idx[off] {
+		case 0:
+		case 1:
+			b.Valid = true
+		case 2:
+			b.Valid, b.Tagged = true, true
+		default:
+			return fmt.Errorf("semisst: bad block flags %d", idx[off])
+		}
 		off++
 		if b.First, err = getBytes(); err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hyperdb/internal/block"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 )
@@ -138,21 +139,29 @@ func (t *Table) findLiveBlock(user []byte) int {
 
 // readBlockData fetches one data block, via the page cache when configured.
 // gen namespaces cache keys per rewrite generation so blocks cached before a
-// full compaction can never serve the offsets it recycled.
-func (t *Table) readBlockData(gen, h, size uint64, op device.Op) ([]byte, error) {
+// full compaction can never serve the offsets it recycled. The cache holds
+// stored (possibly compressed) bytes; tagged blocks decompress after the
+// fetch, and a torn or corrupted payload fails closed with an error.
+func (t *Table) readBlockData(gen uint64, bm *BlockMeta, op device.Op) ([]byte, error) {
 	var key string
+	data := []byte(nil)
 	if t.opts.PageCache != nil {
-		key = fmt.Sprintf("%s@%d#%d", t.f.Name(), gen, h)
-		if data, ok := t.opts.PageCache.Get(key); ok {
-			return data, nil
+		key = fmt.Sprintf("%s@%d#%d", t.f.Name(), gen, bm.Handle.Offset)
+		if cached, ok := t.opts.PageCache.Get(key); ok {
+			data = cached
 		}
 	}
-	data := make([]byte, size)
-	if _, err := t.f.ReadAt(data, int64(h), op); err != nil {
-		return nil, err
+	if data == nil {
+		data = make([]byte, bm.Handle.Size)
+		if _, err := t.f.ReadAt(data, int64(bm.Handle.Offset), op); err != nil {
+			return nil, err
+		}
+		if t.opts.PageCache != nil {
+			t.opts.PageCache.Put(key, data)
+		}
 	}
-	if t.opts.PageCache != nil {
-		t.opts.PageCache.Put(key, data)
+	if bm.Tagged {
+		return compress.Decode(data, maxRawBlock)
 	}
 	return data, nil
 }
@@ -177,7 +186,7 @@ func (t *Table) Get(user []byte, seq uint64, op device.Op) (value []byte, kind k
 		if !bm.Filter.Contains(user) {
 			return nil, 0, false, nil
 		}
-		data, rerr := t.readBlockData(gen, bm.Handle.Offset, bm.Handle.Size, op)
+		data, rerr := t.readBlockData(gen, &bm, op)
 		value, kind, found, err = nil, 0, false, rerr
 		if err == nil {
 			var it *block.Iter
@@ -215,7 +224,7 @@ func (t *Table) ReadBlockEntries(bm BlockMeta, op device.Op) ([]Entry, error) {
 	t.mu.RLock()
 	gen := t.gen
 	t.mu.RUnlock()
-	data, err := t.readBlockData(gen, bm.Handle.Offset, bm.Handle.Size, op)
+	data, err := t.readBlockData(gen, &bm, op)
 	if err != nil {
 		return nil, err
 	}
@@ -464,7 +473,7 @@ func (it *Iter) loadBlock(i int) bool {
 		it.cur = nil
 		return false
 	}
-	data, err := it.t.readBlockData(it.gen, it.metas[i].Handle.Offset, it.metas[i].Handle.Size, it.op)
+	data, err := it.t.readBlockData(it.gen, &it.metas[i], it.op)
 	if err != nil {
 		it.err, it.cur = err, nil
 		return false
@@ -494,7 +503,7 @@ func (it *Iter) seekLocked(user []byte) {
 		it.cur = nil
 		return
 	}
-	data, err := it.t.readBlockData(it.gen, it.metas[lo].Handle.Offset, it.metas[lo].Handle.Size, it.op)
+	data, err := it.t.readBlockData(it.gen, &it.metas[lo], it.op)
 	if err != nil {
 		it.err, it.cur = err, nil
 		return

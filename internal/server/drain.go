@@ -504,6 +504,12 @@ func (s *Server) replText() string {
 		for _, p := range st.Peers {
 			fmt.Fprintf(&b, "repl.follower %s acked %d lag %d\n", p.Name, p.Acked, p.Lag)
 		}
+		ae := s.cfg.Repl.AEStatsSnapshot()
+		fmt.Fprintf(&b, "repl.snap_bytes %d\n", ae.SnapshotBytes)
+		fmt.Fprintf(&b, "repl.ae_sessions %d\n", ae.AESessions)
+		fmt.Fprintf(&b, "repl.ae_bytes %d\n", ae.AEBytes)
+		fmt.Fprintf(&b, "repl.ae_nodes %d\n", ae.AENodes)
+		fmt.Fprintf(&b, "repl.ae_leaves %d\n", ae.AELeaves)
 	}
 	return b.String()
 }

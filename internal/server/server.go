@@ -493,7 +493,7 @@ func (c *conn) serveRepl(f wire.Frame, first bool) {
 		c.kill()
 		return
 	}
-	epoch, lastApplied, err := wire.DecodeReplHelloReq(f.Payload)
+	epoch, lastApplied, flags, err := wire.DecodeReplHelloReq(f.Payload)
 	if err != nil {
 		srv.stats.BadRequests.Inc()
 		c.respondError(f.ID, f.Op, wire.StatusBadRequest, err.Error())
@@ -507,7 +507,7 @@ func (c *conn) serveRepl(f wire.Frame, first bool) {
 	srv.stats.replActive.Add(1)
 	defer srv.stats.replActive.Add(-1)
 	srv.logf("conn %s: replication follower attached at seq %d", c.nc.RemoteAddr(), lastApplied)
-	if err := srv.cfg.Repl.ServeConn(c.nc, c.br, epoch, lastApplied); err != nil && !srv.closing.Load() {
+	if err := srv.cfg.Repl.ServeConn(c.nc, c.br, epoch, lastApplied, flags); err != nil && !srv.closing.Load() {
 		srv.logf("conn %s: replication stream ended: %v", c.nc.RemoteAddr(), err)
 	}
 }

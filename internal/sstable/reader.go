@@ -7,9 +7,14 @@ import (
 	"hyperdb/internal/block"
 	"hyperdb/internal/bloom"
 	"hyperdb/internal/cache"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 )
+
+// maxRawBlock caps the decoded size a compressed data block may declare,
+// bounding the allocation a corrupted length field can trigger.
+const maxRawBlock = 16 << 20
 
 // Reader serves lookups and scans from a finished table. The footer, index
 // block and bloom filter are read once at open (charged to the device) and
@@ -22,6 +27,7 @@ type Reader struct {
 	blocks []Handle // data block handles in key order
 	seps   [][]byte // last user key per block, parallel to blocks
 	pcache cache.BlockCache
+	tagged bool // Magic2: data blocks are compress payloads
 }
 
 // OpenReader loads table metadata from f. pcache may be nil.
@@ -34,7 +40,12 @@ func OpenReader(f *device.File, pcache cache.BlockCache, op device.Op) (*Reader,
 	if _, err := f.ReadAt(footer, size-footerSize, op); err != nil {
 		return nil, err
 	}
-	if got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got != Magic {
+	tagged := false
+	switch got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got {
+	case Magic:
+	case Magic2:
+		tagged = true
+	default:
 		return nil, fmt.Errorf("sstable: bad magic %#x in %q", got, f.Name())
 	}
 	// The two handles are varint-encoded back to back at the footer start.
@@ -62,7 +73,7 @@ func OpenReader(f *device.File, pcache cache.BlockCache, op device.Op) (*Reader,
 		return nil, err
 	}
 
-	r := &Reader{f: f, filter: filter, index: indexData, pcache: pcache}
+	r := &Reader{f: f, filter: filter, index: indexData, pcache: pcache, tagged: tagged}
 	it, err := block.NewIter(indexData)
 	if err != nil {
 		return nil, fmt.Errorf("sstable: %q index: %w", f.Name(), err)
@@ -84,27 +95,35 @@ func OpenReader(f *device.File, pcache cache.BlockCache, op device.Op) (*Reader,
 // NumBlocks returns the data block count.
 func (r *Reader) NumBlocks() int { return len(r.blocks) }
 
-// readBlock fetches a data block, via the page cache when available.
+// readBlock fetches a data block, via the page cache when available. The
+// cache holds stored (possibly compressed) bytes; Magic2 tables decompress
+// after the fetch, failing closed on any corrupted payload.
 func (r *Reader) readBlock(i int, op device.Op) ([]byte, error) {
 	h := r.blocks[i]
 	var key string
+	var data []byte
 	if r.pcache != nil {
 		key = fmt.Sprintf("%s#%d", r.f.Name(), h.Offset)
-		if data, ok := r.pcache.Get(key); ok {
-			if len(data) != int(h.Size) {
-				return nil, fmt.Errorf("sstable: cached block %s has %d bytes, want %d", key, len(data), h.Size)
+		if cached, ok := r.pcache.Get(key); ok {
+			if len(cached) != int(h.Size) {
+				return nil, fmt.Errorf("sstable: cached block %s has %d bytes, want %d", key, len(cached), h.Size)
 			}
-			return data, nil
+			data = cached
 		}
 	}
-	data := make([]byte, h.Size)
-	if n, err := r.f.ReadAt(data, int64(h.Offset), op); err != nil {
-		return nil, err
-	} else if n != int(h.Size) {
-		return nil, fmt.Errorf("sstable: short read %d/%d at %s+%d", n, h.Size, r.f.Name(), h.Offset)
+	if data == nil {
+		data = make([]byte, h.Size)
+		if n, err := r.f.ReadAt(data, int64(h.Offset), op); err != nil {
+			return nil, err
+		} else if n != int(h.Size) {
+			return nil, fmt.Errorf("sstable: short read %d/%d at %s+%d", n, h.Size, r.f.Name(), h.Offset)
+		}
+		if r.pcache != nil {
+			r.pcache.Put(key, data)
+		}
 	}
-	if r.pcache != nil {
-		r.pcache.Put(key, data)
+	if r.tagged {
+		return compress.Decode(data, maxRawBlock)
 	}
 	return data, nil
 }

@@ -11,12 +11,19 @@ import (
 
 	"hyperdb/internal/block"
 	"hyperdb/internal/bloom"
+	"hyperdb/internal/compress"
 	"hyperdb/internal/device"
 	"hyperdb/internal/keys"
 )
 
 // Magic identifies a finished table in the footer.
 const Magic = 0x7068db5e57ab1e00
+
+// Magic2 identifies a table whose data blocks are self-describing compress
+// payloads (tag byte + codec framing). Filter and index blocks stay raw in
+// both formats. Readers accept either magic, so compressed and legacy
+// tables coexist in one store and compaction converts between them.
+const Magic2 = 0x7068db5e57ab1e02
 
 // Handle locates a block inside a table file.
 type Handle struct {
@@ -56,6 +63,10 @@ type WriterOptions struct {
 	ExpectedKeys int
 	// Op attributes the build I/O (flush and compaction use device.Bg).
 	Op device.Op
+	// Codec compresses data blocks; None writes the legacy format (Magic
+	// footer, raw blocks). Any other codec writes Magic2 with every data
+	// block stored as a compress payload.
+	Codec compress.Codec
 }
 
 func (o *WriterOptions) fill() {
@@ -73,7 +84,8 @@ func (o *WriterOptions) fill() {
 // Meta summarises a finished table.
 type Meta struct {
 	Entries   int
-	DataSize  int64 // bytes of data blocks
+	DataSize  int64 // stored bytes of data blocks (after compression)
+	RawSize   int64 // uncompressed bytes of data blocks
 	TotalSize int64 // whole file
 	Blocks    int
 	Smallest  []byte // first user key
@@ -137,6 +149,10 @@ func (w *Writer) flushDataBlock() error {
 	}
 	lastUser := append([]byte(nil), w.data.LastUserKey()...)
 	content := w.data.Finish()
+	w.meta.RawSize += int64(len(content))
+	if w.opts.Codec != compress.None {
+		content = compress.Encode(nil, w.opts.Codec, content)
+	}
 	off, err := w.f.Append(content)
 	if err != nil {
 		return err
@@ -178,7 +194,11 @@ func (w *Writer) Finish() (Meta, error) {
 		footer = append(footer, 0)
 	}
 	var magic [8]byte
-	binary.LittleEndian.PutUint64(magic[:], Magic)
+	if w.opts.Codec != compress.None {
+		binary.LittleEndian.PutUint64(magic[:], Magic2)
+	} else {
+		binary.LittleEndian.PutUint64(magic[:], Magic)
+	}
 	footer = append(footer, magic[:]...)
 	if _, err := w.f.Append(footer); err != nil {
 		return Meta{}, err

@@ -21,7 +21,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpMGet, ID: 4, Payload: AppendMGetReq(nil, [][]byte{[]byte("x")})}))
 	f.Add(AppendFrame(nil, Frame{Op: OpScan, ID: 5, Payload: AppendScanReq(nil, []byte("s"), 10)}))
-	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, ID: 7, Payload: AppendReplHelloReq(nil, 3, 12)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, ID: 7, Payload: AppendReplHelloReq(nil, 3, 12, 0)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, ID: 7, Payload: AppendReplHelloReq(nil, 3, 12, ReplFlagAntiEntropy)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, Status: StatusOK, ID: 7, Payload: AppendReplHelloResp(nil, ReplModeSnapshot, 3, 12)}))
 	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame, ID: 8, Payload: AppendReplFrame(nil, 9, []BatchOp{
 		{Key: []byte("r"), Value: []byte("1")}, {Key: []byte("s"), Delete: true},
@@ -82,6 +83,25 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Op: OpReplFrame2, ID: 29, Payload: AppendReplFrame2(nil, 13, 13, nil)}))
 	// A shard map whose slot table names a group beyond the group table.
 	f.Add(AppendFrame(nil, Frame{Op: OpShardMap, Status: StatusOK, ID: 30, Payload: []byte{1, 1, 1, 'a', 1, 5}}))
+	// Anti-entropy frames: the TREE_ROOT opener, a hash query, a hash
+	// response, the divergent-leaf fetch (and the legal empty fetch), plus a
+	// v3 hello response choosing anti-entropy mode.
+	var treeRoot [TreeHashLen]byte
+	treeRoot[0], treeRoot[31] = 0xaa, 0x55
+	treeIDs := []uint32{2, 3, 1 << 10, 1<<11 - 1}
+	treeHashes := make([][TreeHashLen]byte, len(treeIDs))
+	for i := range treeHashes {
+		treeHashes[i][0] = byte(i + 1)
+	}
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeRoot, Status: StatusOK, ID: 31, Payload: AppendTreeRoot(nil, 10, treeRoot)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeDiff, ID: 32, Payload: AppendTreeDiff(nil, 0, treeIDs, nil)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeDiff, Status: StatusOK, ID: 32, Payload: AppendTreeDiff(nil, TreeDiffHashes, treeIDs, treeHashes)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeDiff, ID: 33, Payload: AppendTreeDiff(nil, TreeDiffFetch, []uint32{1 << 10, 1<<10 + 7}, nil)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeDiff, ID: 34, Payload: AppendTreeDiff(nil, TreeDiffFetch, nil, nil)}))
+	f.Add(AppendFrame(nil, Frame{Op: OpReplHello, Status: StatusOK, ID: 35, Payload: AppendReplHelloResp(nil, ReplModeAntiEntropy, 3, 12)}))
+	// A TREE_DIFF whose hash block is one byte short of count × 32.
+	shortDiff := AppendTreeDiff(nil, TreeDiffHashes, treeIDs, treeHashes)
+	f.Add(AppendFrame(nil, Frame{Op: OpTreeDiff, ID: 36, Payload: shortDiff[:len(shortDiff)-1]}))
 	// A valid frame with a corrupted interior byte.
 	corrupt := AppendFrame(nil, Frame{Op: OpGet, ID: 6, Payload: AppendKeyReq(nil, []byte("kk"))})
 	corrupt[len(corrupt)/2] ^= 0x5a
@@ -164,6 +184,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeShardMap(fr.Payload)
 		case OpReplFrame2:
 			DecodeReplFrame2(fr.Payload)
+		case OpTreeRoot:
+			DecodeTreeRoot(fr.Payload)
+		case OpTreeDiff:
+			DecodeTreeDiff(fr.Payload)
 		}
 		if fr.Status == StatusWrongShard {
 			DecodeShardMap(fr.Payload)

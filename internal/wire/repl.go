@@ -13,48 +13,77 @@ import (
 
 // ReplProtoVersion is the replication stream version carried in HELLO.
 // Version 2 added the write-lineage epoch to both hello directions.
-const ReplProtoVersion = 2
+// Version 3 adds a capability flags byte after the version; a flags-free
+// hello still encodes as version 2, so followers without capabilities stay
+// wire-identical to older binaries.
+const (
+	ReplProtoVersion  = 2
+	ReplProtoVersion3 = 3
+)
+
+// Hello capability flags (version 3).
+const (
+	// ReplFlagAntiEntropy advertises that the follower can run the
+	// Merkle-tree repair conversation instead of a full snapshot.
+	ReplFlagAntiEntropy = 1 << 0
+)
 
 // Snapshot modes carried in the hello response.
 const (
-	ReplModeTail     = 0 // log retains everything past lastApplied: tail it
-	ReplModeSnapshot = 1 // fell off the window: full snapshot, then tail
+	ReplModeTail        = 0 // log retains everything past lastApplied: tail it
+	ReplModeSnapshot    = 1 // fell off the window: full snapshot, then tail
+	ReplModeAntiEntropy = 2 // fell off the window with state: Merkle repair, then tail
 )
 
-// --- REPL_HELLO request: version | epoch | lastApplied ---
+// --- REPL_HELLO request: version | [flags] | epoch | lastApplied ---
 
 // AppendReplHelloReq encodes a follower's subscription request. epoch is
 // the write-lineage identifier of the log the follower last replicated
 // from (0 when it has never attached), and lastApplied is the highest
 // sequence it has durably applied (0 for a fresh follower). A primary only
 // grants tail mode when the epoch matches its own log's epoch or the
-// follower holds no state at all.
-func AppendReplHelloReq(dst []byte, epoch, lastApplied uint64) []byte {
-	dst = append(dst, ReplProtoVersion)
+// follower holds no state at all. Non-zero flags force the version-3
+// encoding.
+func AppendReplHelloReq(dst []byte, epoch, lastApplied uint64, flags uint8) []byte {
+	if flags != 0 {
+		dst = append(dst, ReplProtoVersion3, flags)
+	} else {
+		dst = append(dst, ReplProtoVersion)
+	}
 	dst = binary.AppendUvarint(dst, epoch)
 	return binary.AppendUvarint(dst, lastApplied)
 }
 
-// DecodeReplHelloReq decodes a REPL_HELLO request payload.
-func DecodeReplHelloReq(p []byte) (epoch, lastApplied uint64, err error) {
+// DecodeReplHelloReq decodes a REPL_HELLO request payload; version-2
+// hellos decode with flags 0.
+func DecodeReplHelloReq(p []byte) (epoch, lastApplied uint64, flags uint8, err error) {
 	if len(p) == 0 {
-		return 0, 0, fmt.Errorf("%w: empty hello", ErrBadPayload)
+		return 0, 0, 0, fmt.Errorf("%w: empty hello", ErrBadPayload)
 	}
-	if p[0] != ReplProtoVersion {
-		return 0, 0, fmt.Errorf("%w: repl proto version %d", ErrBadPayload, p[0])
+	body := p[1:]
+	switch p[0] {
+	case ReplProtoVersion:
+	case ReplProtoVersion3:
+		if len(body) == 0 {
+			return 0, 0, 0, fmt.Errorf("%w: hello v3 missing flags", ErrBadPayload)
+		}
+		flags = body[0]
+		body = body[1:]
+	default:
+		return 0, 0, 0, fmt.Errorf("%w: repl proto version %d", ErrBadPayload, p[0])
 	}
-	epoch, rest, err := getUvarint(p[1:])
+	epoch, rest, err := getUvarint(body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	lastApplied, rest, err = getUvarint(rest)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if len(rest) != 0 {
-		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+		return 0, 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
 	}
-	return epoch, lastApplied, nil
+	return epoch, lastApplied, flags, nil
 }
 
 // --- REPL_HELLO response: mode | epoch | startSeq ---
@@ -77,7 +106,7 @@ func DecodeReplHelloResp(p []byte) (mode uint8, epoch, startSeq uint64, err erro
 		return 0, 0, 0, fmt.Errorf("%w: empty hello response", ErrBadPayload)
 	}
 	mode = p[0]
-	if mode != ReplModeTail && mode != ReplModeSnapshot {
+	if mode != ReplModeTail && mode != ReplModeSnapshot && mode != ReplModeAntiEntropy {
 		return 0, 0, 0, fmt.Errorf("%w: repl mode %d", ErrBadPayload, mode)
 	}
 	epoch, rest, err := getUvarint(p[1:])
@@ -182,4 +211,115 @@ func DecodeReplSnapshot(p []byte) (seq uint64, kvs []KV, done bool, err error) {
 		return 0, nil, false, fmt.Errorf("%w: empty non-final snapshot chunk", ErrBadPayload)
 	}
 	return seq, kvs, done, nil
+}
+
+// --- TREE_ROOT push: bits | 32-byte root hash ---
+
+// TreeHashLen is the Merkle node digest size on the wire.
+const TreeHashLen = 32
+
+// treeMaxBits bounds the advertised tree geometry; mirrors merkle.MaxBits
+// without importing it (asserted in repl's tests).
+const treeMaxBits = 16
+
+// treeMaxIDs bounds a TREE_DIFF id list at the full node count of a
+// treeMaxBits-deep tree; anything larger is a corrupt or hostile frame.
+const treeMaxIDs = 2 << treeMaxBits
+
+// AppendTreeRoot encodes the anti-entropy opener: the primary tree's leaf
+// exponent and root digest.
+func AppendTreeRoot(dst []byte, bits int, root [TreeHashLen]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(bits))
+	return append(dst, root[:]...)
+}
+
+// DecodeTreeRoot decodes a TREE_ROOT payload.
+func DecodeTreeRoot(p []byte) (bits int, root [TreeHashLen]byte, err error) {
+	b, rest, err := getUvarint(p)
+	if err != nil {
+		return 0, root, err
+	}
+	if b < 1 || b > treeMaxBits {
+		return 0, root, fmt.Errorf("%w: tree bits %d", ErrBadPayload, b)
+	}
+	if len(rest) != TreeHashLen {
+		return 0, root, fmt.Errorf("%w: tree root %d bytes", ErrBadPayload, len(rest))
+	}
+	copy(root[:], rest)
+	return int(b), root, nil
+}
+
+// --- TREE_DIFF: flags | count | ids... | [count × 32-byte hashes] ---
+//
+// The follower walks the primary's tree with hash queries (flags 0: "send
+// me these nodes' hashes"); the primary answers with TreeDiffHashes set and
+// the digests appended. The walk ends with a TreeDiffFetch request naming
+// the divergent leaf ids, which the primary answers with REPL_SNAPSHOT
+// chunks restricted to those leaf ranges.
+
+// TREE_DIFF flags.
+const (
+	// TreeDiffFetch asks the primary to stream the listed leaves' ranges.
+	TreeDiffFetch = 1 << 0
+	// TreeDiffHashes marks a response carrying one digest per id.
+	TreeDiffHashes = 1 << 1
+)
+
+// AppendTreeDiff encodes a TREE_DIFF payload. hashes must be nil unless
+// flags has TreeDiffHashes, in which case len(hashes) == len(ids).
+func AppendTreeDiff(dst []byte, flags uint8, ids []uint32, hashes [][TreeHashLen]byte) []byte {
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	for _, h := range hashes {
+		dst = append(dst, h[:]...)
+	}
+	return dst
+}
+
+// DecodeTreeDiff decodes a TREE_DIFF payload.
+func DecodeTreeDiff(p []byte) (flags uint8, ids []uint32, hashes [][TreeHashLen]byte, err error) {
+	if len(p) == 0 {
+		return 0, nil, nil, fmt.Errorf("%w: empty tree diff", ErrBadPayload)
+	}
+	flags = p[0]
+	if flags&^uint8(TreeDiffFetch|TreeDiffHashes) != 0 {
+		return 0, nil, nil, fmt.Errorf("%w: tree diff flags %#x", ErrBadPayload, flags)
+	}
+	count, rest, err := getUvarint(p[1:])
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	// count 0 is legal: an empty TreeDiffFetch means "nothing diverged".
+	if count > treeMaxIDs {
+		return 0, nil, nil, fmt.Errorf("%w: tree diff count %d", ErrBadPayload, count)
+	}
+	ids = make([]uint32, count)
+	for i := range ids {
+		var id uint64
+		id, rest, err = getUvarint(rest)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if id < 1 || id >= 2<<treeMaxBits {
+			return 0, nil, nil, fmt.Errorf("%w: tree node id %d", ErrBadPayload, id)
+		}
+		ids[i] = uint32(id)
+	}
+	if flags&TreeDiffHashes != 0 {
+		if len(rest) != int(count)*TreeHashLen {
+			return 0, nil, nil, fmt.Errorf("%w: tree diff hashes %d bytes for %d ids", ErrBadPayload, len(rest), count)
+		}
+		hashes = make([][TreeHashLen]byte, count)
+		for i := range hashes {
+			copy(hashes[i][:], rest[i*TreeHashLen:])
+		}
+		rest = rest[count*TreeHashLen:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return flags, ids, hashes, nil
 }

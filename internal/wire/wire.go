@@ -84,6 +84,14 @@ const (
 	OpHandoffFlip
 	OpReplFrame2
 
+	// Anti-entropy ops (Merkle-tree replica repair, package repl).
+	// OpTreeRoot is the primary's opening push on an anti-entropy stream:
+	// tree geometry plus root hash. OpTreeDiff flows both ways — the
+	// follower queries node hashes (or requests leaf-range fetches) and the
+	// primary answers with the hashes.
+	OpTreeRoot
+	OpTreeDiff
+
 	opMax
 )
 
@@ -142,6 +150,10 @@ func (o Op) String() string {
 		return "HANDOFF_FLIP"
 	case OpReplFrame2:
 		return "REPL_FRAME2"
+	case OpTreeRoot:
+		return "TREE_ROOT"
+	case OpTreeDiff:
+		return "TREE_DIFF"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }

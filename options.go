@@ -3,6 +3,7 @@ package hyperdb
 import (
 	"time"
 
+	"hyperdb/internal/compress"
 	"hyperdb/internal/core"
 	"hyperdb/internal/device"
 	"hyperdb/internal/hotness"
@@ -63,6 +64,18 @@ type Options struct {
 	// ScanPrefetch enables the range-scan page prefetcher (§4.2's future
 	// work). Off by default, matching the paper's evaluated system.
 	ScanPrefetch bool
+	// Compress names the capacity-tier block codec ("", "off" or "none"
+	// disables; "on" or "lz" enables the built-in LZ codec). Only
+	// semi-SSTable blocks at CompressMinLevel and deeper are compressed; the
+	// NVMe zone tier always stays raw.
+	Compress string
+	// CompressMinLevel is the shallowest LSM level the codec applies to
+	// (default 1: every capacity-tier level).
+	CompressMinLevel int
+	// AntiEntropy maintains an incremental Merkle tree over the keyspace so
+	// a diverged replica can rejoin by fetching only divergent ranges
+	// instead of a full snapshot.
+	AntiEntropy bool
 	// Follower opens the DB as a replication follower: foreground writes
 	// return ErrFollower and the only write path is the replicated apply.
 	Follower bool
@@ -80,6 +93,14 @@ func DefaultOptions() Options {
 
 // resolve builds devices as needed and maps to the engine's option set.
 func (o Options) resolve() (core.Options, *device.Device, *device.Device, error) {
+	codec, err := compress.Parse(o.Compress)
+	if err != nil {
+		return core.Options{}, nil, nil, err
+	}
+	minLevel := o.CompressMinLevel
+	if minLevel <= 0 {
+		minLevel = 1
+	}
 	nvme, sata := o.NVMeDevice, o.SATADevice
 	if nvme == nil {
 		capNVMe := o.NVMeCapacity
@@ -125,6 +146,8 @@ func (o Options) resolve() (core.Options, *device.Device, *device.Device, error)
 		BackgroundInterval: o.BackgroundInterval,
 		AvgObjectSize:      o.AvgObjectSize,
 		ScanPrefetch:       o.ScanPrefetch,
+		CompressPolicy:     compress.Policy{Codec: codec, MinLevel: minLevel},
+		AntiEntropy:        o.AntiEntropy,
 		Follower:           o.Follower,
 		Tee:                o.Tee,
 	}, nvme, sata, nil

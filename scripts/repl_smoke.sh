@@ -6,17 +6,33 @@
 # mid-flight, promote the follower with SIGHUP, and require every
 # acknowledged key to be readable from the promoted node. Exit 0 means
 # failover lost nothing that was acked and no session read was ever stale.
+#
+# A second act covers anti-entropy rejoin: a -anti-entropy pair where the
+# follower is SIGSTOPped off the retained window while a small set of keys
+# churns, then resumed — the redial must repair via the Merkle conversation,
+# moving fewer bytes than the full-snapshot baseline (a fresh follower
+# attached to the same primary) and converging byte-identically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRIMARY="${HYPERD_PRIMARY:-127.0.0.1:49810}"
 FOLLOWER="${HYPERD_FOLLOWER:-127.0.0.1:49811}"
+AE_PRIMARY="${HYPERD_AE_PRIMARY:-127.0.0.1:49812}"
+AE_FOLLOWER="${HYPERD_AE_FOLLOWER:-127.0.0.1:49813}"
+AE_FRESH="${HYPERD_AE_FRESH:-127.0.0.1:49814}"
 BIN=$(mktemp -d)
 PPID_D=""
 FPID_D=""
+APID_D=""
+AFPID_D=""
+AXPID_D=""
 cleanup() {
   [ -n "$PPID_D" ] && kill -9 "$PPID_D" 2>/dev/null || true
   [ -n "$FPID_D" ] && kill -9 "$FPID_D" 2>/dev/null || true
+  [ -n "$AFPID_D" ] && kill -CONT "$AFPID_D" 2>/dev/null || true
+  [ -n "$APID_D" ] && kill -9 "$APID_D" 2>/dev/null || true
+  [ -n "$AFPID_D" ] && kill -9 "$AFPID_D" 2>/dev/null || true
+  [ -n "$AXPID_D" ] && kill -9 "$AXPID_D" 2>/dev/null || true
   rm -rf "$BIN"
 }
 trap cleanup EXIT
@@ -149,5 +165,106 @@ if ! wait "$FPID_D"; then
   exit 1
 fi
 FPID_D=""
+
+echo "== act 2: anti-entropy rejoin (tiny retained log, compressed cold tier) =="
+"$BIN/hyperd" -addr "$AE_PRIMARY" -role primary -repl-sync -anti-entropy \
+  -repl-log-entries 8 -repl-ack-timeout 1s -compress on -unthrottled \
+  -nvme $((32 << 20)) -sata $((1 << 30)) -partitions 4 &
+APID_D=$!
+"$BIN/hyperd" -addr "$AE_FOLLOWER" -role follower -upstream "$AE_PRIMARY" \
+  -anti-entropy -compress on -unthrottled \
+  -nvme $((32 << 20)) -sata $((1 << 30)) -partitions 4 &
+AFPID_D=$!
+actl() { "$BIN/hyperctl" "$1" -addr "$AE_PRIMARY" "${@:2}"; }
+aftl() { "$BIN/hyperctl" "$1" -addr "$AE_FOLLOWER" "${@:2}"; }
+axtl() { "$BIN/hyperctl" "$1" -addr "$AE_FRESH" "${@:2}"; }
+wait_up ae-primary "$APID_D" actl
+wait_up ae-follower "$AFPID_D" aftl
+
+ae_wait_lag0() { # ae_wait_lag0 <expected-follower-count> <what>
+  for i in $(seq 1 150); do
+    if [ "$(actl repl status | grep -c 'lag=0$')" = "$1" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "$2: lag never converged" >&2; actl repl status >&2; exit 1
+}
+
+echo "== ae: load a dataset and let the follower tail it =="
+# Distinct first bytes per writer spread the keys across Merkle leaves;
+# the churn below stays inside one writer's prefix, so the repair has a
+# small fraction of the leaf space to fetch.
+AE_PFX=(b f j n r v z D)
+AE_LOAD_PIDS=()
+for i in $(seq 1 8); do
+  ( p="${AE_PFX[$((i - 1))]}"
+    for j in $(seq 1 25); do actl put "$p-ae-$j" "base-$i-$j" >/dev/null; done ) &
+  AE_LOAD_PIDS+=($!)
+done
+for pid in "${AE_LOAD_PIDS[@]}"; do wait "$pid"; done
+ae_wait_lag0 1 "ae initial load"
+
+echo "== ae: full-snapshot byte baseline from a fresh follower =="
+"$BIN/hyperd" -addr "$AE_FRESH" -role follower -upstream "$AE_PRIMARY" \
+  -anti-entropy -compress on -unthrottled \
+  -nvme $((32 << 20)) -sata $((1 << 30)) -partitions 4 &
+AXPID_D=$!
+wait_up ae-fresh "$AXPID_D" axtl
+ae_wait_lag0 2 "fresh-follower baseline"
+snap_bytes=$(actl stats | sed -n 's/^repl\.snap_bytes //p')
+[ -n "$snap_bytes" ] && [ "$snap_bytes" -gt 0 ] || {
+  echo "fresh follower moved no snapshot bytes (repl.snap_bytes=$snap_bytes)" >&2; exit 1
+}
+kill -9 "$AXPID_D"; wait "$AXPID_D" 2>/dev/null || true; AXPID_D=""
+
+echo "== ae: stall the follower off the retained window while 10 keys churn =="
+kill -STOP "$AFPID_D"
+# Sync-ack + 1s ack timeout: the first churned write evicts the stalled
+# follower, the rest commit immediately and truncate the 8-entry log far
+# past its applied position.
+for round in $(seq 1 8); do
+  for j in $(seq 1 9); do actl put "b-ae-$j" "churn-$round-$j" >/dev/null; done
+done
+actl del b-ae-10
+actl put b-ae-new brand-new >/dev/null
+
+echo "== ae: resumed follower repairs via the Merkle conversation =="
+kill -CONT "$AFPID_D"
+ae_wait_lag0 1 "anti-entropy rejoin"
+ae_sessions=$(actl stats | sed -n 's/^repl\.ae_sessions //p')
+ae_bytes=$(actl stats | sed -n 's/^repl\.ae_bytes //p')
+[ "$ae_sessions" = "1" ] || {
+  echo "expected exactly one anti-entropy session, got '$ae_sessions'" >&2
+  actl stats | grep '^repl\.' >&2; exit 1
+}
+[ -n "$ae_bytes" ] && [ "$ae_bytes" -gt 0 ] || {
+  echo "anti-entropy session moved no bytes" >&2; exit 1
+}
+if [ "$ae_bytes" -ge "$snap_bytes" ]; then
+  echo "anti-entropy moved $ae_bytes bytes, not less than the $snap_bytes full-snapshot baseline" >&2
+  exit 1
+fi
+echo "ae repair moved $ae_bytes bytes vs $snap_bytes full-snapshot baseline"
+
+echo "== ae: follower converged byte-identically =="
+actl scan -limit 4096 > "$BIN/primary.scan"
+aftl scan -limit 4096 > "$BIN/follower.scan"
+cmp "$BIN/primary.scan" "$BIN/follower.scan" || {
+  echo "follower scan diverges from primary after anti-entropy" >&2
+  diff "$BIN/primary.scan" "$BIN/follower.scan" | head >&2; exit 1
+}
+grep -q '^"b-ae-new" "brand-new"$' "$BIN/follower.scan" || {
+  echo "churned key b-ae-new missing from the repaired follower" >&2; exit 1
+}
+if grep -q '^"b-ae-10" ' "$BIN/follower.scan"; then
+  echo "deleted key b-ae-10 survived the repair" >&2; exit 1
+fi
+
+echo "== ae: repaired follower still tails live writes =="
+actl put post-ae yes >/dev/null
+ae_wait_lag0 1 "post-repair tail"
+kill -TERM "$APID_D" "$AFPID_D"
+wait "$APID_D" || { echo "ae primary exited non-zero" >&2; exit 1; }
+wait "$AFPID_D" || { echo "ae follower exited non-zero" >&2; exit 1; }
+APID_D=""; AFPID_D=""
 
 echo "repl smoke OK"
